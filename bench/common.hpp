@@ -1,0 +1,77 @@
+// Shared infrastructure for the reproduction harness: one bench binary per
+// table/figure of the paper. Each binary builds the bench-scale world (six
+// focus metros standing in for Amsterdam/NewYork/Santiago/Singapore/Sydney/
+// Tokyo), runs the pipeline where needed, and prints the same rows/series the
+// paper reports. Seeds are fixed: output is reproducible bit for bit.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "eval/splits.hpp"
+#include "eval/topologies.hpp"
+#include "eval/validation.hpp"
+#include "eval/world.hpp"
+#include "util/table.hpp"
+
+namespace metas::bench {
+
+/// Scale knob: METAS_BENCH_SCALE=small shrinks the world for smoke runs.
+inline eval::WorldConfig bench_world_config(std::uint64_t seed = 2024) {
+  const char* scale = std::getenv("METAS_BENCH_SCALE");
+  if (scale != nullptr && std::string(scale) == "small")
+    return eval::small_world_config(seed);
+  return eval::paper_world_config(seed);
+}
+
+/// One completed metro: context + pipeline result.
+struct MetroRun {
+  std::string name;
+  std::unique_ptr<core::MetroContext> ctx;
+  core::PipelineResult result;
+};
+
+/// Runs the metAScritic pipeline on every focus metro, chaining the
+/// hierarchical strategy priors from one metro to the next (Appx. D.6).
+inline std::vector<MetroRun> run_all_focus_metros(
+    eval::World& world, std::uint64_t seed = 7,
+    core::PipelineConfig base_config = {}) {
+  std::vector<MetroRun> runs;
+  core::StrategyPriors priors;
+  for (auto m : world.focus_metros) {
+    MetroRun run;
+    run.name = world.net.metros[static_cast<std::size_t>(m)].name;
+    run.ctx = std::make_unique<core::MetroContext>(world.net, m);
+    core::PipelineConfig pc = base_config;
+    pc.scheduler.seed = seed + static_cast<std::uint64_t>(m) * 13;
+    pc.rank.seed = seed + static_cast<std::uint64_t>(m) * 17 + 1;
+    pc.seed = seed + static_cast<std::uint64_t>(m) * 19 + 2;
+    core::MetascriticPipeline pipeline(*run.ctx, *world.ms, &priors, pc);
+    run.result = pipeline.run();
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+/// Prints a header in the common harness format.
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+/// Prints an (x, y) series as a compact aligned list, one point per row.
+inline void print_series(const std::string& name,
+                         const std::vector<std::pair<double, double>>& points,
+                         const std::string& xlabel = "x",
+                         const std::string& ylabel = "y") {
+  util::Table t({xlabel, ylabel});
+  for (auto [x, y] : points)
+    t.add_row({util::Table::fmt(x), util::Table::fmt(y)});
+  std::cout << "-- " << name << " --\n";
+  t.print(std::cout);
+}
+
+}  // namespace metas::bench

@@ -1,0 +1,96 @@
+// Appendix E.3: measurement efficiency -- metAScritic's traceroute count vs
+// the exhaustive campaign and the theoretical O(n r log n) bound, plus the
+// accuracy cost of skipping targeted measurements entirely.
+//
+// Paper shape: ~50x fewer measurements than exhaustive with a marginal
+// accuracy dip; public-measurements-only loses ~0.25 recall / ~0.34
+// precision vs exhaustive.
+#include <cmath>
+
+#include "bench/common.hpp"
+
+using namespace metas;
+
+int main() {
+  bench::print_header("Appx. E.3", "traceroute efficiency vs exhaustive measurement");
+  eval::WorldConfig wc = bench::bench_world_config();
+  auto focus = eval::focus_metro_ids(wc.gen);
+  // Tokyo/Sydney analogues: the last two focus metros.
+  std::vector<topology::MetroId> metros{focus[focus.size() - 2], focus.back()};
+
+  util::Table t({"metro", "variant", "traces", "precision", "recall",
+                 "n*r*log(n) bound"});
+  for (auto metro : metros) {
+    // --- metAScritic run. ---
+    eval::World w = eval::build_world(wc);
+    core::MetroContext ctx(w.net, metro);
+    std::string name = w.net.metros[static_cast<std::size_t>(metro)].name;
+    std::size_t before = w.ms->traceroutes_issued();
+    core::PipelineConfig pc;
+    pc.scheduler.seed = 31;
+    pc.rank.seed = 32;
+    core::MetascriticPipeline pipeline(ctx, *w.ms, nullptr, pc);
+    auto res = pipeline.run();
+    std::size_t metas_traces = w.ms->traceroutes_issued() - before;
+    auto metas_m = eval::truth_metrics(eval::score_pairs(ctx, res.ratings),
+                                       res.threshold);
+    double n = static_cast<double>(ctx.size());
+    double bound = n * res.estimated_rank * std::log(n);
+
+    // --- Exhaustive campaign: 5 targeted traceroutes per entry. ---
+    // Approximated by revealing every entry measurable with metAScritic's
+    // source/target ranking (we read ground truth for entries with any
+    // usable strategy -- an upper bound on what exhaustive probing finds).
+    core::ProbabilityMatrix pm(ctx, *w.ms, nullptr);
+    const auto& truth = w.truth_at(metro);
+    core::EstimatedMatrix full(ctx.size());
+    std::size_t exhaustive_traces = 0;
+    for (std::size_t i = 0; i < ctx.size(); ++i) {
+      for (std::size_t j = i + 1; j < ctx.size(); ++j) {
+        exhaustive_traces += 5;
+        if (pm.entry_prob(static_cast<int>(i), static_cast<int>(j)) <= 0.05)
+          continue;
+        full.set(i, j, truth.link(i, j) ? 1.0 : -1.0);
+      }
+    }
+    core::FeatureMatrix feats = core::encode_features(ctx);
+    core::AlsConfig ac;
+    ac.rank = res.estimated_rank;
+    core::AlsCompleter completer(ctx.size(), feats, ac);
+    completer.fit(core::rating_entries(full));
+    double lam = core::tune_threshold(completer, core::rating_entries(full));
+    auto ex_m = eval::truth_metrics(eval::score_pairs(ctx, completer.completed()),
+                                    lam);
+
+    // --- Public measurements only (no targeted probing). ---
+    eval::World w2 = eval::build_world(wc);
+    core::MetroContext ctx2(w2.net, metro);
+    core::EstimatedMatrix pub = w2.ms->build_matrix(ctx2);
+    core::AlsCompleter pub_model(ctx2.size(), feats, ac);
+    auto pub_entries = core::rating_entries(pub);
+    double pub_prec = 0.0, pub_rec = 0.0;
+    if (!pub_entries.empty()) {
+      pub_model.fit(pub_entries);
+      double pl = core::tune_threshold(pub_model, pub_entries);
+      auto pm2 = eval::truth_metrics(
+          eval::score_pairs(ctx2, pub_model.completed()), pl);
+      pub_prec = pm2.precision;
+      pub_rec = pm2.recall;
+    }
+
+    t.add_row({name, "metAScritic", util::Table::fmt(metas_traces),
+               util::Table::fmt(metas_m.precision),
+               util::Table::fmt(metas_m.recall), util::Table::fmt(bound, 0)});
+    t.add_row({name, "exhaustive (x5/pair)", util::Table::fmt(exhaustive_traces),
+               util::Table::fmt(ex_m.precision), util::Table::fmt(ex_m.recall),
+               "-"});
+    t.add_row({name, "public only", "0", util::Table::fmt(pub_prec),
+               util::Table::fmt(pub_rec), "-"});
+  }
+  t.print(std::cout);
+  std::cout << "Paper shape: metAScritic within ~0.06-0.07 of the exhaustive "
+               "campaign's precision/recall at ~50x fewer traceroutes and "
+               "close to the O(n r log n) information bound; public-only "
+               "clearly worse.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 7: CDF of hijack-prediction accuracy across 90 announcement
+// configurations under three topologies (public BGP / +measured /
+// +inferred), with the inferred band swept over thresholds 0.3..1.0.
+//
+// Paper shape: inferences improve mean accuracy by ~25% over public BGP,
+// and the improvement is insensitive to the threshold lambda.
+#include "bench/common.hpp"
+#include "bgp/hijack.hpp"
+#include "util/stats.hpp"
+
+using namespace metas;
+
+namespace {
+
+std::vector<std::pair<double, double>> cdf(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<std::pair<double, double>> pts;
+  std::size_t step = std::max<std::size_t>(1, xs.size() / 12);
+  for (std::size_t i = 0; i < xs.size(); i += step)
+    pts.emplace_back(xs[i], static_cast<double>(i + 1) / xs.size());
+  if (!xs.empty()) pts.emplace_back(xs.back(), 1.0);
+  return pts;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 7", "hijack prediction accuracy under 3 topologies");
+  eval::World w = eval::build_world(bench::bench_world_config());
+  auto runs = bench::run_all_focus_metros(w);
+
+  // Topology variants.
+  bgp::AsGraph truth_graph = bgp::AsGraph::from_internet(w.net);
+  bgp::AsGraph public_graph = eval::build_public_graph(w);
+  bgp::AsGraph measured_graph = eval::build_public_graph(w);
+  std::size_t measured_added = 0;
+  for (auto& run : runs)
+    measured_added += eval::add_measured_links(measured_graph, w, *run.ctx);
+
+  // Only rows with at least the estimated rank of measured entries feed
+  // inferred links into the routing topology (the §4.1 reliability rule).
+  auto inferred_graph_at = [&](double lambda) {
+    bgp::AsGraph g = eval::build_public_graph(w);
+    for (auto& run : runs) {
+      eval::add_measured_links(g, w, *run.ctx);
+      eval::add_inferred_links(
+          g, *run.ctx, run.result.ratings, lambda, &run.result.estimated,
+          static_cast<std::size_t>(run.result.estimated_rank));
+    }
+    return g;
+  };
+  // Threshold band: the paper sweeps lambda in [0.3, 1.0] on *its* precision
+  // curve (where 0.3 already means ~85% precision); we sweep the equivalent
+  // operating range of our calibration.
+  bgp::AsGraph inferred_03 = inferred_graph_at(0.3);
+  bgp::AsGraph inferred_05 = inferred_graph_at(0.5);
+  bgp::AsGraph inferred_07 = inferred_graph_at(0.7);
+  bgp::AsGraph inferred_strict = inferred_graph_at(1.0 - 1e-9);
+
+  bgp::RoutingEngine truth_eng(truth_graph), public_eng(public_graph),
+      measured_eng(measured_graph), inf03_eng(inferred_03),
+      inf05_eng(inferred_05), inf07_eng(inferred_07),
+      inf_strict_eng(inferred_strict);
+
+  // 90 announcement configurations: metro pairs x random origin choices.
+  util::Rng rng(404);
+  struct Config { topology::AsId legit, hijacker; };
+  std::vector<Config> configs;
+  const auto& focus = w.focus_metros;
+  int per_pair = std::max(1, 90 / static_cast<int>(
+                                   focus.size() * (focus.size() - 1) / 2));
+  for (std::size_t a = 0; a < focus.size(); ++a) {
+    for (std::size_t b = a + 1; b < focus.size(); ++b) {
+      const auto& ma = w.net.metros[static_cast<std::size_t>(focus[a])].ases;
+      const auto& mb = w.net.metros[static_cast<std::size_t>(focus[b])].ases;
+      for (int k = 0; k < per_pair; ++k)
+        configs.push_back({rng.pick(ma), rng.pick(mb)});
+    }
+  }
+
+  std::vector<double> acc_public, acc_measured, acc_inf03, acc_inf05,
+      acc_inf07, acc_inf_strict;
+  for (const auto& cfg : configs) {
+    if (cfg.legit == cfg.hijacker) continue;
+    auto actual = bgp::hijack_catchment(truth_eng, cfg.legit, cfg.hijacker);
+    auto acc = [&](bgp::RoutingEngine& eng) {
+      auto pred = bgp::hijack_catchment(eng, cfg.legit, cfg.hijacker);
+      return bgp::hijack_prediction_accuracy(actual, pred);
+    };
+    acc_public.push_back(acc(public_eng));
+    acc_measured.push_back(acc(measured_eng));
+    acc_inf03.push_back(acc(inf03_eng));
+    acc_inf05.push_back(acc(inf05_eng));
+    acc_inf07.push_back(acc(inf07_eng));
+    acc_inf_strict.push_back(acc(inf_strict_eng));
+  }
+
+  std::cout << configs.size() << " announcement configurations; measured links "
+            << "added to the public view: " << measured_added << "\n";
+  util::Table t({"topology", "mean accuracy", "p10", "p50", "p90"});
+  auto row = [&](const char* name, std::vector<double>& xs) {
+    t.add_row({name, util::Table::fmt(util::mean(xs)),
+               util::Table::fmt(util::percentile(xs, 10)),
+               util::Table::fmt(util::percentile(xs, 50)),
+               util::Table::fmt(util::percentile(xs, 90))});
+  };
+  row("Public BGP", acc_public);
+  row("BGP + Measurements", acc_measured);
+  row("BGP + Meas. + Inferences (lambda=0.3)", acc_inf03);
+  row("BGP + Meas. + Inferences (lambda=0.5)", acc_inf05);
+  row("BGP + Meas. + Inferences (lambda=0.7)", acc_inf07);
+  row("BGP + Meas. + Inferences (lambda=1.0)", acc_inf_strict);
+  t.print(std::cout);
+
+  bench::print_series("CDF accuracy (Public BGP)", cdf(acc_public),
+                      "accuracy", "cum. frac");
+  bench::print_series("CDF accuracy (BGP+Meas+Inf, lambda=0.7)",
+                      cdf(acc_inf07), "accuracy", "cum. frac");
+  std::cout << "Paper shape: inferences raise mean accuracy (paper: +25% vs "
+               "public BGP); the lambda band (0.3 vs 1.0) stays narrow.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 9 (Appx. E.4): geographic transferability -- for AS pairs with a
+// link somewhere, the fraction of their co-located metros where the link is
+// actually present. Paper: 42-65% of pairs interconnect at ALL shared
+// locations; 70-90% at >= half.
+#include "bench/common.hpp"
+
+using namespace metas;
+
+int main() {
+  bench::print_header("Fig. 9", "geographic transferability of interconnections");
+  eval::World w = eval::build_world(bench::bench_world_config());
+
+  std::vector<double> fractions;
+  for (const auto& [key, li] : w.net.links) {
+    auto a = static_cast<topology::AsId>(key & 0xffffffffULL);
+    auto b = static_cast<topology::AsId>(key >> 32);
+    const auto& fa = w.net.ases[static_cast<std::size_t>(a)].footprint;
+    const auto& fb = w.net.ases[static_cast<std::size_t>(b)].footprint;
+    std::size_t shared = 0;
+    for (auto m : fa)
+      if (std::binary_search(fb.begin(), fb.end(), m)) ++shared;
+    if (shared == 0) continue;
+    fractions.push_back(static_cast<double>(li.metros.size()) /
+                        static_cast<double>(shared));
+  }
+  std::sort(fractions.begin(), fractions.end());
+
+  std::vector<std::pair<double, double>> cdf;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    std::size_t count = 0;
+    for (double f : fractions)
+      if (f >= q) ++count;
+    cdf.emplace_back(q, static_cast<double>(count) / fractions.size());
+  }
+  bench::print_series(
+      "fraction of AS links present at >= x of shared locations", cdf,
+      "x (fraction of shared metros)", "fraction of links");
+
+  std::size_t all_loc = 0, half_loc = 0;
+  for (double f : fractions) {
+    if (f >= 1.0 - 1e-9) ++all_loc;
+    if (f >= 0.5) ++half_loc;
+  }
+  std::cout << "links present at ALL shared locations: "
+            << util::Table::fmt(100.0 * all_loc / fractions.size(), 1)
+            << "%  (paper: 42-65%)\n";
+  std::cout << "links present at >= half of shared locations: "
+            << util::Table::fmt(100.0 * half_loc / fractions.size(), 1)
+            << "%  (paper: 70-90%)\n";
+  return 0;
+}

@@ -1,0 +1,221 @@
+// Figure 10 (Appx. E.5): controlled-environment rank recovery. A matrix of
+// known effective rank r is generated (rank-r factors + Gaussian noise), a
+// synthetic probability matrix gates which targeted "measurements" succeed,
+// and the selection strategies compete on RMSE over batches.
+//
+// Paper shape: only metAScritic's RMSE keeps decreasing and its estimated
+// rank converges to the planted rank; the alternatives plateau.
+#include "bench/common.hpp"
+
+using namespace metas;
+
+namespace {
+
+constexpr std::size_t kN = 120;
+constexpr std::size_t kPlantedRank = 8;
+constexpr int kBatches = 10;
+constexpr int kBatchSize = 450;
+
+struct Controlled {
+  linalg::Matrix truth{kN, kN};
+  std::vector<std::vector<double>> success_prob;  // Pi
+  core::EstimatedMatrix visible{kN};
+
+  explicit Controlled(util::Rng& rng) {
+    linalg::Matrix x(kN, kPlantedRank);
+    for (std::size_t i = 0; i < kN; ++i)
+      for (std::size_t k = 0; k < kPlantedRank; ++k) x(i, k) = rng.normal(0.0, 0.5);
+    for (std::size_t i = 0; i < kN; ++i)
+      for (std::size_t j = 0; j < kN; ++j) {
+        double v = 0.0;
+        for (std::size_t k = 0; k < kPlantedRank; ++k) v += x(i, k) * x(j, k);
+        truth(i, j) = std::clamp(v + rng.normal(0.0, 0.02), -1.0, 1.0);
+      }
+    // Heterogeneous per-entry success probabilities (some links are hard to
+    // measure no matter what), mimicking the Amsterdam-derived Pi.
+    success_prob.assign(kN, std::vector<double>(kN, 0.0));
+    std::vector<double> row_ease(kN);
+    for (double& e : row_ease) e = rng.uniform(0.15, 0.95);
+    for (std::size_t i = 0; i < kN; ++i)
+      for (std::size_t j = 0; j < kN; ++j)
+        success_prob[i][j] = std::clamp(
+            0.5 * (row_ease[i] + row_ease[j]) + rng.normal(0.0, 0.08), 0.02, 0.98);
+    // Initial public mask: 6% of entries revealed, easier entries first.
+    for (std::size_t i = 0; i < kN; ++i)
+      for (std::size_t j = i + 1; j < kN; ++j)
+        if (rng.uniform() < 0.06 * 2.0 * success_prob[i][j])
+          visible.set(i, j, truth(i, j));
+  }
+
+  bool measure(std::size_t i, std::size_t j, util::Rng& rng) {
+    if (rng.uniform() >= success_prob[i][j]) return false;
+    visible.set(i, j, truth(i, j));
+    return true;
+  }
+
+  double rmse(const core::AlsCompleter& model) const {
+    double s = 0.0;
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < kN; ++i)
+      for (std::size_t j = i + 1; j < kN; ++j) {
+        if (visible.filled(i, j)) continue;
+        double d = model.predict(i, j) - truth(i, j);
+        s += d * d;
+        ++c;
+      }
+    return c == 0 ? 0.0 : std::sqrt(s / static_cast<double>(c));
+  }
+};
+
+enum class Policy { kMetascritic, kOnlyExploit, kOnlyExplore, kRandom, kGreedy };
+
+struct Outcome {
+  std::vector<double> rmse_per_batch;
+  int final_rank = 1;
+};
+
+Outcome run_policy(Policy policy, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Rng world_rng(99);  // identical planted world across policies
+  Controlled world(world_rng);
+  core::FeatureMatrix no_features;
+
+  int rank = 1;
+  double best_mse = 1e30;
+  int no_improve = 0;
+  Outcome out;
+
+  for (int batch = 0; batch < kBatches; ++batch) {
+    // --- Select and run kBatchSize measurements. ---
+    for (int s = 0; s < kBatchSize; ++s) {
+      std::size_t bi = 0, bj = 1;
+      bool found = false;
+      switch (policy) {
+        case Policy::kRandom: {
+          bi = rng.index(kN);
+          bj = rng.index(kN);
+          found = bi != bj && !world.visible.filled(bi, bj);
+          break;
+        }
+        case Policy::kGreedy: {
+          double best = -1.0;
+          for (std::size_t i = 0; i < kN; ++i)
+            for (std::size_t j = i + 1; j < kN; ++j)
+              if (!world.visible.filled(i, j) &&
+                  world.success_prob[i][j] > best) {
+                best = world.success_prob[i][j];
+                bi = i;
+                bj = j;
+                found = true;
+              }
+          break;
+        }
+        case Policy::kMetascritic:
+        case Policy::kOnlyExploit:
+        case Policy::kOnlyExplore: {
+          double eps = policy == Policy::kMetascritic ? 0.1
+                       : policy == Policy::kOnlyExplore ? 1.0 : 0.0;
+          bool explore = rng.bernoulli(eps);
+          // Deficient row first.
+          std::size_t row = 0, fewest = static_cast<std::size_t>(-1);
+          for (std::size_t i = 0; i < kN; ++i)
+            if (world.visible.row_filled(i) < fewest) {
+              fewest = world.visible.row_filled(i);
+              row = i;
+            }
+          double best = -1.0;
+          for (std::size_t j = 0; j < kN; ++j) {
+            if (j == row || world.visible.filled(row, j)) continue;
+            double p = explore ? -static_cast<double>(world.visible.row_filled(j))
+                               : world.success_prob[row][j];
+            if (p > best) {
+              best = p;
+              bi = row;
+              bj = j;
+              found = true;
+            }
+          }
+          break;
+        }
+      }
+      if (found) world.measure(std::min(bi, bj), std::max(bi, bj), rng);
+    }
+
+    // --- Rank step (§3.2): metAScritic adapts; others keep a post-hoc rank
+    // equal to the planted one (a generous stand-in for their offline
+    // hyperparameter search). ---
+    int fit_rank = rank;
+    if (policy != Policy::kMetascritic) fit_rank = kPlantedRank;
+
+    auto entries = core::rating_entries(world.visible);
+    core::AlsConfig ac;
+    ac.rank = std::max(1, fit_rank);
+    ac.feature_weight = 0.0;
+    ac.confidence_weighting = false;
+    ac.balance_classes = false;
+    core::AlsCompleter model(kN, no_features, ac);
+    model.fit(entries);
+    out.rmse_per_batch.push_back(world.rmse(model));
+
+    if (policy == Policy::kMetascritic) {
+      // Hold-out check to decide whether to raise the candidate rank.
+      util::Rng srng(1000 + batch);
+      std::vector<core::RatingEntry> train, hold;
+      for (const auto& e : entries)
+        (srng.uniform() < 0.1 ? hold : train).push_back(e);
+      core::AlsCompleter probe(kN, no_features, ac);
+      probe.fit(train);
+      double mse = probe.mse(hold);
+      if (mse < best_mse - 1e-4) {
+        best_mse = mse;
+        out.final_rank = rank;
+        no_improve = 0;
+      } else {
+        ++no_improve;
+      }
+      if (no_improve < 3) ++rank;
+    }
+  }
+  if (policy != Policy::kMetascritic) out.final_rank = kPlantedRank;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 10", "controlled-environment RMSE and rank recovery");
+  std::cout << "planted effective rank = " << kPlantedRank << ", n = " << kN
+            << ", " << kBatches << " batches of " << kBatchSize
+            << " measurement attempts\n";
+
+  struct Named { const char* name; Policy p; };
+  const Named policies[] = {
+      {"metAScritic (eps=0.1)", Policy::kMetascritic},
+      {"Only Exploitation", Policy::kOnlyExploit},
+      {"Only Exploration", Policy::kOnlyExplore},
+      {"Random", Policy::kRandom},
+      {"Greedy", Policy::kGreedy},
+  };
+  std::vector<std::string> headers{"batch"};
+  std::vector<Outcome> outcomes;
+  for (const auto& n : policies) {
+    headers.push_back(n.name);
+    outcomes.push_back(run_policy(n.p, 2025));
+  }
+  util::Table t(headers);
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<std::string> row{util::Table::fmt(b + 1)};
+    for (const auto& o : outcomes)
+      row.push_back(util::Table::fmt(o.rmse_per_batch[static_cast<std::size_t>(b)]));
+    t.add_row(row);
+  }
+  std::cout << "\nRMSE on hidden entries per batch\n";
+  t.print(std::cout);
+  std::cout << "metAScritic's converged rank estimate: "
+            << outcomes.front().final_rank << " (true " << kPlantedRank
+            << "; baselines were *given* the true rank post-hoc)\n";
+  std::cout << "Paper shape: metAScritic's RMSE decreases across batches and "
+               "its rank estimate converges to the planted rank; others "
+               "plateau despite knowing the rank.\n";
+  return 0;
+}

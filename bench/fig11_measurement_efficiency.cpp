@@ -1,0 +1,96 @@
+// Figure 11 (Appx. E.6): per-batch measurement efficiency on real (simulated)
+// data -- entries recovered per batch and the number of rows that exceed the
+// rank threshold, for each selection policy.
+//
+// Paper shape: greedy/exploitation cover the most raw entries, but
+// metAScritic puts ~12% more rows above the rank threshold -- its entries are
+// more informative.
+#include "bench/common.hpp"
+
+using namespace metas;
+
+namespace {
+
+struct Track {
+  std::vector<std::size_t> entries_per_batch;
+  std::vector<std::size_t> rows_above_threshold;
+};
+
+Track run_policy(core::SelectionPolicy policy, topology::MetroId metro,
+                 int batches, int batch_size, int rank_threshold,
+                 std::uint64_t seed) {
+  eval::World w = eval::build_world(bench::bench_world_config());
+  core::MetroContext ctx(w.net, metro);
+  core::ProbabilityMatrix pm(ctx, *w.ms, nullptr);
+  core::SchedulerConfig sc;
+  sc.policy = policy;
+  sc.batch_size = batch_size;
+  sc.seed = seed;
+  core::MeasurementScheduler sched(ctx, *w.ms, pm, sc);
+  Track track;
+  for (int b = 0; b < batches; ++b) {
+    core::EstimatedMatrix before = w.ms->build_matrix(ctx);
+    sched.run_batch(before, rank_threshold);
+    core::EstimatedMatrix after = w.ms->build_matrix(ctx);
+    track.entries_per_batch.push_back(after.total_filled() -
+                                      before.total_filled());
+    std::size_t above = 0;
+    for (std::size_t i = 0; i < ctx.size(); ++i)
+      if (after.row_filled(i) >= static_cast<std::size_t>(rank_threshold))
+        ++above;
+    track.rows_above_threshold.push_back(above);
+  }
+  return track;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 11", "entries recovered and rows above rank threshold per batch");
+  eval::WorldConfig wc = bench::bench_world_config();
+  auto focus = eval::focus_metro_ids(wc.gen);
+  topology::MetroId metro = focus.size() > 4 ? focus[4] : focus.back();
+  const int batches = 6, batch_size = 250, rank_threshold = 20;
+
+  struct Named { const char* name; core::SelectionPolicy p; };
+  const Named policies[] = {
+      {"metAScritic", core::SelectionPolicy::kMetascritic},
+      {"OnlyExploit", core::SelectionPolicy::kOnlyExploit},
+      {"OnlyExplore", core::SelectionPolicy::kOnlyExplore},
+      {"Random", core::SelectionPolicy::kRandom},
+      {"Greedy", core::SelectionPolicy::kGreedy},
+      {"IXP-mapped", core::SelectionPolicy::kIxpMapped},
+  };
+
+  std::vector<Track> tracks;
+  std::vector<std::string> headers{"batch"};
+  for (const auto& n : policies) {
+    headers.push_back(n.name);
+    tracks.push_back(
+        run_policy(n.p, metro, batches, batch_size, rank_threshold, 1111));
+  }
+
+  std::cout << "\nNew entries recovered per batch (batch size " << batch_size
+            << ")\n";
+  util::Table t1(headers);
+  for (int b = 0; b < batches; ++b) {
+    std::vector<std::string> row{util::Table::fmt(b + 1)};
+    for (const auto& tr : tracks)
+      row.push_back(util::Table::fmt(tr.entries_per_batch[static_cast<std::size_t>(b)]));
+    t1.add_row(row);
+  }
+  t1.print(std::cout);
+
+  std::cout << "\nRows with >= " << rank_threshold << " entries after each batch\n";
+  util::Table t2(headers);
+  for (int b = 0; b < batches; ++b) {
+    std::vector<std::string> row{util::Table::fmt(b + 1)};
+    for (const auto& tr : tracks)
+      row.push_back(util::Table::fmt(tr.rows_above_threshold[static_cast<std::size_t>(b)]));
+    t2.add_row(row);
+  }
+  t2.print(std::cout);
+  std::cout << "Paper shape: exploit-family recovers the most raw entries; "
+               "metAScritic ends with the most rows above the threshold.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// ALS completion, Gao-Rexford route computation, Jacobi eigendecomposition,
+// and traceroute simulation. These guard against performance regressions in
+// the substrate the reproduction harness leans on.
+#include <benchmark/benchmark.h>
+
+#include "core/als.hpp"
+#include "eval/world.hpp"
+#include "linalg/eigen_sym.hpp"
+
+namespace {
+
+using namespace metas;
+
+void BM_AlsFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int rank = static_cast<int>(state.range(1));
+  util::Rng rng(1);
+  std::vector<core::RatingEntry> entries;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.uniform() < 0.2)
+        entries.push_back({i, j, rng.bernoulli(0.5) ? 1.0 : -1.0});
+  core::FeatureMatrix feats;
+  core::AlsConfig cfg;
+  cfg.rank = rank;
+  cfg.iterations = 5;
+  for (auto _ : state) {
+    core::AlsCompleter c(n, feats, cfg);
+    c.fit(entries);
+    benchmark::DoNotOptimize(c.predict(0, 1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(entries.size()));
+}
+BENCHMARK(BM_AlsFit)->Args({150, 8})->Args({300, 16});
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  for (auto _ : state) {
+    auto es = linalg::eigen_symmetric(a);
+    benchmark::DoNotOptimize(es.values[0]);
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(60)->Arg(120);
+
+struct WorldHolder {
+  static eval::World& get() {
+    static eval::World* w = [] {
+      auto cfg = eval::small_world_config(321);
+      cfg.public_archive_traces = 500;
+      cfg.compute_public_view = false;
+      return new eval::World(eval::build_world(cfg));
+    }();
+    return *w;
+  }
+};
+
+void BM_RoutingTable(benchmark::State& state) {
+  eval::World& w = WorldHolder::get();
+  bgp::AsGraph g = bgp::AsGraph::from_internet(w.net);
+  topology::AsId dst = 0;
+  for (auto _ : state) {
+    bgp::RoutingEngine eng(g);  // fresh engine: no cache reuse
+    const auto& t = eng.table(dst);
+    benchmark::DoNotOptimize(t.length[1]);
+    dst = (dst + 1) % static_cast<topology::AsId>(w.net.num_ases());
+  }
+}
+BENCHMARK(BM_RoutingTable);
+
+void BM_Traceroute(benchmark::State& state) {
+  eval::World& w = WorldHolder::get();
+  util::Rng rng(3);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const auto& vp = w.vps[k % w.vps.size()];
+    const auto& tgt = w.targets[(k * 7) % w.targets.size()];
+    ++k;
+    if (vp.as == tgt.as) continue;
+    auto res = w.engine->trace(vp, tgt, rng);
+    benchmark::DoNotOptimize(res.hops.size());
+  }
+}
+BENCHMARK(BM_Traceroute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Use case (§6): quantifying Internet flattening. Shows how the picture of
+// transit reliance changes as metAScritic's measured and inferred links are
+// added to the public view, per AS class.
+//
+//   build/examples/flattening_study [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "bgp/flattening.hpp"
+#include "eval/topologies.hpp"
+#include "eval/world.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace metas;
+  std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  std::cout << "=== Internet flattening study ===\n";
+  eval::World world = eval::build_world(eval::small_world_config(seed));
+  core::MetroContext ctx(world.net, world.focus_metros.front());
+  core::PipelineConfig pc;
+  pc.scheduler.seed = seed + 1;
+  pc.rank.seed = seed + 2;
+  core::MetascriticPipeline pipeline(ctx, *world.ms, nullptr, pc);
+  auto result = pipeline.run();
+
+  bgp::AsGraph public_g = eval::build_public_graph(world);
+  bgp::AsGraph with_m = eval::build_public_graph(world);
+  eval::add_measured_links(with_m, world, ctx);
+  bgp::AsGraph with_inf = with_m;
+  eval::add_inferred_links(with_inf, ctx, result.ratings, result.threshold);
+
+  // Per-class flattening: how often does each class reach destinations via
+  // its providers under each topology?
+  util::Rng rng(seed + 3);
+  std::vector<topology::AsId> dests;
+  for (int k = 0; k < 40; ++k)
+    dests.push_back(static_cast<topology::AsId>(rng.index(world.net.num_ases())));
+  std::sort(dests.begin(), dests.end());
+  dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+
+  util::Table t({"AS class", "provider frac (BGP)", "provider frac (+M)",
+                 "provider frac (+Inf)", "mean len (BGP)", "mean len (+Inf)"});
+  bgp::RoutingEngine eb(public_g), em(with_m), ei(with_inf);
+  for (int c = 0; c < topology::kNumAsClasses; ++c) {
+    std::vector<topology::AsId> sources;
+    for (auto as : ctx.ases())
+      if (static_cast<int>(world.net.ases[static_cast<std::size_t>(as)].cls) == c)
+        sources.push_back(as);
+    if (sources.size() < 3) continue;
+    auto sb = bgp::path_stats(eb, sources, dests);
+    auto sm = bgp::path_stats(em, sources, dests);
+    auto si = bgp::path_stats(ei, sources, dests);
+    t.add_row({topology::to_string(static_cast<topology::AsClass>(c)),
+               util::Table::fmt(sb.provider_fraction),
+               util::Table::fmt(sm.provider_fraction),
+               util::Table::fmt(si.provider_fraction),
+               util::Table::fmt(sb.mean_length, 2),
+               util::Table::fmt(si.mean_length, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: each inferred peering link is a potential transit "
+               "bypass; the drop from the BGP column to the +Inf column is "
+               "the flattening the public view underestimates.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "bgp/as_graph.hpp"
+
+#include <stdexcept>
+
+namespace metas::bgp {
+
+using topology::pair_key;
+
+AsGraph::AsGraph(std::size_t n)
+    : n_(n), providers_(n), customers_(n), peers_(n) {}
+
+std::size_t AsGraph::idx(AsId a) const {
+  auto i = static_cast<std::size_t>(a);
+  if (a < 0 || i >= n_) throw std::out_of_range("AsGraph: AS id out of range");
+  return i;
+}
+
+void AsGraph::add_c2p(AsId customer, AsId provider) {
+  if (customer == provider)
+    throw std::invalid_argument("AsGraph::add_c2p: self loop");
+  auto key = pair_key(customer, provider);
+  if (!edges_.insert(key).second) return;
+  providers_[idx(customer)].push_back(provider);
+  customers_[idx(provider)].push_back(customer);
+}
+
+void AsGraph::add_peer(AsId a, AsId b) {
+  if (a == b) throw std::invalid_argument("AsGraph::add_peer: self loop");
+  idx(a); idx(b);
+  auto key = pair_key(a, b);
+  if (!edges_.insert(key).second) return;
+  peers_[idx(a)].push_back(b);
+  peers_[idx(b)].push_back(a);
+}
+
+bool AsGraph::has_edge(AsId a, AsId b) const {
+  return edges_.count(pair_key(a, b)) != 0;
+}
+
+AsGraph AsGraph::from_internet(const topology::Internet& net) {
+  // pair_key loses c2p direction, so relationships come from the Internet's
+  // authoritative provider lists; only peer links are read off the link map.
+  AsGraph g(net.num_ases());
+  for (std::size_t i = 0; i < net.num_ases(); ++i)
+    for (AsId p : net.providers[i]) g.add_c2p(static_cast<AsId>(i), p);
+  for (const auto& [key, li] : net.links) {
+    if (li.rel != topology::Relationship::kPeerToPeer) continue;
+    AsId a = static_cast<AsId>(key & 0xffffffffULL);
+    AsId b = static_cast<AsId>(key >> 32);
+    g.add_peer(a, b);
+  }
+  return g;
+}
+
+}  // namespace metas::bgp

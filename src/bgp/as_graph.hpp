@@ -1,0 +1,50 @@
+// AS-level graph with business relationships, the input to route computation.
+//
+// Routing runs over different topology variants -- the hidden ground truth,
+// the public BGP view, and extended topologies with measured/inferred links
+// added -- so the graph is a standalone value type constructible from any
+// link set, not a view over topology::Internet.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/internet.hpp"
+
+namespace metas::bgp {
+
+using topology::AsId;
+
+/// Adjacency with relationship labels. Vertices are AS ids [0, n).
+class AsGraph {
+ public:
+  explicit AsGraph(std::size_t n);
+
+  /// Builds the complete ground-truth graph of the simulated Internet.
+  static AsGraph from_internet(const topology::Internet& net);
+
+  std::size_t size() const { return n_; }
+
+  /// Adds customer->provider relationship (idempotent).
+  void add_c2p(AsId customer, AsId provider);
+  /// Adds a peer link (idempotent). Ignored if a c2p edge already exists for
+  /// the pair (relationship data wins over inferred peering).
+  void add_peer(AsId a, AsId b);
+
+  bool has_edge(AsId a, AsId b) const;
+
+  const std::vector<AsId>& providers(AsId a) const { return providers_[idx(a)]; }
+  const std::vector<AsId>& customers(AsId a) const { return customers_[idx(a)]; }
+  const std::vector<AsId>& peers(AsId a) const { return peers_[idx(a)]; }
+
+  std::size_t edge_count() const { return edges_.size(); }
+
+ private:
+  std::size_t idx(AsId a) const;
+  std::size_t n_;
+  std::vector<std::vector<AsId>> providers_, customers_, peers_;
+  std::unordered_set<std::uint64_t> edges_;
+};
+
+}  // namespace metas::bgp

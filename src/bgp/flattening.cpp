@@ -1,0 +1,50 @@
+#include "bgp/flattening.hpp"
+
+#include <stdexcept>
+
+namespace metas::bgp {
+
+PathStats path_stats(RoutingEngine& engine, const std::vector<AsId>& sources,
+                     const std::vector<AsId>& destinations) {
+  PathStats stats;
+  stats.lengths.reserve(sources.size() * destinations.size());
+  double len_sum = 0.0;
+  std::size_t reachable = 0, via_provider = 0;
+  for (AsId dst : destinations) {
+    const RoutingTable& t = engine.table(dst);
+    for (AsId src : sources) {
+      if (src == dst) continue;
+      auto si = static_cast<std::size_t>(src);
+      if (!t.reachable(src)) {
+        stats.lengths.push_back(kNoRoute);
+        continue;
+      }
+      stats.lengths.push_back(t.length[si]);
+      len_sum += t.length[si];
+      ++reachable;
+      if (t.kind[si] == RouteKind::kProvider) ++via_provider;
+    }
+  }
+  if (reachable > 0) {
+    stats.mean_length = len_sum / static_cast<double>(reachable);
+    stats.provider_fraction =
+        static_cast<double>(via_provider) / static_cast<double>(reachable);
+  }
+  return stats;
+}
+
+double fraction_shorter(const PathStats& base, const PathStats& extended) {
+  if (base.lengths.size() != extended.lengths.size())
+    throw std::invalid_argument("fraction_shorter: pair sets differ");
+  std::size_t considered = 0, shorter = 0;
+  for (std::size_t i = 0; i < base.lengths.size(); ++i) {
+    if (base.lengths[i] == kNoRoute || extended.lengths[i] == kNoRoute) continue;
+    ++considered;
+    if (extended.lengths[i] < base.lengths[i]) ++shorter;
+  }
+  return considered == 0
+             ? 0.0
+             : static_cast<double>(shorter) / static_cast<double>(considered);
+}
+
+}  // namespace metas::bgp

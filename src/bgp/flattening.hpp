@@ -1,0 +1,27 @@
+// Internet-flattening metrics (§6, Table 3): how added peering links shorten
+// AS paths and reduce reliance on transit providers.
+#pragma once
+
+#include <vector>
+
+#include "bgp/routing.hpp"
+
+namespace metas::bgp {
+
+/// Aggregate path statistics over a set of (src, dst) pairs on one topology.
+struct PathStats {
+  double mean_length = 0.0;
+  double provider_fraction = 0.0;  // fraction of best paths leaving src via a provider
+  std::vector<int> lengths;        // per-pair best path length (kNoRoute if none)
+};
+
+/// Computes path stats for all pairs (src in sources, dst in destinations).
+/// Pairs without a route are recorded with kNoRoute and excluded from means.
+PathStats path_stats(RoutingEngine& engine, const std::vector<AsId>& sources,
+                     const std::vector<AsId>& destinations);
+
+/// Fraction of pairs whose best path is strictly shorter in `extended` than
+/// in `base` (pairs unreachable in either topology are skipped).
+double fraction_shorter(const PathStats& base, const PathStats& extended);
+
+}  // namespace metas::bgp

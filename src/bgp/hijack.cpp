@@ -1,0 +1,48 @@
+#include "bgp/hijack.hpp"
+
+namespace metas::bgp {
+
+std::vector<Catchment> hijack_catchment(RoutingEngine& engine, AsId legit,
+                                        AsId hijacker) {
+  const RoutingTable& tl = engine.table(legit);
+  const RoutingTable& th = engine.table(hijacker);
+  const std::size_t n = tl.kind.size();
+  std::vector<Catchment> out(n, Catchment::kNoRoute);
+  for (std::size_t u = 0; u < n; ++u) {
+    RouteKind kl = tl.kind[u], kh = th.kind[u];
+    int ll = tl.length[u], lh = th.length[u];
+    if (kl == RouteKind::kNone && kh == RouteKind::kNone) continue;
+    if (route_preferred(kl, ll, kh, lh)) out[u] = Catchment::kLegit;
+    else if (route_preferred(kh, lh, kl, ll)) out[u] = Catchment::kHijacked;
+    else out[u] = Catchment::kTied;
+  }
+  // The origins always keep their own announcement.
+  out[static_cast<std::size_t>(legit)] = Catchment::kLegit;
+  out[static_cast<std::size_t>(hijacker)] = Catchment::kHijacked;
+  return out;
+}
+
+double hijack_prediction_accuracy(const std::vector<Catchment>& actual,
+                                  const std::vector<Catchment>& predicted) {
+  std::size_t considered = 0, correct = 0;
+  for (std::size_t u = 0; u < actual.size(); ++u) {
+    if (actual[u] == Catchment::kNoRoute) continue;
+    ++considered;
+    Catchment p = u < predicted.size() ? predicted[u] : Catchment::kNoRoute;
+    bool ok = false;
+    switch (p) {
+      case Catchment::kTied: ok = true; break;  // a tied best path matches
+      case Catchment::kLegit: ok = actual[u] == Catchment::kLegit ||
+                                   actual[u] == Catchment::kTied; break;
+      case Catchment::kHijacked: ok = actual[u] == Catchment::kHijacked ||
+                                      actual[u] == Catchment::kTied; break;
+      case Catchment::kNoRoute: ok = false; break;
+    }
+    if (ok) ++correct;
+  }
+  return considered == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(considered);
+}
+
+}  // namespace metas::bgp

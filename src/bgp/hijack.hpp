@@ -1,0 +1,30 @@
+// Prefix-hijack impact simulation and prediction (§6, Fig. 7).
+//
+// Two origins announce the same prefix; every AS selects between the two
+// routes under Gao-Rexford preferences.  Ground truth runs on the complete
+// hidden graph; predictions run on partial topologies (public BGP view,
+// +measured, +inferred), and accuracy is the fraction of ASes whose
+// hijacked/not-hijacked outcome is predicted correctly.  Following the paper,
+// a prediction is correct if *any* tied-for-best route matches the actual
+// outcome.
+#pragma once
+
+#include <vector>
+
+#include "bgp/routing.hpp"
+
+namespace metas::bgp {
+
+enum class Catchment : std::uint8_t { kLegit, kHijacked, kTied, kNoRoute };
+
+/// Per-AS catchment when `legit` and `hijacker` announce the same prefix.
+std::vector<Catchment> hijack_catchment(RoutingEngine& engine, AsId legit,
+                                        AsId hijacker);
+
+/// Fraction of ASes whose predicted catchment is compatible with the actual
+/// one. Tied predictions are compatible with either outcome; ASes without a
+/// route in the actual topology are skipped.
+double hijack_prediction_accuracy(const std::vector<Catchment>& actual,
+                                  const std::vector<Catchment>& predicted);
+
+}  // namespace metas::bgp

@@ -1,0 +1,52 @@
+#include "bgp/public_view.hpp"
+
+namespace metas::bgp {
+
+LinkSet compute_public_view(const AsGraph& graph,
+                            const std::vector<AsId>& collectors) {
+  LinkSet visible;
+  RoutingEngine engine(graph);
+  const std::size_t n = graph.size();
+  for (AsId dst = 0; dst < static_cast<AsId>(n); ++dst) {
+    const RoutingTable& t = engine.table(dst);
+    for (AsId c : collectors) {
+      if (!t.reachable(c)) continue;
+      AsId cur = c;
+      while (cur != dst) {
+        AsId nh = t.next_hop[static_cast<std::size_t>(cur)];
+        visible.add(cur, nh);
+        cur = nh;
+      }
+    }
+    // One destination's table can be large; keep at most a window cached.
+    if (engine.cached_tables() > 64) engine.clear_cache();
+  }
+  return visible;
+}
+
+std::vector<AsId> place_collectors(const topology::Internet& net,
+                                   util::Rng& rng,
+                                   double coverage_scale) {
+  using topology::AsClass;
+  std::vector<AsId> out;
+  for (const auto& node : net.ases) {
+    double p = 0.0;
+    switch (node.cls) {
+      case AsClass::kTier1: p = 0.85; break;
+      case AsClass::kTier2: p = 0.35; break;
+      case AsClass::kTransit: p = 0.12; break;
+      case AsClass::kLargeIsp: p = 0.10; break;
+      case AsClass::kHypergiant: p = 0.15; break;
+      case AsClass::kContent: p = 0.04; break;
+      case AsClass::kEnterprise: p = 0.02; break;
+      case AsClass::kStub: p = 0.015; break;
+    }
+    // Collector density is skewed toward the first two continents
+    // (Europe/North-America analogue in the generator).
+    if (node.home_continent >= 2) p *= 0.4;
+    if (rng.bernoulli(p * coverage_scale)) out.push_back(node.id);
+  }
+  return out;
+}
+
+}  // namespace metas::bgp

@@ -1,0 +1,182 @@
+#include "bgp/route_leak.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace metas::bgp {
+
+namespace {
+
+using topology::AsId;
+
+struct Candidate {
+  int len = kNoRoute;
+  bool via_leak = false;
+  AsId next_hop = topology::kInvalidAs;
+};
+
+// Prefers shorter routes; among equals, prefers routes NOT via the leak
+// (the legitimate route stays selected on ties), then lower next hop.
+bool better(const Candidate& a, const Candidate& b) {
+  if (a.len != b.len) return a.len < b.len;
+  if (a.via_leak != b.via_leak) return !a.via_leak;
+  return a.next_hop < b.next_hop;
+}
+
+}  // namespace
+
+LeakResult simulate_route_leak(const AsGraph& graph, AsId victim,
+                               AsId leaker) {
+  const std::size_t n = graph.size();
+  if (victim < 0 || static_cast<std::size_t>(victim) >= n || leaker < 0 ||
+      static_cast<std::size_t>(leaker) >= n)
+    throw std::out_of_range("simulate_route_leak: bad AS id");
+
+  RoutingEngine pre_engine(graph);
+  const RoutingTable& pre = pre_engine.table(victim);
+
+  LeakResult res;
+  res.impact.assign(n, LeakImpact::kNoRoute);
+
+  // Nothing to leak if the leaker has no route to the victim.
+  const bool leak_active = pre.reachable(leaker) && leaker != victim;
+  const int leak_len =
+      leak_active ? pre.length[static_cast<std::size_t>(leaker)] + 1 : kNoRoute;
+
+  // BGP loop detection: an AS on the leaker's own path toward the victim
+  // would see its ASN in the leaked AS path and reject the announcement.
+  std::vector<char> on_leak_path(n, 0);
+  if (leak_active)
+    for (AsId hop : pre_engine.path(leaker, victim))
+      on_leak_path[static_cast<std::size_t>(hop)] = 1;
+
+  // --- Phase 1: customer routes (Dijkstra up provider edges), with the
+  // leaked route injected at the leaker's providers as a customer route. ---
+  std::vector<Candidate> cust(n);
+  using Item = std::pair<int, AsId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  cust[static_cast<std::size_t>(victim)] = {0, false, victim};
+  pq.emplace(0, victim);
+  if (leak_active) {
+    for (AsId p : graph.providers(leaker)) {
+      if (on_leak_path[static_cast<std::size_t>(p)]) continue;
+      Candidate cand{leak_len, true, leaker};
+      auto pi = static_cast<std::size_t>(p);
+      if (better(cand, cust[pi])) {
+        cust[pi] = cand;
+        pq.emplace(cand.len, p);
+      }
+    }
+  }
+  while (!pq.empty()) {
+    auto [len, u] = pq.top();
+    pq.pop();
+    auto ui = static_cast<std::size_t>(u);
+    if (len > cust[ui].len) continue;  // stale entry
+    for (AsId p : graph.providers(u)) {
+      Candidate cand{cust[ui].len + 1, cust[ui].via_leak, u};
+      auto pi = static_cast<std::size_t>(p);
+      if (better(cand, cust[pi])) {
+        cust[pi] = cand;
+        pq.emplace(cand.len, p);
+      }
+    }
+  }
+
+  // --- Phase 2: peer routes, with the leak injected at the leaker's peers. ---
+  std::vector<Candidate> peer(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (AsId v : graph.peers(static_cast<AsId>(u))) {
+      auto vi = static_cast<std::size_t>(v);
+      if (cust[vi].len == kNoRoute) continue;
+      Candidate cand{cust[vi].len + 1, cust[vi].via_leak, v};
+      if (better(cand, peer[u])) peer[u] = cand;
+    }
+  }
+  if (leak_active) {
+    for (AsId q : graph.peers(leaker)) {
+      if (on_leak_path[static_cast<std::size_t>(q)]) continue;
+      Candidate cand{leak_len, true, leaker};
+      auto qi = static_cast<std::size_t>(q);
+      if (better(cand, peer[qi])) peer[qi] = cand;
+    }
+  }
+
+  // --- Phase 3: provider routes from the selected customer/peer routes. ---
+  auto seed = [&](std::size_t u) -> const Candidate* {
+    if (cust[u].len != kNoRoute) return &cust[u];
+    if (peer[u].len != kNoRoute) return &peer[u];
+    return nullptr;
+  };
+  std::vector<Candidate> prov(n);
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq3;
+  std::vector<char> settled(n, 0);
+  for (std::size_t u = 0; u < n; ++u)
+    if (const Candidate* s = seed(u)) pq3.emplace(s->len, static_cast<AsId>(u));
+  while (!pq3.empty()) {
+    auto [len, u] = pq3.top();
+    pq3.pop();
+    auto ui = static_cast<std::size_t>(u);
+    if (settled[ui]) continue;
+    settled[ui] = 1;
+    const Candidate* exported = seed(ui);
+    const Candidate* src = exported != nullptr ? exported : &prov[ui];
+    for (AsId w : graph.customers(u)) {
+      auto wi = static_cast<std::size_t>(w);
+      Candidate cand{src->len + 1, src->via_leak, u};
+      if (better(cand, prov[wi])) {
+        prov[wi] = cand;
+        if (seed(wi) == nullptr && !settled[wi]) pq3.emplace(cand.len, w);
+      }
+    }
+  }
+
+  // --- Impact classification. ---
+  std::size_t routed = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    const Candidate* selected = seed(u);
+    if (selected == nullptr && prov[u].len != kNoRoute) selected = &prov[u];
+    if (selected == nullptr) {
+      res.impact[u] = LeakImpact::kNoRoute;
+      continue;
+    }
+    ++routed;
+    bool had_route = pre.reachable(static_cast<AsId>(u));
+    if (static_cast<AsId>(u) == victim || static_cast<AsId>(u) == leaker) {
+      res.impact[u] = LeakImpact::kUnaffected;
+    } else if (!had_route) {
+      res.impact[u] = LeakImpact::kNewlyRouted;
+      ++res.newly_routed;
+    } else if (selected->via_leak) {
+      res.impact[u] = LeakImpact::kDiverted;
+      ++res.diverted;
+    } else {
+      res.impact[u] = LeakImpact::kUnaffected;
+    }
+  }
+  res.diverted_fraction =
+      routed == 0 ? 0.0
+                  : static_cast<double>(res.diverted) / static_cast<double>(routed);
+  return res;
+}
+
+double leak_prediction_accuracy(const LeakResult& actual,
+                                const LeakResult& predicted) {
+  std::size_t considered = 0, correct = 0;
+  for (std::size_t u = 0; u < actual.impact.size(); ++u) {
+    if (actual.impact[u] == LeakImpact::kNoRoute) continue;
+    ++considered;
+    bool actual_div = actual.impact[u] == LeakImpact::kDiverted ||
+                      actual.impact[u] == LeakImpact::kNewlyRouted;
+    LeakImpact p = u < predicted.impact.size() ? predicted.impact[u]
+                                               : LeakImpact::kNoRoute;
+    bool pred_div =
+        p == LeakImpact::kDiverted || p == LeakImpact::kNewlyRouted;
+    if (actual_div == pred_div) ++correct;
+  }
+  return considered == 0
+             ? 0.0
+             : static_cast<double>(correct) / static_cast<double>(considered);
+}
+
+}  // namespace metas::bgp

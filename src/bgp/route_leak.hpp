@@ -1,0 +1,45 @@
+// Route-leak simulation (§6: "predicting the impact of route leaks and
+// prefix hijacks").
+//
+// A route leak (RFC 7908 type 1) happens when a multi-homed AS re-exports a
+// route learned from one provider/peer to another provider/peer, violating
+// Gao-Rexford export rules. Traffic toward the victim is then drawn through
+// the leaker. We compute the post-leak routing by treating the leaker's
+// re-export as a legitimate customer route at the leaker and re-running
+// selection, and measure which ASes divert onto leaked paths.
+#pragma once
+
+#include <vector>
+
+#include "bgp/routing.hpp"
+
+namespace metas::bgp {
+
+/// How each AS routes toward the victim once the leak is active.
+enum class LeakImpact : std::uint8_t {
+  kUnaffected,   // same next hop as before the leak
+  kDiverted,     // route now goes through the leaker
+  kNewlyRouted,  // had no route before, gained one via the leak
+  kNoRoute,
+};
+
+struct LeakResult {
+  std::vector<LeakImpact> impact;   // per AS
+  std::size_t diverted = 0;         // ASes pulled through the leaker
+  std::size_t newly_routed = 0;
+  double diverted_fraction = 0.0;   // diverted / ASes with a route
+};
+
+/// Simulates `leaker` re-exporting its best route toward `victim` to all of
+/// its providers and peers (full type-1 leak). Returns the per-AS impact.
+/// Throws std::out_of_range for invalid AS ids.
+LeakResult simulate_route_leak(const AsGraph& graph, topology::AsId victim,
+                               topology::AsId leaker);
+
+/// Accuracy of a predicted leak impact against the actual one: fraction of
+/// ASes (with a route in the actual topology) whose diverted/not-diverted
+/// outcome matches.
+double leak_prediction_accuracy(const LeakResult& actual,
+                                const LeakResult& predicted);
+
+}  // namespace metas::bgp

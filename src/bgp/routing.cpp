@@ -1,0 +1,152 @@
+#include "bgp/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace metas::bgp {
+
+bool route_preferred(RouteKind ka, int la, RouteKind kb, int lb) {
+  if (ka == RouteKind::kNone) return false;
+  if (kb == RouteKind::kNone) return true;
+  if (ka != kb) return static_cast<int>(ka) < static_cast<int>(kb);
+  return la < lb;
+}
+
+const RoutingTable& RoutingEngine::table(AsId dst) {
+  auto it = cache_.find(dst);
+  if (it != cache_.end()) return it->second;
+  auto [ins, ok] = cache_.emplace(dst, compute(dst));
+  return ins->second;
+}
+
+RoutingTable RoutingEngine::compute(AsId dst) const {
+  const AsGraph& g = *graph_;
+  const std::size_t n = g.size();
+  if (dst < 0 || static_cast<std::size_t>(dst) >= n)
+    throw std::out_of_range("RoutingEngine::compute: bad destination");
+
+  RoutingTable t;
+  t.dst = dst;
+  t.kind.assign(n, RouteKind::kNone);
+  t.length.assign(n, kNoRoute);
+  t.next_hop.assign(n, topology::kInvalidAs);
+
+  // --- Phase 1: customer routes (BFS up customer->provider edges). ---
+  std::vector<int> cust_len(n, kNoRoute);
+  std::vector<AsId> cust_nh(n, topology::kInvalidAs);
+  cust_len[static_cast<std::size_t>(dst)] = 0;
+  cust_nh[static_cast<std::size_t>(dst)] = dst;
+  std::vector<AsId> frontier{dst};
+  while (!frontier.empty()) {
+    // Ascending order makes the lowest-id parent win ties within a level.
+    std::sort(frontier.begin(), frontier.end());
+    std::vector<AsId> next;
+    for (AsId u : frontier) {
+      for (AsId p : g.providers(u)) {
+        auto pi = static_cast<std::size_t>(p);
+        if (cust_len[pi] != kNoRoute) continue;
+        cust_len[pi] = cust_len[static_cast<std::size_t>(u)] + 1;
+        cust_nh[pi] = u;
+        next.push_back(p);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // --- Phase 2: peer routes (one peer hop off a customer route). ---
+  std::vector<int> peer_len(n, kNoRoute);
+  std::vector<AsId> peer_nh(n, topology::kInvalidAs);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (AsId v : g.peers(static_cast<AsId>(u))) {
+      auto vi = static_cast<std::size_t>(v);
+      if (cust_len[vi] == kNoRoute) continue;
+      int cand = cust_len[vi] + 1;
+      if (cand < peer_len[u] || (cand == peer_len[u] && v < peer_nh[u])) {
+        peer_len[u] = cand;
+        peer_nh[u] = v;
+      }
+    }
+  }
+
+  // Selected (kind, length) ignoring provider routes; provider routes are
+  // relaxed below from these seeds.
+  auto seed_kind = [&](std::size_t u) {
+    if (cust_len[u] != kNoRoute) return RouteKind::kCustomer;
+    if (peer_len[u] != kNoRoute) return RouteKind::kPeer;
+    return RouteKind::kNone;
+  };
+  auto seed_len = [&](std::size_t u) {
+    return cust_len[u] != kNoRoute ? cust_len[u] : peer_len[u];
+  };
+
+  // --- Phase 3: provider routes (Dijkstra down provider->customer). ---
+  std::vector<int> prov_len(n, kNoRoute);
+  std::vector<AsId> prov_nh(n, topology::kInvalidAs);
+  using Item = std::pair<int, AsId>;  // (exported length, exporter)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (std::size_t u = 0; u < n; ++u)
+    if (seed_kind(u) != RouteKind::kNone)
+      pq.emplace(seed_len(u), static_cast<AsId>(u));
+
+  // An AS exports its *selected* route to customers; selected length is the
+  // seed length when a customer/peer route exists, otherwise the provider
+  // route length being settled by the Dijkstra.
+  std::vector<char> settled(n, 0);
+  while (!pq.empty()) {
+    auto [len, u] = pq.top();
+    pq.pop();
+    auto ui = static_cast<std::size_t>(u);
+    if (settled[ui]) continue;
+    settled[ui] = 1;
+    for (AsId w : g.customers(u)) {
+      auto wi = static_cast<std::size_t>(w);
+      int cand = len + 1;
+      if (cand < prov_len[wi] ||
+          (cand == prov_len[wi] && u < prov_nh[wi])) {
+        prov_len[wi] = cand;
+        prov_nh[wi] = u;
+        // Only ASes without customer/peer routes propagate provider routes
+        // further down at this (possibly improved) length.
+        if (seed_kind(wi) == RouteKind::kNone && !settled[wi])
+          pq.emplace(cand, w);
+      }
+    }
+  }
+
+  // --- Final selection. ---
+  for (std::size_t u = 0; u < n; ++u) {
+    if (cust_len[u] != kNoRoute) {
+      t.kind[u] = RouteKind::kCustomer;
+      t.length[u] = cust_len[u];
+      t.next_hop[u] = cust_nh[u];
+    } else if (peer_len[u] != kNoRoute) {
+      t.kind[u] = RouteKind::kPeer;
+      t.length[u] = peer_len[u];
+      t.next_hop[u] = peer_nh[u];
+    } else if (prov_len[u] != kNoRoute) {
+      t.kind[u] = RouteKind::kProvider;
+      t.length[u] = prov_len[u];
+      t.next_hop[u] = prov_nh[u];
+    }
+  }
+  return t;
+}
+
+std::vector<AsId> RoutingEngine::path(AsId src, AsId dst) {
+  const RoutingTable& t = table(dst);
+  std::vector<AsId> p;
+  if (!t.reachable(src)) return p;
+  AsId cur = src;
+  p.push_back(cur);
+  std::size_t guard = graph_->size() + 1;
+  while (cur != dst) {
+    if (p.size() > guard)
+      throw std::logic_error("RoutingEngine::path: next-hop loop");
+    cur = t.next_hop[static_cast<std::size_t>(cur)];
+    p.push_back(cur);
+  }
+  return p;
+}
+
+}  // namespace metas::bgp

@@ -1,0 +1,157 @@
+#include "core/als.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/solve.hpp"
+#include "util/rng.hpp"
+
+namespace metas::core {
+
+std::vector<RatingEntry> rating_entries(const EstimatedMatrix& e) {
+  std::vector<RatingEntry> out;
+  for (auto [i, j] : e.filled_entries()) out.push_back({i, j, e.value(i, j)});
+  return out;
+}
+
+AlsCompleter::AlsCompleter(std::size_t n, const FeatureMatrix& features,
+                           AlsConfig cfg)
+    : n_(n), total_(n + features.count()), cfg_(cfg), features_(&features) {
+  if (cfg.rank < 1) throw std::invalid_argument("AlsCompleter: rank < 1");
+  if (cfg.lambda <= 0.0) throw std::invalid_argument("AlsCompleter: lambda <= 0");
+  for (const auto& row : features.rows)
+    if (row.size() != n)
+      throw std::invalid_argument("AlsCompleter: feature row size mismatch");
+}
+
+void AlsCompleter::fit(const std::vector<RatingEntry>& observed) {
+  const auto r = static_cast<std::size_t>(cfg_.rank);
+  cols_.assign(total_, {});
+  vals_.assign(total_, {});
+  wts_.assign(total_, {});
+
+  auto add = [&](std::size_t row, std::size_t col, double v, double w) {
+    cols_[row].push_back(col);
+    vals_[row].push_back(v);
+    wts_[row].push_back(w);
+  };
+  // Class-balance factor: equalize the total weight of positive and
+  // negative observations so the completion does not collapse toward the
+  // over-observed existing links.
+  double neg_boost = 1.0;
+  if (cfg_.balance_classes) {
+    double pos_w = 0.0, neg_w = 0.0;
+    for (const RatingEntry& e : observed)
+      (e.value > 0.0 ? pos_w : neg_w) += std::fabs(e.value);
+    if (neg_w > 0.0 && pos_w > 0.0)
+      neg_boost = std::min(cfg_.balance_cap, std::max(1.0, pos_w / neg_w));
+  }
+  for (const RatingEntry& e : observed) {
+    if (e.i == e.j || e.i >= n_ || e.j >= n_)
+      throw std::invalid_argument("AlsCompleter::fit: bad entry index");
+    double w = 1.0;
+    double target = e.value;
+    if (cfg_.confidence_weighting) {
+      // Connectivity mode: the rating magnitude is *confidence*, not signal
+      // strength -- train against the sign and weight by the magnitude.
+      w = std::max(cfg_.confidence_floor, std::fabs(e.value));
+      target = e.value > 0.0 ? 1.0 : -1.0;
+    }
+    if (e.value < 0.0) w *= neg_boost;
+    add(e.i, e.j, target, w);
+    add(e.j, e.i, target, w);
+  }
+  for (std::size_t f = 0; f < features_->count(); ++f) {
+    const auto& row = features_->rows[f];
+    for (std::size_t i = 0; i < n_; ++i) {
+      add(i, n_ + f, row[i], cfg_.feature_weight);
+      add(n_ + f, i, row[i], cfg_.feature_weight);
+    }
+  }
+
+  // Random small init; deterministic under the config seed.
+  util::Rng rng(cfg_.seed);
+  p_ = linalg::Matrix(total_, r);
+  q_ = linalg::Matrix(total_, r);
+  for (std::size_t i = 0; i < total_; ++i)
+    for (std::size_t k = 0; k < r; ++k) {
+      p_(i, k) = rng.normal(0.0, 0.1);
+      q_(i, k) = rng.normal(0.0, 0.1);
+    }
+
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    solve_side(cols_, vals_, wts_, q_, p_);
+    solve_side(cols_, vals_, wts_, p_, q_);
+  }
+  fitted_ = true;
+}
+
+void AlsCompleter::solve_side(
+    const std::vector<std::vector<std::size_t>>& obs_cols,
+    const std::vector<std::vector<double>>& obs_vals,
+    const std::vector<std::vector<double>>& obs_wts,
+    const linalg::Matrix& fixed, linalg::Matrix& solved) {
+  const auto r = static_cast<std::size_t>(cfg_.rank);
+  linalg::Matrix gram(r, r);
+  linalg::Vector rhs(r);
+  for (std::size_t row = 0; row < total_; ++row) {
+    const auto& cols = obs_cols[row];
+    if (cols.empty()) continue;
+    // Accumulate sum_w q_c q_c^T and sum_w v q_c over this row's observations.
+    for (std::size_t a = 0; a < r; ++a) {
+      rhs[a] = 0.0;
+      for (std::size_t b = 0; b < r; ++b) gram(a, b) = 0.0;
+    }
+    for (std::size_t t = 0; t < cols.size(); ++t) {
+      std::size_t c = cols[t];
+      double w = obs_wts[row][t];
+      double v = obs_vals[row][t];
+      for (std::size_t a = 0; a < r; ++a) {
+        double fa = fixed(c, a);
+        rhs[a] += w * v * fa;
+        for (std::size_t b = a; b < r; ++b) gram(a, b) += w * fa * fixed(c, b);
+      }
+    }
+    for (std::size_t a = 0; a < r; ++a)
+      for (std::size_t b = 0; b < a; ++b) gram(a, b) = gram(b, a);
+    double reg = cfg_.lambda * static_cast<double>(cols.size());
+    auto x = linalg::solve_regularized(gram, rhs, reg);
+    if (!x) continue;  // numerically degenerate row: keep previous factors
+    for (std::size_t a = 0; a < r; ++a) solved(row, a) = (*x)[a];
+  }
+}
+
+double AlsCompleter::predict(std::size_t i, std::size_t j) const {
+  if (!fitted_) throw std::logic_error("AlsCompleter::predict before fit");
+  if (i >= n_ || j >= n_)
+    throw std::out_of_range("AlsCompleter::predict: index out of range");
+  const auto r = static_cast<std::size_t>(cfg_.rank);
+  double s = 0.0;
+  for (std::size_t k = 0; k < r; ++k)
+    s += p_(i, k) * q_(j, k) + p_(j, k) * q_(i, k);
+  return std::clamp(0.5 * s, -1.0, 1.0);
+}
+
+double AlsCompleter::mse(const std::vector<RatingEntry>& held_out) const {
+  if (held_out.empty()) return 0.0;
+  double s = 0.0;
+  for (const RatingEntry& e : held_out) {
+    double d = predict(e.i, e.j) - e.value;
+    s += d * d;
+  }
+  return s / static_cast<double>(held_out.size());
+}
+
+linalg::Matrix AlsCompleter::completed() const {
+  linalg::Matrix m(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      double v = predict(i, j);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  return m;
+}
+
+}  // namespace metas::core

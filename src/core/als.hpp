@@ -1,0 +1,82 @@
+// Hybrid matrix completion with Alternating Least Squares (§3.1, Appx. D.4).
+//
+// The symmetric rating matrix E_m is augmented with one extra row/column per
+// encoded AS feature; feature entries are observed ratings down-weighted by
+// `feature_weight`.  Two factor matrices P and Q over the augmented index
+// space are alternately refit by ridge-regularized least squares, and the
+// completed rating for an AS pair is the symmetrized clamped inner product.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimated_matrix.hpp"
+#include "core/features.hpp"
+#include "linalg/matrix.hpp"
+
+namespace metas::core {
+
+struct AlsConfig {
+  int rank = 8;
+  double lambda = 0.08;          // ridge regularizer
+  double feature_weight = 0.5;   // weight of feature entries
+  int iterations = 10;
+  /// Weight observations by |rating| (transferred low-confidence entries
+  /// count less). Floor keeps weak entries from vanishing entirely.
+  bool confidence_weighting = true;
+  double confidence_floor = 0.05;
+  /// Reweight negative entries so both classes carry equal total weight
+  /// (the "balanced" estimated connectivity matrix of Table 1); capped.
+  bool balance_classes = true;
+  double balance_cap = 4.0;
+  std::uint64_t seed = 7;
+};
+
+/// One observed entry of the (AS x AS) block in matrix coordinates.
+struct RatingEntry {
+  std::size_t i = 0, j = 0;  // i != j, unordered pair given once
+  double value = 0.0;
+};
+
+/// Extracts the upper-triangle rating entries of an EstimatedMatrix.
+std::vector<RatingEntry> rating_entries(const EstimatedMatrix& e);
+
+/// Feature-augmented symmetric ALS completer.
+class AlsCompleter {
+ public:
+  /// `n` ASes, plus the encoded features. The feature matrix may be empty.
+  AlsCompleter(std::size_t n, const FeatureMatrix& features, AlsConfig cfg);
+
+  /// Fits the factors on the given observed ratings.
+  void fit(const std::vector<RatingEntry>& observed);
+
+  /// Completed rating for an AS pair, clamped to [-1, 1].
+  double predict(std::size_t i, std::size_t j) const;
+
+  /// Mean squared error over held-out entries.
+  double mse(const std::vector<RatingEntry>& held_out) const;
+
+  /// Full completed matrix (symmetric, diagonal zero).
+  linalg::Matrix completed() const;
+
+  const AlsConfig& config() const { return cfg_; }
+  std::size_t num_ases() const { return n_; }
+
+ private:
+  void solve_side(const std::vector<std::vector<std::size_t>>& obs_cols,
+                  const std::vector<std::vector<double>>& obs_vals,
+                  const std::vector<std::vector<double>>& obs_wts,
+                  const linalg::Matrix& fixed, linalg::Matrix& solved);
+
+  std::size_t n_ = 0;       // AS count
+  std::size_t total_ = 0;   // n + feature count
+  AlsConfig cfg_;
+  linalg::Matrix p_, q_;    // total_ x rank factors
+  // Augmented observation lists built at fit() time.
+  std::vector<std::vector<std::size_t>> cols_;
+  std::vector<std::vector<double>> vals_, wts_;
+  const FeatureMatrix* features_;
+  bool fitted_ = false;
+};
+
+}  // namespace metas::core

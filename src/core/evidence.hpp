@@ -1,0 +1,60 @@
+// Global evidence store: every direct-link and transit observation collected
+// across all traceroutes, from which the per-metro estimated matrix E_m is
+// derived with geographic transferability (§3.4).
+//
+// Transit observations are only retained when they come from a
+// well-positioned vantage point; the negative fill additionally requires
+// both ASes to route consistently at the relevant granularity at E_m build
+// time.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "core/estimated_matrix.hpp"
+#include "core/metro_context.hpp"
+#include "traceroute/consistency.hpp"
+#include "traceroute/observations.hpp"
+
+namespace metas::core {
+
+/// Accumulated evidence about one AS pair.
+struct PairEvidence {
+  std::set<MetroId> direct;    // metros with a witnessed interconnection
+  std::set<MetroId> transit;   // metros with a well-positioned transit crossing
+};
+
+class EvidenceStore {
+ public:
+  /// Ingests the observations of one traceroute. Transit observations are
+  /// kept only if `wp` says the issuing vantage point was well positioned for
+  /// the near-side AS at the crossing metro.
+  void ingest(const traceroute::TraceResult& trace,
+              const traceroute::TraceObservations& obs,
+              const traceroute::WellPositionedTracker& wp);
+
+  const PairEvidence* find(AsId a, AsId b) const;
+  std::size_t pairs() const { return pairs_.size(); }
+
+  /// True if the pair has direct evidence at exactly this metro.
+  bool direct_at(AsId a, AsId b, MetroId m) const;
+  /// True if the pair has (well-positioned) transit evidence at this metro.
+  bool transit_at(AsId a, AsId b, MetroId m) const;
+
+  const std::unordered_map<std::uint64_t, PairEvidence>& all() const {
+    return pairs_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, PairEvidence> pairs_;
+};
+
+/// Derives E_m for a metro from global evidence (§3.4):
+///  - positive fill: best geographic scope of any direct observation;
+///  - negative fill: closest transit scope, only when both ASes are routing
+///    consistently at that granularity.
+EstimatedMatrix build_estimated_matrix(
+    const MetroContext& ctx, const EvidenceStore& evidence,
+    const traceroute::ConsistencyTracker& consistency);
+
+}  // namespace metas::core

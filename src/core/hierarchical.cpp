@@ -1,0 +1,118 @@
+#include "core/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metas::core {
+
+namespace {
+constexpr double kWeakMu = 1.0 / 3.0;   // matches the cold-start prior
+constexpr double kWeakKappa = 3.0;
+constexpr double kMaxKappa = 400.0;
+}  // namespace
+
+void HierarchicalStrategyModel::add_metro(
+    int metro, const std::array<double, traceroute::kNumStrategies>& succ,
+    const std::array<double, traceroute::kNumStrategies>& fail) {
+  metro_ids_.push_back(metro);
+  for (int s = 0; s < traceroute::kNumStrategies; ++s) {
+    auto si = static_cast<std::size_t>(s);
+    obs_[si].push_back({metro, succ[si], fail[si]});
+  }
+  fitted_ = false;
+}
+
+void HierarchicalStrategyModel::fit() {
+  for (int s = 0; s < traceroute::kNumStrategies; ++s) {
+    auto si = static_cast<std::size_t>(s);
+    // Collect per-metro empirical rates with enough trials to be meaningful.
+    std::vector<double> rates, weights;
+    for (const auto& o : obs_[si]) {
+      double n = o.successes + o.failures;
+      if (n < 3.0) continue;
+      rates.push_back(o.successes / n);
+      weights.push_back(n);
+    }
+    if (rates.size() < 2) {
+      // Too little cross-metro evidence: weak prior, or single-metro mean.
+      if (rates.size() == 1) {
+        mu_[si] = std::clamp(rates[0], 0.02, 0.98);
+        kappa_[si] = std::min(kWeakKappa + weights[0] * 0.1, 30.0);
+      } else {
+        mu_[si] = kWeakMu;
+        kappa_[si] = kWeakKappa;
+      }
+      continue;
+    }
+    // Weighted mean and between-metro variance (method of moments).
+    double wsum = 0.0, mean = 0.0;
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      wsum += weights[k];
+      mean += weights[k] * rates[k];
+    }
+    mean /= wsum;
+    double var = 0.0, sampling_var = 0.0;
+    for (std::size_t k = 0; k < rates.size(); ++k) {
+      var += weights[k] * (rates[k] - mean) * (rates[k] - mean);
+      // Expected within-metro (binomial) sampling variance of the rate.
+      sampling_var += weights[k] * mean * (1.0 - mean) / weights[k];
+    }
+    var /= wsum;
+    sampling_var /= wsum;
+    // Between-metro variance after removing sampling noise.
+    double tau2 = std::max(1e-6, var - sampling_var);
+    double m = std::clamp(mean, 0.02, 0.98);
+    double k_est = m * (1.0 - m) / tau2 - 1.0;
+    mu_[si] = m;
+    kappa_[si] = std::clamp(k_est, 1.0, kMaxKappa);
+  }
+  fitted_ = true;
+}
+
+double HierarchicalStrategyModel::predict_new_metro(int strategy) const {
+  if (!fitted_) throw std::logic_error("HierarchicalStrategyModel: fit first");
+  return mu_[static_cast<std::size_t>(strategy)];
+}
+
+double HierarchicalStrategyModel::posterior(int strategy, int metro) const {
+  if (!fitted_) throw std::logic_error("HierarchicalStrategyModel: fit first");
+  auto si = static_cast<std::size_t>(strategy);
+  double a = mu_[si] * kappa_[si];
+  double b = (1.0 - mu_[si]) * kappa_[si];
+  for (const auto& o : obs_[si]) {
+    if (o.metro != metro) continue;
+    a += o.successes;
+    b += o.failures;
+    break;
+  }
+  return a / (a + b);
+}
+
+double HierarchicalStrategyModel::kappa(int strategy) const {
+  if (!fitted_) throw std::logic_error("HierarchicalStrategyModel: fit first");
+  return kappa_[static_cast<std::size_t>(strategy)];
+}
+
+double HierarchicalStrategyModel::no_pooling_estimate(int strategy,
+                                                      int metro) const {
+  auto si = static_cast<std::size_t>(strategy);
+  for (const auto& o : obs_[si]) {
+    if (o.metro != metro) continue;
+    double n = o.successes + o.failures;
+    return n > 0.0 ? o.successes / n : 0.5;
+  }
+  return 0.5;
+}
+
+double HierarchicalStrategyModel::complete_pooling_estimate(int strategy) const {
+  auto si = static_cast<std::size_t>(strategy);
+  double s = 0.0, n = 0.0;
+  for (const auto& o : obs_[si]) {
+    s += o.successes;
+    n += o.successes + o.failures;
+  }
+  return n > 0.0 ? s / n : 0.5;
+}
+
+}  // namespace metas::core

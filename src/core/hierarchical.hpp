@@ -1,0 +1,74 @@
+// Hierarchical Bayesian modelling of measurement-strategy success rates
+// (Appx. D.6).
+//
+// Strategy success rates vary across metros (e.g. cone-hosted probes are
+// twice as informative in under-provisioned regions), but not independently:
+// partial pooling across metros predicts a *new* metro's rates far better
+// than either no-pooling (each metro alone) or complete pooling (one global
+// rate), which is exactly why the paper bootstraps new metros from the
+// hierarchical posterior with ~6x fewer measurements.
+//
+// Model per strategy s: metro rates p_{s,m} ~ Beta(mu_s * kappa_s,
+// (1-mu_s) * kappa_s); observed informative counts are Binomial(n_{s,m},
+// p_{s,m}). mu and kappa are estimated by the method of moments over the
+// observed metros; the posterior for a new metro is the fitted Beta prior,
+// and for an observed metro it is the standard Beta-Binomial update.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "traceroute/strategy.hpp"
+
+namespace metas::core {
+
+/// Observed outcome counts of one strategy at one metro.
+struct StrategyObservation {
+  int metro = -1;
+  double successes = 0.0;
+  double failures = 0.0;
+};
+
+class HierarchicalStrategyModel {
+ public:
+  /// Adds one metro's per-strategy counts (kNumStrategies-sized arrays).
+  void add_metro(int metro,
+                 const std::array<double, traceroute::kNumStrategies>& succ,
+                 const std::array<double, traceroute::kNumStrategies>& fail);
+
+  /// Fits mu and kappa per strategy. Must be called after adding metros and
+  /// before prediction. Safe with zero or one metro (falls back to weak
+  /// global priors).
+  void fit();
+
+  /// Predicted success rate of a strategy at an unseen metro (the prior
+  /// mean after pooling).
+  double predict_new_metro(int strategy) const;
+
+  /// Posterior mean at an observed metro (Beta-Binomial update of the
+  /// pooled prior with that metro's own counts).
+  double posterior(int strategy, int metro) const;
+
+  /// Effective prior strength (pseudo-observations) of the pooled prior:
+  /// small kappa = metros disagree (little pooling), large kappa = strong
+  /// agreement (heavy pooling).
+  double kappa(int strategy) const;
+
+  /// Baselines for comparison (the paper's no-pooling / complete-pooling).
+  double no_pooling_estimate(int strategy, int metro) const;
+  double complete_pooling_estimate(int strategy) const;
+
+  int metros_observed() const { return static_cast<int>(metro_ids_.size()); }
+
+ private:
+  std::vector<int> metro_ids_;
+  // Per strategy, per observed-metro counts (parallel to metro_ids_).
+  std::vector<std::vector<StrategyObservation>> obs_ =
+      std::vector<std::vector<StrategyObservation>>(traceroute::kNumStrategies);
+  std::array<double, traceroute::kNumStrategies> mu_{};
+  std::array<double, traceroute::kNumStrategies> kappa_{};
+  bool fitted_ = false;
+};
+
+}  // namespace metas::core

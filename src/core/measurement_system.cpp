@@ -1,0 +1,165 @@
+#include "core/measurement_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metas::core {
+
+using traceroute::ProbeTarget;
+using traceroute::VantagePoint;
+
+MeasurementSystem::MeasurementSystem(const topology::Internet& net,
+                                     traceroute::TracerouteEngine& engine,
+                                     std::vector<VantagePoint> vps,
+                                     std::vector<ProbeTarget> targets,
+                                     std::uint64_t seed)
+    : net_(&net),
+      engine_(&engine),
+      vps_(std::move(vps)),
+      targets_(std::move(targets)),
+      rng_(seed),
+      consistency_(net) {
+  rels_.providers_of = &net.providers;
+  targets_by_as_.assign(net.num_ases(), {});
+  for (std::size_t t = 0; t < targets_.size(); ++t)
+    targets_by_as_[static_cast<std::size_t>(targets_[t].as)].push_back(t);
+}
+
+void MeasurementSystem::process_trace(const traceroute::TraceResult& trace,
+                                      traceroute::TraceObservations& obs_out) {
+  obs_out = traceroute::extract_observations(trace, rels_, rng_);
+  // Well-positioned checks must see the tracker state *before* this trace.
+  evidence_.ingest(trace, obs_out, wp_);
+  consistency_.ingest(obs_out);
+  wp_.ingest(trace);
+}
+
+void MeasurementSystem::run_public_archives(std::size_t count) {
+  if (vps_.empty() || targets_.empty()) return;
+  // Public archives are heavily skewed toward popular destinations (content
+  // and eyeball networks): most traceroutes in RIPE Atlas / Ark target a
+  // small set of well-known services, leaving edge-AS rows unmeasured --
+  // the bias the targeted-measurement scheduler exists to correct (§3.3).
+  std::vector<double> weights(targets_.size());
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    const auto& node = net_->ases[static_cast<std::size_t>(targets_[t].as)];
+    double popularity = std::log1p(node.features.eyeballs) +
+                        3.0 * std::log1p(node.features.customer_cone) +
+                        (node.cls == topology::AsClass::kHypergiant ||
+                                 node.cls == topology::AsClass::kContent
+                             ? 12.0
+                             : 0.0);
+    weights[t] = 0.2 + popularity * popularity;
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    const VantagePoint& vp = rng_.pick(vps_);
+    const ProbeTarget& tgt = targets_[rng_.weighted_index(weights)];
+    if (tgt.as == vp.as) continue;
+    auto trace = engine_->trace(vp, tgt, rng_);
+    traceroute::TraceObservations obs;
+    process_trace(trace, obs);
+  }
+}
+
+MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
+                                                   int vp_cat, int tgt_cat,
+                                                   bool swapped) {
+  AsId near = swapped ? j : i;
+  AsId far = swapped ? i : j;
+  MeasurementOutcome out;
+
+  // Candidate vantage points in the requested category, weighted by their
+  // historical score for detecting links of the near-side AS.
+  std::vector<std::size_t> cand_vps;
+  std::vector<double> weights;
+  for (std::size_t v = 0; v < vps_.size(); ++v) {
+    if (traceroute::categorize_vp(*net_, vps_[v], near, m) != vp_cat) continue;
+    cand_vps.push_back(v);
+    weights.push_back(vp_score(vps_[v].id, near));
+  }
+  if (cand_vps.empty()) return out;
+
+  // Candidate targets: far AS itself plus its customer cone.
+  std::vector<std::size_t> cand_tgts;
+  const auto& cone = net_->cones[static_cast<std::size_t>(far)];
+  for (AsId member : cone) {
+    for (std::size_t t : targets_by_as_[static_cast<std::size_t>(member)]) {
+      if (traceroute::categorize_target(*net_, targets_[t], far, m) != tgt_cat)
+        continue;
+      cand_tgts.push_back(t);
+    }
+  }
+  if (cand_tgts.empty()) return out;
+
+  const VantagePoint& vp = vps_[cand_vps[rng_.weighted_index(weights)]];
+  const ProbeTarget& tgt = targets_[rng_.pick(cand_tgts)];
+  if (vp.as == tgt.as) return out;
+
+  out.ran = true;
+  auto trace = engine_->trace(vp, tgt, rng_);
+  // Informativeness checks (like evidence ingestion) must see the
+  // well-positioned tracker state *before* this trace, so wp_.ingest runs
+  // last.
+  auto obs = traceroute::extract_observations(trace, rels_, rng_);
+  evidence_.ingest(trace, obs, wp_);
+  consistency_.ingest(obs);
+
+  for (const auto& l : obs.links) {
+    if ((l.a == i && l.b == j) || (l.a == j && l.b == i)) {
+      out.revealed_direct = true;
+      break;
+    }
+  }
+  for (const auto& t : obs.transits) {
+    if (!((t.a == i && t.b == j) || (t.a == j && t.b == i))) continue;
+    MetroId tm = t.metro_b_side >= 0 ? t.metro_b_side : t.metro_a_side;
+    if (tm < 0) continue;
+    if (wp_.well_positioned(trace.vp_id, t.a, tm)) {
+      out.revealed_transit = true;
+      break;
+    }
+  }
+  wp_.ingest(trace);
+  out.informative = out.revealed_direct || out.revealed_transit;
+
+  auto key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(vp.id)) << 32) |
+             static_cast<std::uint32_t>(near);
+  auto& st = vp_stats_[key];
+  ++st.first;
+  if (out.informative) ++st.second;
+  return out;
+}
+
+std::vector<int> MeasurementSystem::vp_category_counts(AsId i, MetroId m) const {
+  std::vector<int> counts(traceroute::kVpCategories, 0);
+  for (const auto& vp : vps_)
+    ++counts[static_cast<std::size_t>(traceroute::categorize_vp(*net_, vp, i, m))];
+  return counts;
+}
+
+std::vector<int> MeasurementSystem::target_category_counts(AsId j,
+                                                           MetroId m) const {
+  std::vector<int> counts(traceroute::kTargetCategories, 0);
+  const auto& cone = net_->cones[static_cast<std::size_t>(j)];
+  for (AsId member : cone) {
+    for (std::size_t t : targets_by_as_[static_cast<std::size_t>(member)]) {
+      int c = traceroute::categorize_target(*net_, targets_[t], j, m);
+      if (c >= 0) ++counts[static_cast<std::size_t>(c)];
+    }
+  }
+  return counts;
+}
+
+EstimatedMatrix MeasurementSystem::build_matrix(const MetroContext& ctx) const {
+  return build_estimated_matrix(ctx, evidence_, consistency_);
+}
+
+double MeasurementSystem::vp_score(int vp_id, AsId i) const {
+  auto key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(vp_id)) << 32) |
+             static_cast<std::uint32_t>(i);
+  auto it = vp_stats_.find(key);
+  if (it == vp_stats_.end()) return 0.5;  // unseen VPs get a neutral score
+  return (it->second.second + 1.0) / (it->second.first + 2.0);
+}
+
+}  // namespace metas::core

@@ -1,0 +1,85 @@
+// Measurement plane: owns the vantage points, targets, global evidence and
+// trackers, and executes both public-archive and targeted traceroutes.
+//
+// One MeasurementSystem spans the whole Internet (evidence transfers across
+// metros, §3.4); per-metro schedulers drive it through run_targeted().
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/evidence.hpp"
+#include "core/metro_context.hpp"
+#include "traceroute/engine.hpp"
+#include "traceroute/strategy.hpp"
+
+namespace metas::core {
+
+/// Result of one targeted measurement attempt.
+struct MeasurementOutcome {
+  bool ran = false;             // a (vp, target) candidate existed
+  bool informative = false;     // revealed (non-)existence of the target link
+  bool revealed_direct = false;
+  bool revealed_transit = false;
+};
+
+class MeasurementSystem {
+ public:
+  MeasurementSystem(const topology::Internet& net,
+                    traceroute::TracerouteEngine& engine,
+                    std::vector<traceroute::VantagePoint> vps,
+                    std::vector<traceroute::ProbeTarget> targets,
+                    std::uint64_t seed);
+
+  /// Simulates the public RIPE-Atlas/Ark archives: `count` traceroutes from
+  /// random vantage points to random targets, processed like any other.
+  void run_public_archives(std::size_t count);
+
+  /// Issues one targeted traceroute for link (i, j) at metro m using the
+  /// given vantage-point and target categories. `swapped` means the probe
+  /// sits near j and the target is in i.
+  MeasurementOutcome run_targeted(AsId i, AsId j, MetroId m, int vp_cat,
+                                  int tgt_cat, bool swapped);
+
+  /// Number of vantage points in each VP category for (i, m) -- availability
+  /// input to the probability matrix. Returns a kVpCategories-sized array.
+  std::vector<int> vp_category_counts(AsId i, MetroId m) const;
+  /// Same for targets of (j, m); kTargetCategories-sized.
+  std::vector<int> target_category_counts(AsId j, MetroId m) const;
+
+  /// Derives the current estimated matrix for a metro from global evidence.
+  EstimatedMatrix build_matrix(const MetroContext& ctx) const;
+
+  const EvidenceStore& evidence() const { return evidence_; }
+  const traceroute::ConsistencyTracker& consistency() const { return consistency_; }
+  const traceroute::WellPositionedTracker& well_positioned() const { return wp_; }
+  std::size_t traceroutes_issued() const { return engine_->issued(); }
+  const std::vector<traceroute::VantagePoint>& vps() const { return vps_; }
+
+  /// VP score for detecting links of AS i: Laplace-smoothed success fraction
+  /// of its previous measurements targeting i (§3.3.2 "choosing specific
+  /// vantage points").
+  double vp_score(int vp_id, AsId i) const;
+
+ private:
+  void process_trace(const traceroute::TraceResult& trace,
+                     traceroute::TraceObservations& obs_out);
+
+  const topology::Internet* net_;
+  traceroute::TracerouteEngine* engine_;
+  std::vector<traceroute::VantagePoint> vps_;
+  std::vector<traceroute::ProbeTarget> targets_;
+  std::vector<std::vector<std::size_t>> targets_by_as_;  // indices into targets_
+  util::Rng rng_;
+
+  EvidenceStore evidence_;
+  traceroute::ConsistencyTracker consistency_;
+  traceroute::WellPositionedTracker wp_;
+  traceroute::PublicRelationships rels_;
+
+  // (vp_id, as) -> {attempts, confirmed}
+  std::unordered_map<std::uint64_t, std::pair<int, int>> vp_stats_;
+};
+
+}  // namespace metas::core

@@ -1,0 +1,46 @@
+// Working context for running metAScritic at one metro: the AS universe and
+// its dense matrix indexing.
+#pragma once
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/internet.hpp"
+
+namespace metas::core {
+
+using topology::AsId;
+using topology::MetroId;
+
+/// Binds a metro to the ordered AS universe its matrices are indexed by.
+class MetroContext {
+ public:
+  MetroContext(const topology::Internet& net, MetroId metro)
+      : net_(&net), metro_(metro) {
+    const auto& m = net.metros.at(static_cast<std::size_t>(metro));
+    ases_ = m.ases;
+    for (std::size_t i = 0; i < ases_.size(); ++i)
+      index_[ases_[i]] = static_cast<int>(i);
+  }
+
+  const topology::Internet& net() const { return *net_; }
+  MetroId metro() const { return metro_; }
+  const std::vector<AsId>& ases() const { return ases_; }
+  std::size_t size() const { return ases_.size(); }
+
+  /// Local matrix index of an AS, or -1 if not present at the metro.
+  int local(AsId as) const {
+    auto it = index_.find(as);
+    return it == index_.end() ? -1 : it->second;
+  }
+  AsId as_at(std::size_t i) const { return ases_.at(i); }
+
+ private:
+  const topology::Internet* net_;
+  MetroId metro_;
+  std::vector<AsId> ases_;
+  std::unordered_map<AsId, int> index_;
+};
+
+}  // namespace metas::core

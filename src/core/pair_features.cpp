@@ -1,0 +1,94 @@
+#include "core/pair_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metas::core {
+
+namespace {
+
+// Count of existing (v > 0) / non-existing (v < 0) entries in row i.
+std::pair<double, double> row_counts(const EstimatedMatrix& e, int i) {
+  double pos = 0.0, neg = 0.0;
+  for (std::size_t j = 0; j < e.size(); ++j) {
+    if (static_cast<int>(j) == i || !e.filled(static_cast<std::size_t>(i), j))
+      continue;
+    if (e.value(static_cast<std::size_t>(i), j) > 0.0) pos += 1.0;
+    else neg += 1.0;
+  }
+  return {pos, neg};
+}
+
+bool shares_ixp(const topology::Internet& net, topology::AsId a,
+                topology::AsId b) {
+  for (const auto& ixp : net.ixps) {
+    bool ha = std::find(ixp.members.begin(), ixp.members.end(), a) !=
+              ixp.members.end();
+    if (!ha) continue;
+    if (std::find(ixp.members.begin(), ixp.members.end(), b) !=
+        ixp.members.end())
+      return true;
+  }
+  return false;
+}
+
+int shared_metro_count(const topology::AsNode& a, const topology::AsNode& b) {
+  int c = 0;
+  for (auto m : a.footprint)
+    if (std::binary_search(b.footprint.begin(), b.footprint.end(), m)) ++c;
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::string> pair_feature_names() {
+  return {
+      "existing_links_1",  "non_existing_links_1",
+      "existing_links_2",  "non_existing_links_2",
+      "overlapping_metros", "overlapping_country", "overlapping_ixp",
+      "eyeballs_1",        "eyeballs_2",
+      "customer_cone_1",   "customer_cone_2",
+      "footprint_1",       "footprint_2",
+      "policy_1",          "policy_2",
+      "traffic_1",         "traffic_2",
+      "class_1",           "class_2",
+      "ip_space_1",        "ip_space_2",
+  };
+}
+
+std::vector<double> pair_features(const MetroContext& ctx,
+                                  const EstimatedMatrix& e, int i, int j) {
+  const auto& net = ctx.net();
+  const auto& a = net.ases[static_cast<std::size_t>(ctx.as_at(
+      static_cast<std::size_t>(i)))];
+  const auto& b = net.ases[static_cast<std::size_t>(ctx.as_at(
+      static_cast<std::size_t>(j)))];
+  auto [pos_i, neg_i] = row_counts(e, i);
+  auto [pos_j, neg_j] = row_counts(e, j);
+  std::vector<double> f;
+  f.reserve(21);
+  f.push_back(pos_i);
+  f.push_back(neg_i);
+  f.push_back(pos_j);
+  f.push_back(neg_j);
+  f.push_back(static_cast<double>(shared_metro_count(a, b)));
+  f.push_back(a.home_country == b.home_country ? 1.0 : 0.0);
+  f.push_back(shares_ixp(net, a.id, b.id) ? 1.0 : 0.0);
+  f.push_back(std::log1p(a.features.eyeballs));
+  f.push_back(std::log1p(b.features.eyeballs));
+  f.push_back(std::log1p(a.features.customer_cone));
+  f.push_back(std::log1p(b.features.customer_cone));
+  f.push_back(static_cast<double>(a.features.footprint_size));
+  f.push_back(static_cast<double>(b.features.footprint_size));
+  f.push_back(static_cast<double>(a.features.policy));
+  f.push_back(static_cast<double>(b.features.policy));
+  f.push_back(static_cast<double>(a.features.traffic));
+  f.push_back(static_cast<double>(b.features.traffic));
+  f.push_back(static_cast<double>(a.cls));
+  f.push_back(static_cast<double>(b.cls));
+  f.push_back(std::log1p(a.features.ip_space));
+  f.push_back(std::log1p(b.features.ip_space));
+  return f;
+}
+
+}  // namespace metas::core

@@ -1,0 +1,25 @@
+// Pair-level feature vectors (Appx. F.2's feature list): the inputs of the
+// feature-only baseline classifiers and of the Shapley explanations.
+//
+// For an AS pair (i, j) at a metro the vector contains the per-side
+// measurement summary (# existing / # non-existing links in E_m), footprint
+// overlap indicators (metro / country / continent / IXP co-membership), and
+// both sides' public features.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/estimated_matrix.hpp"
+#include "core/metro_context.hpp"
+
+namespace metas::core {
+
+/// Names of the pair-feature dimensions, in vector order.
+std::vector<std::string> pair_feature_names();
+
+/// Builds the feature vector for local pair (i, j) given the current E_m.
+std::vector<double> pair_features(const MetroContext& ctx,
+                                  const EstimatedMatrix& e, int i, int j);
+
+}  // namespace metas::core

@@ -1,0 +1,94 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/curves.hpp"
+
+namespace metas::core {
+
+double tune_threshold(const AlsCompleter& completer,
+                      const std::vector<RatingEntry>& labelled) {
+  if (labelled.empty()) return 0.0;
+  // E_m over-represents existing links (direct observation only ever sees
+  // links that exist), so an unweighted F-score would push lambda to -1 and
+  // declare everything a link. Balance the classes: each negative example
+  // carries weight pos/neg so both classes contribute equal total mass.
+  double pos = 0.0, neg = 0.0;
+  for (const RatingEntry& e : labelled) (e.value > 0.0 ? pos : neg) += 1.0;
+  double neg_w = (neg > 0.0 && pos > 0.0) ? pos / neg : 1.0;
+
+  struct Scored { double score; bool positive; };
+  std::vector<Scored> scored;
+  scored.reserve(labelled.size());
+  for (const RatingEntry& e : labelled)
+    scored.push_back({completer.predict(e.i, e.j), e.value > 0.0});
+
+  double best_t = 0.0, best_f = -1.0;
+  for (int k = 0; k <= 200; ++k) {
+    double t = -1.0 + 2.0 * k / 200.0;
+    double tp = 0.0, fp = 0.0, fn = 0.0;
+    for (const Scored& s : scored) {
+      bool pred = s.score >= t;
+      if (pred && s.positive) tp += 1.0;
+      else if (pred && !s.positive) fp += neg_w;
+      else if (!pred && s.positive) fn += 1.0;
+    }
+    double precision = tp + fp > 0.0 ? tp / (tp + fp) : 0.0;
+    double recall = tp + fn > 0.0 ? tp / (tp + fn) : 0.0;
+    double f = precision + recall > 0.0
+                   ? 2.0 * precision * recall / (precision + recall)
+                   : 0.0;
+    if (f > best_f) {
+      best_f = f;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+PipelineResult MetascriticPipeline::run() {
+  util::Rng rng(cfg_.seed);
+
+  // Feature side-information for the hybrid completer.
+  FeatureMatrix features = encode_features(*ctx_);
+
+  // Probability matrix seeded from the hierarchical pool; scheduler drives
+  // targeted measurement batches inside the rank-estimation loop.
+  ProbabilityMatrix pm(*ctx_, *ms_, priors_);
+  MeasurementScheduler scheduler(*ctx_, *ms_, pm, cfg_.scheduler);
+
+  RankEstimator estimator(*ctx_, features, cfg_.rank);
+  PipelineResult res;
+  res.estimated = EstimatedMatrix(ctx_->size());
+  res.rank_detail = estimator.run(&scheduler, *ms_);
+  res.estimated_rank = res.rank_detail.best_rank;
+  res.targeted_traceroutes = res.rank_detail.traceroutes_used;
+  res.measurement_log = scheduler.history();
+
+  // Final completion over the full E_m at the estimated rank.
+  res.estimated = ms_->build_matrix(*ctx_);
+  auto entries = rating_entries(res.estimated);
+
+  // Hold out a slice for threshold tuning.
+  std::vector<RatingEntry> train, tune;
+  for (const RatingEntry& e : entries) {
+    if (rng.uniform() < cfg_.holdout_fraction) tune.push_back(e);
+    else train.push_back(e);
+  }
+  if (train.empty()) train = entries;
+
+  AlsConfig als = cfg_.final_als;
+  als.rank = res.estimated_rank;
+  AlsCompleter completer(ctx_->size(), features, als);
+  completer.fit(train);
+  res.threshold = tune.empty() ? 0.0 : tune_threshold(completer, tune);
+
+  // Refit on everything for the published ratings.
+  completer.fit(entries);
+  res.ratings = completer.completed();
+
+  if (priors_ != nullptr) pm.export_priors(*priors_);
+  return res;
+}
+
+}  // namespace metas::core

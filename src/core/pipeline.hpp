@@ -1,0 +1,52 @@
+// End-to-end metAScritic pipeline for one metro (§3.5):
+//   1. derive E_m from the evidence already collected (public archives),
+//   2. iterate rank estimation with targeted measurement batches,
+//   3. final hybrid ALS completion at the estimated rank,
+//   4. pick the decision threshold lambda maximizing F-score on a held-out
+//      slice of E_m.
+#pragma once
+
+#include "core/rank_estimator.hpp"
+
+namespace metas::core {
+
+struct PipelineConfig {
+  SchedulerConfig scheduler;
+  RankEstimatorConfig rank;
+  AlsConfig final_als;            // rank overridden by the estimate
+  double holdout_fraction = 0.1;  // slice of E_m used to tune lambda
+  std::uint64_t seed = 23;
+};
+
+struct PipelineResult {
+  int estimated_rank = 1;
+  EstimatedMatrix estimated;   // E_m after all measurements
+  linalg::Matrix ratings;      // completed ratings C_m in [-1, 1]
+  double threshold = 0.0;      // chosen lambda
+  std::size_t targeted_traceroutes = 0;
+  RankEstimateResult rank_detail;
+  std::vector<IssuedRecord> measurement_log;
+};
+
+class MetascriticPipeline {
+ public:
+  MetascriticPipeline(const MetroContext& ctx, MeasurementSystem& ms,
+                      StrategyPriors* priors, PipelineConfig cfg)
+      : ctx_(&ctx), ms_(&ms), priors_(priors), cfg_(cfg) {}
+
+  /// Runs measurement + completion and returns the completed metro.
+  PipelineResult run();
+
+ private:
+  const MetroContext* ctx_;
+  MeasurementSystem* ms_;
+  StrategyPriors* priors_;  // may be null; updated with this metro's counts
+  PipelineConfig cfg_;
+};
+
+/// Picks the lambda in [-1, 1] maximizing F-score of sign agreement between
+/// completed ratings and a sample of E_m entries (positive label: value > 0).
+double tune_threshold(const AlsCompleter& completer,
+                      const std::vector<RatingEntry>& labelled);
+
+}  // namespace metas::core

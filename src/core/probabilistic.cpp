@@ -1,0 +1,166 @@
+#include "core/probabilistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace metas::core {
+
+double view_threshold(const PipelineResult& result, TopologyView view) {
+  switch (view) {
+    case TopologyView::kConservative:
+      // High-precision slice: well above the balanced operating point.
+      return std::max(result.threshold + 0.4, 0.85);
+    case TopologyView::kBalanced:
+      return result.threshold;
+    case TopologyView::kLoose:
+      return std::min(result.threshold - 0.4, 0.0);
+  }
+  return result.threshold;
+}
+
+std::vector<std::pair<int, int>> links_at_threshold(const linalg::Matrix& ratings,
+                                                    double threshold) {
+  std::vector<std::pair<int, int>> links;
+  const int n = static_cast<int>(ratings.rows());
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (ratings(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) >=
+          threshold)
+        links.emplace_back(i, j);
+  return links;
+}
+
+void RatingCalibrator::fit(std::vector<Sample> samples, int bins) {
+  if (samples.empty())
+    throw std::invalid_argument("RatingCalibrator::fit: empty sample");
+  if (bins < 2) throw std::invalid_argument("RatingCalibrator::fit: bins < 2");
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.rating < b.rating; });
+
+  // Equal-count binning, then pool-adjacent-violators to enforce that the
+  // existence probability is non-decreasing in the rating.
+  std::size_t per_bin = std::max<std::size_t>(1, samples.size() / bins);
+  struct Block {
+    double prob;
+    double weight;
+    double upper;
+  };
+  std::vector<Block> blocks;
+  for (std::size_t start = 0; start < samples.size(); start += per_bin) {
+    std::size_t end = std::min(samples.size(), start + per_bin);
+    double hits = 0.0;
+    for (std::size_t k = start; k < end; ++k)
+      if (samples[k].exists) hits += 1.0;
+    blocks.push_back({hits / static_cast<double>(end - start),
+                      static_cast<double>(end - start),
+                      samples[end - 1].rating});
+  }
+  // PAV: merge adjacent blocks that violate monotonicity.
+  std::vector<Block> stack;
+  for (Block b : blocks) {
+    stack.push_back(b);
+    while (stack.size() >= 2 &&
+           stack[stack.size() - 2].prob > stack.back().prob) {
+      Block top = stack.back();
+      stack.pop_back();
+      Block& prev = stack.back();
+      double w = prev.weight + top.weight;
+      prev.prob = (prev.prob * prev.weight + top.prob * top.weight) / w;
+      prev.weight = w;
+      prev.upper = top.upper;
+    }
+  }
+  bin_upper_.clear();
+  bin_prob_.clear();
+  for (const Block& b : stack) {
+    bin_upper_.push_back(b.upper);
+    bin_prob_.push_back(b.prob);
+  }
+}
+
+double RatingCalibrator::probability(double rating) const {
+  if (bin_upper_.empty())
+    throw std::logic_error("RatingCalibrator::probability before fit");
+  auto it = std::lower_bound(bin_upper_.begin(), bin_upper_.end(), rating);
+  std::size_t idx = static_cast<std::size_t>(it - bin_upper_.begin());
+  if (idx >= bin_prob_.size()) idx = bin_prob_.size() - 1;
+  return bin_prob_[idx];
+}
+
+ProbabilisticTopology::ProbabilisticTopology(const linalg::Matrix& ratings,
+                                             const RatingCalibrator& calibrator)
+    : n_(ratings.rows()), prob_(n_ * n_, 0.0) {
+  if (!calibrator.fitted())
+    throw std::invalid_argument("ProbabilisticTopology: unfitted calibrator");
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      double p = calibrator.probability(ratings(i, j));
+      prob_[i * n_ + j] = p;
+      prob_[j * n_ + i] = p;
+    }
+}
+
+double ProbabilisticTopology::link_probability(int i, int j) const {
+  if (i < 0 || j < 0 || static_cast<std::size_t>(i) >= n_ ||
+      static_cast<std::size_t>(j) >= n_)
+    throw std::out_of_range("ProbabilisticTopology::link_probability");
+  return prob_[static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j)];
+}
+
+double ProbabilisticTopology::expected_degree(int i) const {
+  double s = 0.0;
+  for (std::size_t j = 0; j < n_; ++j)
+    if (j != static_cast<std::size_t>(i))
+      s += prob_[static_cast<std::size_t>(i) * n_ + j];
+  return s;
+}
+
+std::vector<std::pair<int, int>> ProbabilisticTopology::sample(
+    util::Rng& rng) const {
+  std::vector<std::pair<int, int>> links;
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = i + 1; j < n_; ++j)
+      if (rng.bernoulli(prob_[i * n_ + j]))
+        links.emplace_back(static_cast<int>(i), static_cast<int>(j));
+  return links;
+}
+
+double ProbabilisticTopology::path_existence_probability(int i, int j,
+                                                         int samples,
+                                                         util::Rng& rng) const {
+  if (samples <= 0)
+    throw std::invalid_argument("path_existence_probability: samples <= 0");
+  int connected = 0;
+  std::vector<std::vector<int>> adj(n_);
+  std::vector<char> seen(n_);
+  for (int s = 0; s < samples; ++s) {
+    for (auto& a : adj) a.clear();
+    for (auto [a, b] : sample(rng)) {
+      adj[static_cast<std::size_t>(a)].push_back(b);
+      adj[static_cast<std::size_t>(b)].push_back(a);
+    }
+    std::fill(seen.begin(), seen.end(), 0);
+    std::queue<int> q;
+    q.push(i);
+    seen[static_cast<std::size_t>(i)] = 1;
+    bool found = false;
+    while (!q.empty() && !found) {
+      int u = q.front();
+      q.pop();
+      for (int v : adj[static_cast<std::size_t>(u)]) {
+        if (v == j) { found = true; break; }
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          q.push(v);
+        }
+      }
+    }
+    if (found) ++connected;
+  }
+  return static_cast<double>(connected) / static_cast<double>(samples);
+}
+
+}  // namespace metas::core

@@ -1,0 +1,80 @@
+// Section 5.1 usage frameworks.
+//
+// 1. Threshold taxonomy (Appx. F.1): the *conservative* topology keeps only
+//    high-confidence links (resilience / attack-surface studies), the
+//    *balanced* topology uses the F-maximizing threshold, and the *loose*
+//    topology keeps everything plausible (coverage / compliance auditing).
+//
+// 2. Probabilistic reasoning: ratings are calibrated into per-link existence
+//    probabilities via monotone binning against a labelled sample, and
+//    network properties (degrees, path existence) are then estimated as
+//    random variables by Monte-Carlo sampling concrete topologies.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace metas::core {
+
+/// The three standard views of Appx. F.1.
+enum class TopologyView { kConservative, kBalanced, kLoose };
+
+/// Decision threshold for a view, anchored on the pipeline's balanced lambda.
+double view_threshold(const PipelineResult& result, TopologyView view);
+
+/// Local index pairs whose rating clears the threshold.
+std::vector<std::pair<int, int>> links_at_threshold(const linalg::Matrix& ratings,
+                                                    double threshold);
+
+/// Calibrates ratings into link-existence probabilities: monotone (isotonic
+/// via pool-adjacent-violators) regression of label frequency on rating over
+/// a labelled sample. Extrapolates by clamping to the outermost bins.
+class RatingCalibrator {
+ public:
+  /// One labelled example.
+  struct Sample {
+    double rating = 0.0;
+    bool exists = false;
+  };
+
+  /// Fits the monotone curve. Throws std::invalid_argument on empty input.
+  void fit(std::vector<Sample> samples, int bins = 20);
+
+  /// P(link exists | rating). Requires fit().
+  double probability(double rating) const;
+
+  bool fitted() const { return !bin_upper_.empty(); }
+
+ private:
+  std::vector<double> bin_upper_;  // rating upper edge per bin
+  std::vector<double> bin_prob_;   // calibrated probability per bin
+};
+
+/// A topology whose links exist with independent calibrated probabilities.
+class ProbabilisticTopology {
+ public:
+  ProbabilisticTopology(const linalg::Matrix& ratings,
+                        const RatingCalibrator& calibrator);
+
+  std::size_t size() const { return n_; }
+  double link_probability(int i, int j) const;
+
+  /// Expected number of links of node i (sum of its probabilities).
+  double expected_degree(int i) const;
+
+  /// Draws one concrete adjacency (upper-triangle pair list).
+  std::vector<std::pair<int, int>> sample(util::Rng& rng) const;
+
+  /// Monte-Carlo estimate of P(i and j are connected within the metro
+  /// topology), with the number of sampled topologies given by `samples`.
+  double path_existence_probability(int i, int j, int samples,
+                                    util::Rng& rng) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> prob_;  // n x n row-major
+};
+
+}  // namespace metas::core

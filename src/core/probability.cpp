@@ -1,0 +1,157 @@
+#include "core/probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metas::core {
+
+using traceroute::kNumStrategies;
+using traceroute::kNumTargetTopo;
+using traceroute::kNumVpTopo;
+using traceroute::kTargetCategories;
+using traceroute::kVpCategories;
+
+void StrategyPriors::absorb(
+    const std::array<double, kNumStrategies>& a,
+    const std::array<double, kNumStrategies>& b) {
+  for (int s = 0; s < kNumStrategies; ++s) {
+    alpha[static_cast<std::size_t>(s)] += a[static_cast<std::size_t>(s)];
+    beta[static_cast<std::size_t>(s)] += b[static_cast<std::size_t>(s)];
+  }
+  ++metros_observed;
+}
+
+ProbabilityMatrix::ProbabilityMatrix(const MetroContext& ctx,
+                                     const MeasurementSystem& ms,
+                                     const StrategyPriors* priors,
+                                     const ProbabilityConfig& cfg)
+    : ctx_(&ctx), cfg_(cfg), n_(ctx.size()) {
+  vp_counts_.resize(n_);
+  tgt_counts_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    auto vc = ms.vp_category_counts(ctx.as_at(i), ctx.metro());
+    auto tc = ms.target_category_counts(ctx.as_at(i), ctx.metro());
+    std::copy(vc.begin(), vc.end(), vp_counts_[i].begin());
+    std::copy(tc.begin(), tc.end(), tgt_counts_[i].begin());
+  }
+  allowed_.fill(true);
+
+  for (int s = 0; s < kNumStrategies; ++s) {
+    auto si = static_cast<std::size_t>(s);
+    alpha_[si] = cfg.prior_alpha;
+    beta_[si] = cfg.prior_beta;
+    if (priors != nullptr && priors->metros_observed > 0) {
+      // Shrink the pooled counts to at most `prior_strength` pseudo-
+      // observations: hierarchical partial pooling (Appx. D.6).
+      double tot = priors->alpha[si] + priors->beta[si];
+      if (tot > 0.0) {
+        double scale = std::min(1.0, cfg.prior_strength / tot);
+        alpha_[si] += priors->alpha[si] * scale;
+        beta_[si] += priors->beta[si] * scale;
+      }
+    }
+  }
+}
+
+double ProbabilityMatrix::strategy_prob(int strategy) const {
+  auto si = static_cast<std::size_t>(strategy);
+  return alpha_[si] / (alpha_[si] + beta_[si]);
+}
+
+std::uint64_t ProbabilityMatrix::penalty_key(int i, int j, int s) const {
+  // Ordered (i, j): the near/far orientation matters for the penalty.
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) * n_ +
+          static_cast<std::uint32_t>(j)) *
+             kNumStrategies +
+         static_cast<std::uint64_t>(s);
+}
+
+double ProbabilityMatrix::dir_prob(int near, int far, int* best_vp,
+                                   int* best_tgt) const {
+  const auto& vc = vp_counts_[static_cast<std::size_t>(near)];
+  const auto& tc = tgt_counts_[static_cast<std::size_t>(far)];
+  double best = 0.0;
+  for (int v = 0; v < kVpCategories; ++v) {
+    if (vc[static_cast<std::size_t>(v)] == 0) continue;
+    for (int t = 0; t < kTargetCategories; ++t) {
+      if (tc[static_cast<std::size_t>(t)] == 0) continue;
+      int s = traceroute::strategy_index(v, t);
+      if (!allowed_[static_cast<std::size_t>(s)]) continue;
+      double p = strategy_prob(s);
+      // Larger candidate pools make a strategy more likely to pan out.
+      double pool = static_cast<double>(vc[static_cast<std::size_t>(v)]) *
+                    static_cast<double>(tc[static_cast<std::size_t>(t)]);
+      p *= 1.0 + 0.08 * std::min(3.0, std::log10(pool + 1.0));
+      auto pen = penalties_.find(penalty_key(near, far, s));
+      if (pen != penalties_.end()) p *= pen->second;
+      if (p > best) {
+        best = p;
+        if (best_vp != nullptr) *best_vp = v;
+        if (best_tgt != nullptr) *best_tgt = t;
+      }
+    }
+  }
+  return std::min(best, 1.0);
+}
+
+StrategyChoice ProbabilityMatrix::choose(int i, int j) const {
+  StrategyChoice c;
+  int vp_a = -1, tgt_a = -1, vp_b = -1, tgt_b = -1;
+  double pa = dir_prob(i, j, &vp_a, &tgt_a);
+  double pb = dir_prob(j, i, &vp_b, &tgt_b);
+  if (pa >= pb) {
+    c.vp_cat = vp_a;
+    c.tgt_cat = tgt_a;
+    c.swapped = false;
+    c.probability = pa;
+  } else {
+    c.vp_cat = vp_b;
+    c.tgt_cat = tgt_b;
+    c.swapped = true;
+    c.probability = pb;
+  }
+  return c;
+}
+
+void ProbabilityMatrix::record(int i, int j, const StrategyChoice& choice,
+                               bool informative) {
+  if (choice.vp_cat < 0 || choice.tgt_cat < 0) return;
+  int s = traceroute::strategy_index(choice.vp_cat, choice.tgt_cat);
+  auto si = static_cast<std::size_t>(s);
+  if (informative) {
+    alpha_[si] += 1.0;
+  } else {
+    beta_[si] += 1.0;
+    int near = choice.swapped ? j : i;
+    int far = choice.swapped ? i : j;
+    auto [it, inserted] = penalties_.emplace(penalty_key(near, far, s), 1.0);
+    it->second *= cfg_.penalty_factor;
+  }
+}
+
+void ProbabilityMatrix::export_priors(StrategyPriors& pool) const {
+  std::array<double, kNumStrategies> da{}, db{};
+  for (int s = 0; s < kNumStrategies; ++s) {
+    auto si = static_cast<std::size_t>(s);
+    da[si] = std::max(0.0, alpha_[si] - cfg_.prior_alpha);
+    db[si] = std::max(0.0, beta_[si] - cfg_.prior_beta);
+  }
+  pool.absorb(da, db);
+}
+
+void ProbabilityMatrix::restrict_to_ixp_mapped() {
+  using traceroute::Strategy;
+  using traceroute::TargetTopo;
+  using traceroute::VpTopo;
+  using topology::GeoScope;
+  for (int s = 0; s < kNumStrategies; ++s) {
+    Strategy st = traceroute::strategy_from_index(s);
+    bool ok = (st.vp_topo == VpTopo::kInAs || st.vp_topo == VpTopo::kInCone) &&
+              (st.vp_geo == GeoScope::kSameMetro ||
+               st.vp_geo == GeoScope::kSameCountry) &&
+              st.tgt_topo != TargetTopo::kInCone;
+    allowed_[static_cast<std::size_t>(s)] = ok;
+  }
+}
+
+}  // namespace metas::core

@@ -1,0 +1,94 @@
+// The probability matrix P_m (§3.3.2): for every candidate link, the
+// estimated probability that a targeted traceroute can be selected that will
+// be informative, tracked per measurement strategy.
+//
+// Per-strategy success rates are Beta-Bernoulli counters; a new metro's
+// counters are initialized from a hierarchical prior pooled over previously
+// processed metros (Appx. D.6).  Per-(link, strategy) multiplicative
+// penalties shrink after uninformative attempts so the scheduler diversifies
+// away from elusive links.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/measurement_system.hpp"
+#include "core/metro_context.hpp"
+#include "traceroute/strategy.hpp"
+
+namespace metas::core {
+
+/// Pooled per-strategy outcome counts carried across metros.
+struct StrategyPriors {
+  std::array<double, traceroute::kNumStrategies> alpha{};  // informative
+  std::array<double, traceroute::kNumStrategies> beta{};   // uninformative
+  int metros_observed = 0;
+
+  /// Adds one metro's posterior counts into the pool.
+  void absorb(const std::array<double, traceroute::kNumStrategies>& a,
+              const std::array<double, traceroute::kNumStrategies>& b);
+};
+
+/// The chosen way to measure a link.
+struct StrategyChoice {
+  int vp_cat = -1;
+  int tgt_cat = -1;
+  bool swapped = false;  // probe near j, target in i
+  double probability = 0.0;
+};
+
+struct ProbabilityConfig {
+  double penalty_factor = 0.6;   // per-(link,strategy) multiplier on failure
+  double prior_alpha = 1.0;      // optimistic uniform prior
+  double prior_beta = 2.0;
+  double prior_strength = 20.0;  // max pseudo-observations from the pool
+};
+
+class ProbabilityMatrix {
+ public:
+  /// Builds availability counts for every AS in the context (both VP and
+  /// target categories) and initializes strategy counters from `priors`
+  /// (may be null for a cold start).
+  ProbabilityMatrix(const MetroContext& ctx, const MeasurementSystem& ms,
+                    const StrategyPriors* priors,
+                    const ProbabilityConfig& cfg = {});
+
+  /// Current success estimate of a strategy (before link penalties).
+  double strategy_prob(int strategy) const;
+
+  /// Best strategy and its probability for entry (i, j) (local indices),
+  /// considering both probe-near-i and probe-near-j orientations.
+  StrategyChoice choose(int i, int j) const;
+
+  /// P_ijm: the probability of the best available strategy.
+  double entry_prob(int i, int j) const { return choose(i, j).probability; }
+
+  /// Records a measurement outcome for entry (i, j) with the used strategy.
+  void record(int i, int j, const StrategyChoice& choice, bool informative);
+
+  /// Exports posterior counts into the hierarchical pool.
+  void export_priors(StrategyPriors& pool) const;
+
+  /// Restricts usable strategies (used by the IXP-mapped baseline):
+  /// only VP categories with topo in {InAs, InCone} and targets in the far
+  /// AS itself, at metro or country geo scope.
+  void restrict_to_ixp_mapped();
+
+ private:
+  double dir_prob(int near, int far, int* best_vp, int* best_tgt) const;
+  std::uint64_t penalty_key(int i, int j, int s) const;
+
+  const MetroContext* ctx_;
+  ProbabilityConfig cfg_;
+  std::size_t n_ = 0;
+  // Availability: per local AS, count of VPs / targets in each category.
+  std::vector<std::array<int, traceroute::kVpCategories>> vp_counts_;
+  std::vector<std::array<int, traceroute::kTargetCategories>> tgt_counts_;
+  std::array<double, traceroute::kNumStrategies> alpha_{}, beta_{};
+  std::array<bool, traceroute::kNumStrategies> allowed_{};
+  std::unordered_map<std::uint64_t, double> penalties_;
+};
+
+}  // namespace metas::core

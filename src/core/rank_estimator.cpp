@@ -1,0 +1,121 @@
+#include "core/rank_estimator.hpp"
+
+#include <algorithm>
+
+namespace metas::core {
+
+namespace {
+
+// Splits filled entries into (train, holdout): up to `per_row` entries are
+// removed per row; removing (i, j) counts toward both rows' quotas.
+void holdout_split(const EstimatedMatrix& e, int per_row, util::Rng& rng,
+                   std::vector<RatingEntry>& train,
+                   std::vector<RatingEntry>& holdout) {
+  const std::size_t n = e.size();
+  std::vector<int> removed(n, 0);
+  auto entries = e.filled_entries();
+  std::vector<std::size_t> order = rng.sample_indices(entries.size(),
+                                                      entries.size());
+  std::vector<char> held(entries.size(), 0);
+  for (std::size_t k : order) {
+    auto [i, j] = entries[k];
+    if (removed[i] >= per_row || removed[j] >= per_row) continue;
+    // Keep at least one entry per touched row in the training set.
+    if (e.row_filled(i) - static_cast<std::size_t>(removed[i]) <= 1) continue;
+    if (e.row_filled(j) - static_cast<std::size_t>(removed[j]) <= 1) continue;
+    held[k] = 1;
+    ++removed[i];
+    ++removed[j];
+  }
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    auto [i, j] = entries[k];
+    RatingEntry r{i, j, e.value(i, j)};
+    (held[k] ? holdout : train).push_back(r);
+  }
+}
+
+}  // namespace
+
+double RankEstimator::holdout_mse_once(const EstimatedMatrix& e, int rank,
+                                       util::Rng& rng) const {
+  std::vector<RatingEntry> train, holdout;
+  holdout_split(e, cfg_.holdout_per_row, rng, train, holdout);
+  if (holdout.empty() || train.empty()) return 1.0;
+
+  AlsConfig als = cfg_.als;
+  als.rank = rank;
+  AlsCompleter completer(ctx_->size(), *features_, als);
+  completer.fit(train);
+
+  // Only rows with more entries than the candidate rank are scored (§3.2);
+  // sparser rows are set aside for this iteration.
+  std::vector<RatingEntry> scored;
+  for (const RatingEntry& h : holdout) {
+    if (e.row_filled(h.i) > static_cast<std::size_t>(rank) &&
+        e.row_filled(h.j) > static_cast<std::size_t>(rank))
+      scored.push_back(h);
+  }
+  if (scored.empty()) scored = holdout;
+  return completer.mse(scored);
+}
+
+double RankEstimator::holdout_mse(const EstimatedMatrix& e, int rank,
+                                  util::Rng& rng) const {
+  double s = 0.0;
+  int reps = std::max(1, cfg_.holdout_repeats);
+  for (int k = 0; k < reps; ++k) s += holdout_mse_once(e, rank, rng);
+  return s / reps;
+}
+
+RankEstimateResult RankEstimator::run(MeasurementScheduler* scheduler,
+                                      MeasurementSystem& ms) {
+  util::Rng rng(cfg_.seed);
+  RankEstimateResult res;
+  double best = 1e30;
+  int no_improve = 0;
+  for (int r = 1; r <= cfg_.max_rank; ++r) {
+    if (scheduler != nullptr)
+      res.traceroutes_used +=
+          scheduler->fill_rows_to(r, cfg_.budget_per_iteration);
+    EstimatedMatrix e = ms.build_matrix(*ctx_);
+    double mse = holdout_mse(e, r, rng);
+    res.history.emplace_back(r, mse);
+    double needed = best > 1e29 ? 0.0  // first candidate always accepted
+                                : std::max(cfg_.min_improvement,
+                                           cfg_.rel_improvement * best);
+    if (mse < best - needed) {
+      best = mse;
+      res.best_rank = r;
+      res.best_mse = mse;
+      no_improve = 0;
+    } else if (++no_improve >= cfg_.patience) {
+      break;
+    }
+  }
+  return res;
+}
+
+RankEstimateResult RankEstimator::run_static(const EstimatedMatrix& e) {
+  util::Rng rng(cfg_.seed);
+  RankEstimateResult res;
+  double best = 1e30;
+  int no_improve = 0;
+  for (int r = 1; r <= cfg_.max_rank; ++r) {
+    double mse = holdout_mse(e, r, rng);
+    res.history.emplace_back(r, mse);
+    double needed = best > 1e29 ? 0.0  // first candidate always accepted
+                                : std::max(cfg_.min_improvement,
+                                           cfg_.rel_improvement * best);
+    if (mse < best - needed) {
+      best = mse;
+      res.best_rank = r;
+      res.best_mse = mse;
+      no_improve = 0;
+    } else if (++no_improve >= cfg_.patience) {
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace metas::core

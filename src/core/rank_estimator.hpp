@@ -1,0 +1,65 @@
+// Iterative effective-rank estimation (§3.2).
+//
+// Starting from rank 1, each iteration (i) asks the scheduler to bring every
+// row of E_m up to the candidate rank, (ii) holds out a few entries per row,
+// (iii) completes the matrix at the candidate rank, and (iv) scores the MSE
+// on the held-out entries of rows that have more entries than the candidate
+// rank.  The estimate is the rank with the lowest MSE once several
+// iterations stop improving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/als.hpp"
+#include "core/scheduler.hpp"
+
+namespace metas::core {
+
+struct RankEstimatorConfig {
+  int max_rank = 48;
+  int patience = 3;            // non-improving iterations before stopping
+  double min_improvement = 1e-4;   // absolute MSE improvement floor
+  double rel_improvement = 0.02;   // and a 2% relative improvement floor
+  int holdout_per_row = 3;     // entries removed per row for validation
+  int holdout_repeats = 2;     // averaged splits per rank (damps MSE noise)
+  std::size_t budget_per_iteration = 4000;  // traceroutes per rank step
+  AlsConfig als;               // rank is overridden each iteration
+  std::uint64_t seed = 17;
+};
+
+struct RankEstimateResult {
+  int best_rank = 1;
+  double best_mse = 0.0;
+  std::vector<std::pair<int, double>> history;  // (rank, holdout MSE)
+  std::size_t traceroutes_used = 0;
+};
+
+class RankEstimator {
+ public:
+  RankEstimator(const MetroContext& ctx, const FeatureMatrix& features,
+                RankEstimatorConfig cfg)
+      : ctx_(&ctx), features_(&features), cfg_(cfg) {}
+
+  /// Runs the estimation loop, driving `scheduler` for targeted
+  /// measurements. Pass a nullptr scheduler to estimate on a static matrix
+  /// (the post-hoc hyperparameter mode used by the baselines in §4.2).
+  RankEstimateResult run(MeasurementScheduler* scheduler,
+                         MeasurementSystem& ms);
+
+  /// Scores candidate ranks on a fixed matrix without new measurements:
+  /// the post-hoc tuning mode of §4.2 for baseline strategies.
+  RankEstimateResult run_static(const EstimatedMatrix& e);
+
+ private:
+  double holdout_mse(const EstimatedMatrix& e, int rank,
+                     util::Rng& rng) const;
+  double holdout_mse_once(const EstimatedMatrix& e, int rank,
+                          util::Rng& rng) const;
+
+  const MetroContext* ctx_;
+  const FeatureMatrix* features_;
+  RankEstimatorConfig cfg_;
+};
+
+}  // namespace metas::core

@@ -1,0 +1,246 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace metas::core {
+
+namespace {
+std::uint64_t entry_key(int i, int j, std::size_t n) {
+  auto lo = static_cast<std::uint64_t>(std::min(i, j));
+  auto hi = static_cast<std::uint64_t>(std::max(i, j));
+  return lo * n + hi;
+}
+}  // namespace
+
+MeasurementScheduler::MeasurementScheduler(const MetroContext& ctx,
+                                           MeasurementSystem& ms,
+                                           ProbabilityMatrix& pm,
+                                           SchedulerConfig cfg)
+    : ctx_(&ctx),
+      ms_(&ms),
+      pm_(&pm),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      fail_streak_(ctx.size(), 0),
+      given_up_(ctx.size(), false) {
+  if (cfg_.policy == SelectionPolicy::kOnlyExploit) cfg_.epsilon = 0.0;
+  if (cfg_.policy == SelectionPolicy::kOnlyExplore) cfg_.epsilon = 1.0;
+  if (cfg_.policy == SelectionPolicy::kIxpMapped) {
+    pm_->restrict_to_ixp_mapped();
+    cfg_.epsilon = 0.0;
+  }
+}
+
+std::size_t MeasurementScheduler::fill_rows_to(int target, std::size_t budget) {
+  std::size_t issued = 0;
+  std::fill(fail_streak_.begin(), fail_streak_.end(), 0);
+  std::fill(given_up_.begin(), given_up_.end(), false);
+  while (issued < budget) {
+    EstimatedMatrix e = ms_->build_matrix(*ctx_);
+    bool any_deficient = false;
+    for (std::size_t i = 0; i < ctx_->size(); ++i) {
+      if (given_up_[i]) continue;
+      if (e.row_filled(i) < static_cast<std::size_t>(target)) {
+        any_deficient = true;
+        break;
+      }
+    }
+    if (!any_deficient) break;
+    std::size_t got = run_batch(e, target);
+    issued += got;
+    if (got == 0) break;  // nothing selectable anymore
+  }
+  return issued;
+}
+
+std::size_t MeasurementScheduler::run_batch(const EstimatedMatrix& e,
+                                            int target) {
+  const std::size_t n = ctx_->size();
+  // Optimistic per-batch fill counts: selected measurements are assumed
+  // successful while composing the batch (§3.3.1).
+  std::vector<std::size_t> sim_filled(n);
+  for (std::size_t i = 0; i < n; ++i) sim_filled[i] = e.row_filled(i);
+
+  std::unordered_set<std::uint64_t> batch_explored_rows;
+  std::size_t issued = 0;
+
+  if (cfg_.policy == SelectionPolicy::kGreedy && greedy_order_.empty()) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        greedy_order_.emplace_back(
+            pm_->entry_prob(static_cast<int>(i), static_cast<int>(j)),
+            entry_key(static_cast<int>(i), static_cast<int>(j), n));
+    std::sort(greedy_order_.begin(), greedy_order_.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+  }
+
+  for (int slot = 0; slot < cfg_.batch_size; ++slot) {
+    Pick pick;
+    switch (cfg_.policy) {
+      case SelectionPolicy::kRandom:
+        pick = pick_random(e);
+        break;
+      case SelectionPolicy::kGreedy:
+        pick = pick_greedy(e);
+        break;
+      case SelectionPolicy::kMetascritic:
+      case SelectionPolicy::kOnlyExploit:
+      case SelectionPolicy::kOnlyExplore:
+      case SelectionPolicy::kIxpMapped:
+        if (rng_.bernoulli(cfg_.epsilon))
+          pick = pick_explore(sim_filled, e, batch_explored_rows);
+        else
+          pick = pick_exploit(sim_filled, e, target);
+        break;
+    }
+    if (pick.i < 0) continue;
+    if (pick.exploration) {
+      batch_explored_rows.insert(static_cast<std::uint64_t>(pick.i));
+      batch_explored_rows.insert(static_cast<std::uint64_t>(pick.j));
+      explored_entries_.insert(entry_key(pick.i, pick.j, n));
+    }
+    sim_filled[static_cast<std::size_t>(pick.i)]++;
+    sim_filled[static_cast<std::size_t>(pick.j)]++;
+    execute(pick);
+    ++issued;
+  }
+  return issued;
+}
+
+MeasurementScheduler::Pick MeasurementScheduler::pick_exploit(
+    const std::vector<std::size_t>& sim_filled, const EstimatedMatrix& e,
+    int target) {
+  const std::size_t n = ctx_->size();
+  // Deficient row with the fewest filled entries but at least one entry with
+  // P above the threshold; ties broken at random.
+  int best_row = -1;
+  std::size_t best_fill = static_cast<std::size_t>(-1);
+  int ties = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (given_up_[i]) continue;
+    if (sim_filled[i] >= static_cast<std::size_t>(target)) continue;
+    if (sim_filled[i] < best_fill) {
+      best_fill = sim_filled[i];
+      best_row = static_cast<int>(i);
+      ties = 1;
+    } else if (sim_filled[i] == best_fill && rng_.bernoulli(1.0 / ++ties)) {
+      best_row = static_cast<int>(i);
+    }
+  }
+  if (best_row < 0) return {};
+  // Unfilled entry in that row with the highest P.
+  int best_j = -1;
+  double best_p = cfg_.exploit_min_prob;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (static_cast<int>(j) == best_row) continue;
+    if (e.filled(static_cast<std::size_t>(best_row), j)) continue;
+    double p = pm_->entry_prob(best_row, static_cast<int>(j));
+    if (p > best_p) {
+      best_p = p;
+      best_j = static_cast<int>(j);
+    }
+  }
+  if (best_j < 0) {
+    // No measurable entry above the floor: this row cannot be exploited.
+    given_up_[static_cast<std::size_t>(best_row)] = true;
+    return {};
+  }
+  return {best_row, best_j, false};
+}
+
+MeasurementScheduler::Pick MeasurementScheduler::pick_explore(
+    const std::vector<std::size_t>& sim_filled, const EstimatedMatrix& e,
+    const std::unordered_set<std::uint64_t>& batch_rows) {
+  const std::size_t n = ctx_->size();
+  // Entry (i, j) minimizing filled(i)+filled(j) with a usable traceroute,
+  // at most one exploration per row per batch and one per entry ever.
+  // Rows are scanned in increasing fill order and pairs in increasing
+  // fill-sum order (anti-diagonal sweep), so the first usable hit minimizes
+  // the sum without materializing all O(n^2) candidates.
+  std::vector<std::size_t> rows(n);
+  for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+  std::sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+    return sim_filled[a] < sim_filled[b];
+  });
+  for (std::size_t s = 1; s < 2 * n - 1; ++s) {
+    for (std::size_t a = (s >= n ? s - n + 1 : 0); 2 * a < s; ++a) {
+      std::size_t b = s - a;
+      if (b >= n) continue;
+      std::size_t i = rows[a], j = rows[b];
+      if (batch_rows.count(i) != 0 || batch_rows.count(j) != 0) continue;
+      if (i > j) std::swap(i, j);
+      if (i == j || e.filled(i, j)) continue;
+      if (explored_entries_.count(entry_key(static_cast<int>(i),
+                                            static_cast<int>(j), n)) != 0)
+        continue;
+      if (pm_->entry_prob(static_cast<int>(i), static_cast<int>(j)) > 0.0)
+        return {static_cast<int>(i), static_cast<int>(j), true};
+    }
+  }
+  return {};
+}
+
+MeasurementScheduler::Pick MeasurementScheduler::pick_random(
+    const EstimatedMatrix& e) {
+  const std::size_t n = ctx_->size();
+  for (int tries = 0; tries < 64; ++tries) {
+    int i = static_cast<int>(rng_.index(n));
+    int j = static_cast<int>(rng_.index(n));
+    if (i == j) continue;
+    if (e.filled(static_cast<std::size_t>(i), static_cast<std::size_t>(j)))
+      continue;
+    auto key = entry_key(i, j, n);
+    if (attempted_.count(key) != 0) continue;
+    attempted_.insert(key);
+    return {std::min(i, j), std::max(i, j), false};
+  }
+  return {};
+}
+
+MeasurementScheduler::Pick MeasurementScheduler::pick_greedy(
+    const EstimatedMatrix& e) {
+  const std::size_t n = ctx_->size();
+  while (greedy_cursor_ < greedy_order_.size()) {
+    auto [p, key] = greedy_order_[greedy_cursor_++];
+    int i = static_cast<int>(key / n);
+    int j = static_cast<int>(key % n);
+    if (e.filled(static_cast<std::size_t>(i), static_cast<std::size_t>(j)))
+      continue;
+    if (attempted_.count(key) != 0) continue;
+    attempted_.insert(key);
+    return {i, j, false};
+  }
+  return {};
+}
+
+void MeasurementScheduler::execute(const Pick& pick) {
+  StrategyChoice choice = pm_->choose(pick.i, pick.j);
+  IssuedRecord rec;
+  rec.i = pick.i;
+  rec.j = pick.j;
+  rec.estimated_prob = choice.probability;
+  if (choice.vp_cat < 0) {
+    history_.push_back(rec);
+    return;
+  }
+  AsId as_i = ctx_->as_at(static_cast<std::size_t>(pick.i));
+  AsId as_j = ctx_->as_at(static_cast<std::size_t>(pick.j));
+  MeasurementOutcome out = ms_->run_targeted(as_i, as_j, ctx_->metro(),
+                                             choice.vp_cat, choice.tgt_cat,
+                                             choice.swapped);
+  rec.ran = out.ran;
+  rec.informative = out.informative;
+  rec.found_existence = out.revealed_direct;
+  rec.found_nonexistence = out.revealed_transit;
+  history_.push_back(rec);
+  pm_->record(pick.i, pick.j, choice, out.informative);
+
+  auto i = static_cast<std::size_t>(pick.i);
+  if (out.informative) {
+    fail_streak_[i] = 0;
+  } else if (!pick.exploration) {
+    if (++fail_streak_[i] >= cfg_.row_fail_limit) given_up_[i] = true;
+  }
+}
+
+}  // namespace metas::core

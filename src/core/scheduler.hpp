@@ -1,0 +1,90 @@
+// Targeted-measurement scheduling (§3.3.1): epsilon-greedy batches mixing
+// exploitation (fill the most deficient rows using P_m) and exploration
+// (probe the least-known row/column pairs to correct P_m's errors).
+//
+// Alternative selection policies (random / greedy / only-exploration /
+// only-exploitation / IXP-mapped) share the same machinery so the Table-2 and
+// Fig-10/11 comparisons are apples to apples.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/measurement_system.hpp"
+#include "core/probability.hpp"
+
+namespace metas::core {
+
+enum class SelectionPolicy {
+  kMetascritic,     // epsilon-greedy exploit/explore
+  kOnlyExploit,
+  kOnlyExplore,
+  kRandom,          // uniformly random unfilled entries
+  kGreedy,          // entries with the highest P first
+  kIxpMapped,       // prior work's probe/target restriction [17]
+};
+
+struct SchedulerConfig {
+  double epsilon = 0.1;            // exploration fraction
+  int batch_size = 300;
+  double exploit_min_prob = 0.1;   // rows need some P_ij above this
+  int row_fail_limit = 6;          // successive uninformative tries per row
+  SelectionPolicy policy = SelectionPolicy::kMetascritic;
+  std::uint64_t seed = 11;
+};
+
+/// One issued targeted measurement, kept for the Fig.-4 calibration study.
+struct IssuedRecord {
+  int i = -1, j = -1;
+  double estimated_prob = 0.0;
+  bool ran = false;
+  bool informative = false;
+  bool found_existence = false;
+  bool found_nonexistence = false;
+};
+
+class MeasurementScheduler {
+ public:
+  MeasurementScheduler(const MetroContext& ctx, MeasurementSystem& ms,
+                       ProbabilityMatrix& pm, SchedulerConfig cfg);
+
+  /// Issues batches until every (non-given-up) row of the current estimated
+  /// matrix has at least `target` filled entries, the budget is exhausted, or
+  /// no further progress is possible. Returns measurements issued.
+  std::size_t fill_rows_to(int target, std::size_t budget);
+
+  /// Runs one batch against the current fill state; returns issued count.
+  std::size_t run_batch(const EstimatedMatrix& current, int target);
+
+  const std::vector<IssuedRecord>& history() const { return history_; }
+
+  /// Rows the scheduler gave up on during the last fill_rows_to call.
+  const std::vector<bool>& given_up() const { return given_up_; }
+
+ private:
+  struct Pick { int i = -1, j = -1; bool exploration = false; };
+  Pick pick_exploit(const std::vector<std::size_t>& sim_filled,
+                    const EstimatedMatrix& e, int target);
+  Pick pick_explore(const std::vector<std::size_t>& sim_filled,
+                    const EstimatedMatrix& e,
+                    const std::unordered_set<std::uint64_t>& batch_rows);
+  Pick pick_random(const EstimatedMatrix& e);
+  Pick pick_greedy(const EstimatedMatrix& e);
+  void execute(const Pick& pick);
+
+  const MetroContext* ctx_;
+  MeasurementSystem* ms_;
+  ProbabilityMatrix* pm_;
+  SchedulerConfig cfg_;
+  util::Rng rng_;
+  std::vector<IssuedRecord> history_;
+  std::vector<int> fail_streak_;
+  std::vector<bool> given_up_;
+  std::unordered_set<std::uint64_t> explored_entries_;  // lifetime 1 per entry
+  std::vector<std::pair<double, std::uint64_t>> greedy_order_;  // lazy, desc
+  std::size_t greedy_cursor_ = 0;
+  std::unordered_set<std::uint64_t> attempted_;  // greedy/random de-dup
+};
+
+}  // namespace metas::core

@@ -1,0 +1,68 @@
+#include "core/shapley.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace metas::core {
+
+Explanation shapley_explain(const PairModel& f, const std::vector<double>& x,
+                            const std::vector<std::vector<double>>& background,
+                            util::Rng& rng, const ShapleyConfig& cfg) {
+  if (background.empty())
+    throw std::invalid_argument("shapley_explain: empty background");
+  const std::size_t d = x.size();
+  for (const auto& row : background)
+    if (row.size() != d)
+      throw std::invalid_argument("shapley_explain: background dim mismatch");
+
+  Explanation ex;
+  ex.prediction = f(x);
+  ex.contributions.assign(d, 0.0);
+
+  double base = 0.0;
+  for (const auto& row : background) base += f(row);
+  ex.base_value = base / static_cast<double>(background.size());
+
+  std::vector<std::size_t> perm(d);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<double> z(d);
+  for (int p = 0; p < cfg.permutations; ++p) {
+    rng.shuffle(perm);
+    // Walk the permutation revealing one feature at a time, averaging the
+    // marginal over a few background rows.
+    for (int b = 0; b < cfg.background_samples; ++b) {
+      const auto& bg = background[rng.index(background.size())];
+      z = bg;
+      double prev = f(z);
+      for (std::size_t k : perm) {
+        z[k] = x[k];
+        double cur = f(z);
+        ex.contributions[k] += cur - prev;
+        prev = cur;
+      }
+    }
+  }
+  double norm = static_cast<double>(cfg.permutations) *
+                static_cast<double>(cfg.background_samples);
+  for (double& c : ex.contributions) c /= norm;
+  return ex;
+}
+
+std::vector<double> shapley_importance(
+    const PairModel& f, const std::vector<std::vector<double>>& inputs,
+    const std::vector<std::vector<double>>& background, util::Rng& rng,
+    const ShapleyConfig& cfg) {
+  if (inputs.empty())
+    throw std::invalid_argument("shapley_importance: empty inputs");
+  std::vector<double> importance(inputs.front().size(), 0.0);
+  for (const auto& x : inputs) {
+    Explanation ex = shapley_explain(f, x, background, rng, cfg);
+    for (std::size_t k = 0; k < importance.size(); ++k)
+      importance[k] += std::fabs(ex.contributions[k]);
+  }
+  for (double& v : importance) v /= static_cast<double>(inputs.size());
+  return importance;
+}
+
+}  // namespace metas::core

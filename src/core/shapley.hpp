@@ -1,0 +1,47 @@
+// Monte-Carlo permutation Shapley values (§5.2, Appx. F.2).
+//
+// For a model f over d features, the Shapley value of feature k for input x
+// is the average over random permutations of the marginal change in f when k
+// is revealed, with unrevealed features replaced by values from a background
+// sample -- the estimator KernelSHAP approximates.  Works with any
+// std::function model; metAScritic uses it on the pair-level surrogate
+// trained to mimic the recommender's ratings.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace metas::core {
+
+using PairModel = std::function<double(const std::vector<double>&)>;
+
+struct ShapleyConfig {
+  int permutations = 64;          // sampled permutations per explanation
+  int background_samples = 16;    // background rows drawn per permutation
+};
+
+/// One explained prediction.
+struct Explanation {
+  double base_value = 0.0;               // E[f(X)] over the background
+  double prediction = 0.0;               // f(x)
+  std::vector<double> contributions;     // per-feature Shapley values
+};
+
+/// Explains f(x) against a background distribution (rows of feature
+/// vectors). Throws std::invalid_argument on empty background or dimension
+/// mismatches.
+Explanation shapley_explain(const PairModel& f, const std::vector<double>& x,
+                            const std::vector<std::vector<double>>& background,
+                            util::Rng& rng, const ShapleyConfig& cfg = {});
+
+/// Mean |Shapley| per feature over a sample of inputs: the global feature-
+/// importance ranking of the beeswarm summary (Fig. 13).
+std::vector<double> shapley_importance(
+    const PairModel& f, const std::vector<std::vector<double>>& inputs,
+    const std::vector<std::vector<double>>& background, util::Rng& rng,
+    const ShapleyConfig& cfg = {});
+
+}  // namespace metas::core

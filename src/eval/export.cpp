@@ -1,0 +1,54 @@
+#include "eval/export.hpp"
+
+#include <ostream>
+
+namespace metas::eval {
+
+void export_links_csv(std::ostream& os, const core::MetroContext& ctx,
+                      const core::PipelineResult& result, double threshold) {
+  os << "as_a,as_b,rating,measured,inferred\n";
+  const int n = static_cast<int>(ctx.size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      auto ii = static_cast<std::size_t>(i);
+      auto jj = static_cast<std::size_t>(j);
+      double rating = result.ratings(ii, jj);
+      bool measured =
+          result.estimated.filled(ii, jj) && result.estimated.value(ii, jj) > 0;
+      bool inferred = rating >= threshold;
+      if (!measured && !inferred) continue;
+      os << ctx.as_at(ii) << ',' << ctx.as_at(jj) << ',' << rating << ','
+         << (measured ? 1 : 0) << ',' << (inferred ? 1 : 0) << '\n';
+    }
+  }
+}
+
+void export_ratings_csv(std::ostream& os, const core::MetroContext& ctx,
+                        const core::PipelineResult& result) {
+  const std::size_t n = ctx.size();
+  os << "as";
+  for (std::size_t j = 0; j < n; ++j) os << ',' << ctx.as_at(j);
+  os << '\n';
+  for (std::size_t i = 0; i < n; ++i) {
+    os << ctx.as_at(i);
+    for (std::size_t j = 0; j < n; ++j)
+      os << ',' << (i == j ? 0.0 : result.ratings(i, j));
+    os << '\n';
+  }
+}
+
+void export_measurement_log_csv(std::ostream& os,
+                                const core::MetroContext& ctx,
+                                const core::PipelineResult& result) {
+  os << "as_a,as_b,estimated_prob,ran,informative,found_link,found_nonlink\n";
+  for (const auto& rec : result.measurement_log) {
+    if (rec.i < 0 || rec.j < 0) continue;
+    os << ctx.as_at(static_cast<std::size_t>(rec.i)) << ','
+       << ctx.as_at(static_cast<std::size_t>(rec.j)) << ','
+       << rec.estimated_prob << ',' << (rec.ran ? 1 : 0) << ','
+       << (rec.informative ? 1 : 0) << ',' << (rec.found_existence ? 1 : 0)
+       << ',' << (rec.found_nonexistence ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace metas::eval

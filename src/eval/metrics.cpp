@@ -1,0 +1,53 @@
+#include "eval/metrics.hpp"
+
+namespace metas::eval {
+
+std::vector<EvaluatedPair> score_pairs(
+    const core::MetroContext& ctx, const linalg::Matrix& ratings,
+    const std::vector<std::pair<int, int>>& pairs) {
+  const auto& truth =
+      ctx.net().truth.at(static_cast<std::size_t>(ctx.metro()));
+  std::vector<EvaluatedPair> out;
+  auto push = [&](int i, int j) {
+    EvaluatedPair p;
+    p.i = i;
+    p.j = j;
+    p.rating = ratings(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    p.truth = truth.link(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    out.push_back(p);
+  };
+  if (!pairs.empty()) {
+    for (auto [i, j] : pairs) push(i, j);
+    return out;
+  }
+  const int n = static_cast<int>(ctx.size());
+  out.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) push(i, j);
+  return out;
+}
+
+std::vector<util::Scored> to_scored(const std::vector<EvaluatedPair>& pairs) {
+  std::vector<util::Scored> s;
+  s.reserve(pairs.size());
+  for (const auto& p : pairs) s.push_back({p.rating, p.truth});
+  return s;
+}
+
+TruthMetrics truth_metrics(const std::vector<EvaluatedPair>& pairs,
+                           double threshold) {
+  TruthMetrics m;
+  m.pairs = pairs.size();
+  auto scored = to_scored(pairs);
+  auto conf = util::confusion_at(scored, threshold);
+  m.precision = conf.precision();
+  m.recall = conf.recall();
+  m.f_score = conf.f_score();
+  m.auprc = util::auprc(scored);
+  m.auc = util::auc(scored);
+  for (const auto& p : pairs)
+    if (p.truth) ++m.positives;
+  return m;
+}
+
+}  // namespace metas::eval

@@ -1,0 +1,44 @@
+// Ground-truth evaluation of completed metros: precision / recall / F-score
+// and PR/ROC summaries of the inferred ratings against the hidden T_m.
+#pragma once
+
+#include <vector>
+
+#include "core/metro_context.hpp"
+#include "core/pipeline.hpp"
+#include "linalg/matrix.hpp"
+#include "util/curves.hpp"
+
+namespace metas::eval {
+
+/// One evaluated pair: rating vs ground truth.
+struct EvaluatedPair {
+  int i = 0, j = 0;
+  double rating = 0.0;
+  bool truth = false;
+};
+
+/// Scores ratings against the metro's hidden ground truth over the given
+/// local pairs. Empty `pairs` means all upper-triangle pairs.
+std::vector<EvaluatedPair> score_pairs(
+    const core::MetroContext& ctx, const linalg::Matrix& ratings,
+    const std::vector<std::pair<int, int>>& pairs = {});
+
+/// Converts evaluated pairs to the Scored form used by util curve helpers.
+std::vector<util::Scored> to_scored(const std::vector<EvaluatedPair>& pairs);
+
+struct TruthMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_score = 0.0;
+  double auprc = 0.0;
+  double auc = 0.0;
+  std::size_t positives = 0;
+  std::size_t pairs = 0;
+};
+
+/// Confusion metrics at `threshold` plus curve areas over the pair set.
+TruthMetrics truth_metrics(const std::vector<EvaluatedPair>& pairs,
+                           double threshold);
+
+}  // namespace metas::eval

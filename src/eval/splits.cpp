@@ -1,0 +1,77 @@
+#include "eval/splits.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace metas::eval {
+
+const char* to_string(SplitKind k) {
+  switch (k) {
+    case SplitKind::kStratified: return "stratified";
+    case SplitKind::kRandom: return "random";
+    case SplitKind::kCompletelyOut: return "completely-out";
+  }
+  return "?";
+}
+
+Split make_split(const core::EstimatedMatrix& e, SplitKind kind,
+                 util::Rng& rng, double test_fraction) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0)
+    throw std::invalid_argument("make_split: test_fraction out of (0,1)");
+  auto entries = e.filled_entries();
+  Split out;
+  if (entries.empty()) return out;
+  const auto target =
+      static_cast<std::size_t>(test_fraction * static_cast<double>(entries.size()));
+
+  std::vector<char> held(entries.size(), 0);
+  switch (kind) {
+    case SplitKind::kRandom: {
+      auto idx = rng.sample_indices(entries.size(), target);
+      for (std::size_t k : idx) held[k] = 1;
+      break;
+    }
+    case SplitKind::kStratified: {
+      // Per-row quotas: remove test_fraction of each row's entries.
+      const std::size_t n = e.size();
+      std::vector<int> quota(n), removed(n, 0);
+      for (std::size_t i = 0; i < n; ++i)
+        quota[i] = static_cast<int>(test_fraction *
+                                    static_cast<double>(e.row_filled(i)));
+      auto order = rng.sample_indices(entries.size(), entries.size());
+      for (std::size_t k : order) {
+        auto [i, j] = entries[k];
+        if (removed[i] >= quota[i] || removed[j] >= quota[j]) continue;
+        held[k] = 1;
+        ++removed[i];
+        ++removed[j];
+      }
+      break;
+    }
+    case SplitKind::kCompletelyOut: {
+      const std::size_t n = e.size();
+      auto rows = rng.sample_indices(n, n);
+      std::vector<char> knocked(n, 0);
+      std::size_t held_count = 0;
+      for (std::size_t r : rows) {
+        if (held_count >= target) break;
+        knocked[r] = 1;
+        held_count = 0;  // recount below (cheap enough at these sizes)
+        for (std::size_t k = 0; k < entries.size(); ++k) {
+          auto [i, j] = entries[k];
+          held[k] = (knocked[i] || knocked[j]) ? 1 : 0;
+          if (held[k]) ++held_count;
+        }
+      }
+      break;
+    }
+  }
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    auto [i, j] = entries[k];
+    core::RatingEntry r{i, j, e.value(i, j)};
+    (held[k] ? out.test : out.train).push_back(r);
+  }
+  return out;
+}
+
+}  // namespace metas::eval

@@ -1,0 +1,30 @@
+// Train/test splits over the estimated matrix (§4.1, Appx. H):
+//   stratified      -- remove ~20% of the filled entries of every row;
+//   random          -- remove 20% of the filled entries uniformly;
+//   completely-out  -- remove *all* entries of random rows until 20% of the
+//                      filled entries are gone (ASes with no usable vantage
+//                      points at all).
+#pragma once
+
+#include <vector>
+
+#include "core/als.hpp"
+#include "util/rng.hpp"
+
+namespace metas::eval {
+
+enum class SplitKind { kStratified, kRandom, kCompletelyOut };
+
+struct Split {
+  std::vector<core::RatingEntry> train;
+  std::vector<core::RatingEntry> test;
+};
+
+/// Splits the filled entries of `e`. `test_fraction` defaults to the paper's
+/// 20%. Throws std::invalid_argument for fractions outside (0, 1).
+Split make_split(const core::EstimatedMatrix& e, SplitKind kind,
+                 util::Rng& rng, double test_fraction = 0.2);
+
+const char* to_string(SplitKind k);
+
+}  // namespace metas::eval

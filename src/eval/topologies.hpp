@@ -1,0 +1,32 @@
+// Topology variants for the §6 use cases: the public BGP view, the view
+// extended with metAScritic's *measured* links, and the view further extended
+// with its *inferred* links at a rating threshold.
+#pragma once
+
+#include "bgp/as_graph.hpp"
+#include "core/pipeline.hpp"
+#include "eval/world.hpp"
+
+namespace metas::eval {
+
+/// Public-BGP-only graph: the complete c2p hierarchy (well captured by
+/// collectors and CAIDA's relationship inference) plus peer links visible in
+/// the public view.
+bgp::AsGraph build_public_graph(const World& w);
+
+/// Adds links with direct measurement evidence between ASes of the context's
+/// metro (as peer links; existing edges are kept). Returns links added.
+std::size_t add_measured_links(bgp::AsGraph& g, const World& w,
+                               const core::MetroContext& ctx);
+
+/// Adds inferred links with rating >= threshold (as peer links).
+/// When `reliable` is non-null, only pairs whose rows both have at least
+/// `min_row_fill` measured entries are added -- the paper's §4.1 reliability
+/// rule (rows with fewer entries than the estimated rank are misclassified
+/// far more often). Returns links added.
+std::size_t add_inferred_links(bgp::AsGraph& g, const core::MetroContext& ctx,
+                               const linalg::Matrix& ratings, double threshold,
+                               const core::EstimatedMatrix* reliable = nullptr,
+                               std::size_t min_row_fill = 0);
+
+}  // namespace metas::eval

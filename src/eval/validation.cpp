@@ -1,0 +1,159 @@
+#include "eval/validation.hpp"
+
+#include <algorithm>
+
+namespace metas::eval {
+
+using topology::AsClass;
+using topology::AsId;
+
+namespace {
+
+// True links of the metro as local pairs.
+std::vector<std::pair<int, int>> true_links(const core::MetroContext& ctx) {
+  const auto& truth = ctx.net().truth.at(static_cast<std::size_t>(ctx.metro()));
+  std::vector<std::pair<int, int>> out;
+  const int n = static_cast<int>(ctx.size());
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (truth.link(static_cast<std::size_t>(i), static_cast<std::size_t>(j)))
+        out.emplace_back(i, j);
+  return out;
+}
+
+ValidationSet recall_sample(std::string name,
+                            std::vector<std::pair<int, int>> pairs) {
+  ValidationSet v;
+  v.name = std::move(name);
+  v.recall_only = true;
+  v.labels.assign(pairs.size(), true);
+  v.pairs = std::move(pairs);
+  return v;
+}
+
+}  // namespace
+
+std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
+                                                util::Rng& rng) {
+  const auto& net = ctx.net();
+  const auto& truth = net.truth.at(static_cast<std::size_t>(ctx.metro()));
+  const int n = static_cast<int>(ctx.size());
+  auto links = true_links(ctx);
+  std::vector<ValidationSet> sets;
+
+  // --- Cloud ground truth (Vultr/Google analogue): two hypergiants' rows,
+  // both existence and non-existence.
+  {
+    std::vector<int> clouds;
+    for (int i = 0; i < n; ++i) {
+      AsId as = ctx.as_at(static_cast<std::size_t>(i));
+      if (net.ases[static_cast<std::size_t>(as)].cls == AsClass::kHypergiant)
+        clouds.push_back(i);
+    }
+    rng.shuffle(clouds);
+    if (clouds.size() > 2) clouds.resize(2);
+    ValidationSet v;
+    v.name = "GroundTruth(cloud)";
+    v.recall_only = false;
+    for (int c : clouds) {
+      for (int j = 0; j < n; ++j) {
+        if (j == c) continue;
+        int a = std::min(c, j), b = std::max(c, j);
+        v.pairs.emplace_back(a, b);
+        v.labels.push_back(truth.link(static_cast<std::size_t>(a),
+                                      static_cast<std::size_t>(b)));
+      }
+    }
+    sets.push_back(std::move(v));
+  }
+
+  // --- BGP communities: links touching community-tagging ASes (a random 30%
+  // of the universe), sampled at 40%.
+  {
+    std::vector<bool> tags(static_cast<std::size_t>(n), false);
+    for (int i = 0; i < n; ++i) tags[static_cast<std::size_t>(i)] = rng.bernoulli(0.30);
+    std::vector<std::pair<int, int>> pairs;
+    for (auto [i, j] : links)
+      if ((tags[static_cast<std::size_t>(i)] || tags[static_cast<std::size_t>(j)]) &&
+          rng.bernoulli(0.4))
+        pairs.emplace_back(i, j);
+    sets.push_back(recall_sample("BGPCommunity", std::move(pairs)));
+  }
+
+  // --- iGDB geographic hints: linked pairs whose footprints overlap *only*
+  // at this metro (the interconnection location is then deducible).
+  {
+    std::vector<std::pair<int, int>> pairs;
+    for (auto [i, j] : links) {
+      const auto& a = net.ases[static_cast<std::size_t>(
+          ctx.as_at(static_cast<std::size_t>(i)))];
+      const auto& b = net.ases[static_cast<std::size_t>(
+          ctx.as_at(static_cast<std::size_t>(j)))];
+      int shared = 0;
+      for (auto m : a.footprint)
+        if (std::binary_search(b.footprint.begin(), b.footprint.end(), m))
+          ++shared;
+      if (shared == 1) pairs.emplace_back(i, j);
+    }
+    sets.push_back(recall_sample("iGDB", std::move(pairs)));
+  }
+
+  // --- Looking glasses: complete link rows of up to 12 transit-ish ASes.
+  {
+    std::vector<int> lg;
+    for (int i = 0; i < n; ++i) {
+      AsId as = ctx.as_at(static_cast<std::size_t>(i));
+      AsClass c = net.ases[static_cast<std::size_t>(as)].cls;
+      if (c == AsClass::kTransit || c == AsClass::kTier2) lg.push_back(i);
+    }
+    rng.shuffle(lg);
+    if (lg.size() > 12) lg.resize(12);
+    std::vector<bool> is_lg(static_cast<std::size_t>(n), false);
+    for (int i : lg) is_lg[static_cast<std::size_t>(i)] = true;
+    std::vector<std::pair<int, int>> pairs;
+    for (auto [i, j] : links)
+      if (is_lg[static_cast<std::size_t>(i)] || is_lg[static_cast<std::size_t>(j)])
+        pairs.emplace_back(i, j);
+    sets.push_back(recall_sample("LookingGlass", std::move(pairs)));
+  }
+
+  // --- IXP peering matrices: bilateral (members not both on the route
+  // server) and multilateral (both route-server users) links at this metro.
+  {
+    std::vector<std::pair<int, int>> bilateral, multilateral;
+    const auto& metro = net.metros.at(static_cast<std::size_t>(ctx.metro()));
+    for (int ixp_idx : metro.ixps) {
+      const auto& ixp = net.ixps.at(static_cast<std::size_t>(ixp_idx));
+      std::vector<bool> member(static_cast<std::size_t>(n), false);
+      std::vector<bool> rs(static_cast<std::size_t>(n), false);
+      for (AsId m : ixp.members) {
+        int l = ctx.local(m);
+        if (l >= 0) member[static_cast<std::size_t>(l)] = true;
+      }
+      for (AsId m : ixp.route_server_users) {
+        int l = ctx.local(m);
+        if (l >= 0) rs[static_cast<std::size_t>(l)] = true;
+      }
+      for (auto [i, j] : links) {
+        auto ii = static_cast<std::size_t>(i);
+        auto jj = static_cast<std::size_t>(j);
+        if (!member[ii] || !member[jj]) continue;
+        if (rs[ii] && rs[jj]) multilateral.emplace_back(i, j);
+        else bilateral.emplace_back(i, j);
+      }
+    }
+    sets.push_back(recall_sample("BilateralIXP", std::move(bilateral)));
+    sets.push_back(recall_sample("MultilateralIXP", std::move(multilateral)));
+  }
+
+  // --- IP aliasing (Albakour et al. analogue): a 15% sample of all links.
+  {
+    std::vector<std::pair<int, int>> pairs;
+    for (auto [i, j] : links)
+      if (rng.bernoulli(0.15)) pairs.emplace_back(i, j);
+    sets.push_back(recall_sample("IPAlias", std::move(pairs)));
+  }
+  return sets;
+}
+
+}  // namespace metas::eval

@@ -1,0 +1,30 @@
+// External validation datasets (§4.1, Appx. H), reconstructed from the
+// simulator's ground truth with each source's coverage profile:
+//   - cloud ground truth (Vultr/Google analogue): all pairs of two cloud
+//     ASes, existence and non-existence -> precision and recall;
+//   - BGP communities, iGDB, looking glasses, bilateral/multilateral IXP,
+//     IP aliasing: existing-links-only samples -> recall only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/metro_context.hpp"
+#include "util/rng.hpp"
+
+namespace metas::eval {
+
+struct ValidationSet {
+  std::string name;
+  bool recall_only = true;
+  std::vector<std::pair<int, int>> pairs;  // local indices
+  std::vector<bool> labels;                // parallel to pairs
+};
+
+/// Builds all per-metro validation sets. Sets that have no applicable pairs
+/// at this metro are returned empty (callers skip them), matching the blank
+/// cells of Table 4.
+std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
+                                                util::Rng& rng);
+
+}  // namespace metas::eval

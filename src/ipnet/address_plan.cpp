@@ -1,0 +1,168 @@
+#include "ipnet/address_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace metas::ipnet {
+
+using topology::AsId;
+using topology::MetroId;
+
+namespace {
+
+// AS i owns 16.0.0.0/4-rooted space: base(i) = 0x10000000 + (i << 16).
+Ip as_base(AsId i) {
+  return 0x10000000u + (static_cast<Ip>(static_cast<std::uint32_t>(i)) << 16);
+}
+// IXP k owns a /20 peering LAN under 0xF0000000 (room for one stable slot
+// per member AS id).
+Ip ixp_base(int k) { return 0xF0000000u + (static_cast<Ip>(k) << 12); }
+
+}  // namespace
+
+std::uint64_t AddressPlan::side_key(AsId side, AsId a, AsId b, MetroId m) {
+  AsId lo = std::min(a, b), hi = std::max(a, b);
+  // side is one of {lo, hi}; encode side as a bit.
+  std::uint64_t side_bit = side == lo ? 0 : 1;
+  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(lo)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(hi)) << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(m)) << 8) |
+         side_bit;
+}
+
+AddressPlan::AddressPlan(const topology::Internet& net, util::Rng& rng) {
+  // --- Announced prefixes: each AS splits its /16 into 1-3 announcements. ---
+  for (const auto& node : net.ases) {
+    Ip base = as_base(node.id);
+    int pieces = rng.uniform_int(1, 3);
+    if (pieces == 1) {
+      announced_.insert(Prefix(base, 16), node.id);
+    } else if (pieces == 2) {
+      announced_.insert(Prefix(base, 17), node.id);
+      announced_.insert(Prefix(base + 0x8000u, 17), node.id);
+    } else {
+      announced_.insert(Prefix(base, 17), node.id);
+      announced_.insert(Prefix(base + 0x8000u, 18), node.id);
+      announced_.insert(Prefix(base + 0xC000u, 18), node.id);
+    }
+  }
+
+  // --- IXP peering LANs. ---
+  for (const auto& ixp : net.ixps)
+    ixp_prefixes_.insert(Prefix(ixp_base(ixp.id), 20), ixp.id);
+
+  // --- Interface addresses for every (link, metro). ---
+  // Per-owner allocation cursors keep point-to-point subnets dense and
+  // deterministic; the upper half of each /16 is reserved for infrastructure.
+  std::unordered_map<AsId, Ip> p2p_cursor;
+  auto rdns_name = [&](const topology::AsNode& owner, MetroId m, Ip ip) {
+    // Larger, better-run networks are likelier to publish descriptive rDNS.
+    double hint_prob =
+        owner.cls == topology::AsClass::kStub ? 0.25 : 0.55;
+    if (!rng.bernoulli(hint_prob)) return std::string();
+    return "ae" + std::to_string(ip & 0xf) + ".m" + std::to_string(m) +
+           ".as" + std::to_string(owner.id) + ".example.net";
+  };
+
+  for (const auto& [key, li] : net.links) {
+    AsId a = static_cast<AsId>(key & 0xffffffffULL);
+    AsId b = static_cast<AsId>(key >> 32);
+    // Numbering side: provider for c2p, lower id for peers.
+    AsId owner_side;
+    if (li.rel == topology::Relationship::kCustomerToProvider) {
+      const auto& provs = net.providers[static_cast<std::size_t>(a)];
+      bool b_is_provider =
+          std::find(provs.begin(), provs.end(), b) != provs.end();
+      owner_side = b_is_provider ? b : a;
+    } else {
+      owner_side = std::min(a, b);
+    }
+
+    for (MetroId m : li.metros) {
+      // IXP-mediated if an IXP at m has both ASes as members.
+      int at_ixp = -1;
+      for (int ixp_idx : net.metros[static_cast<std::size_t>(m)].ixps) {
+        const auto& ixp = net.ixps[static_cast<std::size_t>(ixp_idx)];
+        bool ha = std::find(ixp.members.begin(), ixp.members.end(), a) !=
+                  ixp.members.end();
+        bool hb = std::find(ixp.members.begin(), ixp.members.end(), b) !=
+                  ixp.members.end();
+        if (ha && hb) {
+          at_ixp = ixp.id;
+          break;
+        }
+      }
+
+      Ip ip_a, ip_b;
+      AsId numbered_from;
+      bool ixp_lan = at_ixp >= 0;
+      if (ixp_lan) {
+        // Stable member slot per AS id inside the peering LAN (AS ids are
+        // bounded well below the /20's 4094 usable addresses).
+        Ip lan = ixp_base(at_ixp);
+        ip_a = lan + 2 + (static_cast<Ip>(a) & 0xfffu) % 4000u;
+        ip_b = lan + 2 + (static_cast<Ip>(b) & 0xfffu) % 4000u;
+        numbered_from = topology::kInvalidAs;  // IXP space
+      } else {
+        Ip& cursor = p2p_cursor[owner_side];
+        Ip subnet = as_base(owner_side) + 0x8000u + cursor;
+        cursor += 4;  // /30 per interconnection
+        ip_a = subnet + 1;
+        ip_b = subnet + 2;
+        numbered_from = owner_side;
+      }
+
+      auto record = [&](AsId side, Ip ip) {
+        link_side_ip_[side_key(side, a, b, m)] = ip;
+        InterfaceInfo info;
+        info.owner = side;
+        info.numbered_from = ixp_lan ? topology::kInvalidAs : numbered_from;
+        info.metro = m;
+        info.ixp_lan = ixp_lan;
+        if (interfaces_.insert({ip, info}).second && ixp_lan)
+          ixp_directory_.emplace_back(ip, side);
+        auto name =
+            rdns_name(net.ases[static_cast<std::size_t>(side)], m, ip);
+        if (!name.empty()) rdns_[ip] = name;
+      };
+      record(a, ip_a);
+      record(b, ip_b);
+    }
+  }
+
+  // --- Host (target) addresses: low half of each AS's /16, per metro. ---
+  for (const auto& node : net.ases) {
+    for (MetroId m : node.footprint) {
+      Ip ip = as_base(node.id) + 0x100u * static_cast<Ip>(m) + 10;
+      InterfaceInfo info;
+      info.owner = node.id;
+      info.numbered_from = node.id;
+      info.metro = m;
+      interfaces_[ip] = info;
+    }
+  }
+}
+
+Ip AddressPlan::interface_ip(AsId side, AsId a, AsId b, MetroId m) const {
+  auto it = link_side_ip_.find(side_key(side, a, b, m));
+  if (it == link_side_ip_.end())
+    throw std::invalid_argument("AddressPlan::interface_ip: unknown link side");
+  return it->second;
+}
+
+Ip AddressPlan::host_address(AsId as, MetroId m) const {
+  return as_base(as) + 0x100u * static_cast<Ip>(m) + 10;
+}
+
+std::string AddressPlan::rdns(Ip ip) const {
+  auto it = rdns_.find(ip);
+  return it == rdns_.end() ? std::string() : it->second;
+}
+
+std::optional<InterfaceInfo> AddressPlan::interface_info(Ip ip) const {
+  auto it = interfaces_.find(ip);
+  if (it == interfaces_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace metas::ipnet

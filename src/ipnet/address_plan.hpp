@@ -1,0 +1,77 @@
+// Address plan: the IP-level ground truth under the simulated Internet.
+//
+// Every AS announces prefixes from its own /16; every IXP owns a peering-LAN
+// prefix; and every interconnection gets interface addresses following the
+// real-world conventions that make IP-to-AS mapping hard:
+//   - at an IXP, both border interfaces come from the IXP's peering LAN;
+//   - on a private interconnect, the point-to-point subnet is numbered from
+//     ONE side's space (the provider for c2p links, the lower AS id for
+//     peers), so a naive longest-prefix match attributes the customer/peer
+//     border interface to the wrong AS -- the error bdrmapit exists to fix.
+// Reverse-DNS hostnames carry metro hints for a fraction of interfaces.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ipnet/prefix.hpp"
+#include "topology/internet.hpp"
+#include "util/rng.hpp"
+
+namespace metas::ipnet {
+
+/// Ground-truth record for one interface address.
+struct InterfaceInfo {
+  topology::AsId owner = topology::kInvalidAs;   // AS the interface belongs to
+  topology::AsId numbered_from = topology::kInvalidAs;  // whose space it uses
+  topology::MetroId metro = -1;
+  bool ixp_lan = false;
+};
+
+class AddressPlan {
+ public:
+  /// Builds the full plan for every link and metro of the Internet.
+  AddressPlan(const topology::Internet& net, util::Rng& rng);
+
+  /// BGP-announced prefixes: origin AS per prefix (input to naive mapping).
+  const PrefixTable& announced() const { return announced_; }
+  /// IXP peering-LAN prefixes: IXP index per prefix.
+  const PrefixTable& ixp_prefixes() const { return ixp_prefixes_; }
+
+  /// Interface of AS `side` on link (a, b) at metro m. Throws
+  /// std::invalid_argument if the link/metro does not exist in the plan.
+  Ip interface_ip(topology::AsId side, topology::AsId a, topology::AsId b,
+                  topology::MetroId m) const;
+
+  /// A stable in-AS host address (traceroute target) at a metro.
+  Ip host_address(topology::AsId as, topology::MetroId m) const;
+
+  /// Reverse DNS name of an interface ("" when none).
+  std::string rdns(Ip ip) const;
+
+  /// Public IXP participant directory (PeeringDB analogue): the LAN address
+  /// of every member interface and its AS. Mappers may consume this -- it is
+  /// public data in the real world.
+  const std::vector<std::pair<Ip, topology::AsId>>& ixp_directory() const {
+    return ixp_directory_;
+  }
+
+  /// Ground truth for evaluation; nullopt for unknown addresses.
+  std::optional<InterfaceInfo> interface_info(Ip ip) const;
+
+  std::size_t interfaces() const { return interfaces_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Ip> link_side_ip_;  // (side,a,b,m) -> ip
+  std::unordered_map<Ip, InterfaceInfo> interfaces_;
+  std::unordered_map<Ip, std::string> rdns_;
+  std::vector<std::pair<Ip, topology::AsId>> ixp_directory_;
+  PrefixTable announced_;
+  PrefixTable ixp_prefixes_;
+
+  static std::uint64_t side_key(topology::AsId side, topology::AsId a,
+                                topology::AsId b, topology::MetroId m);
+};
+
+}  // namespace metas::ipnet

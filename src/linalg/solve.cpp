@@ -1,0 +1,69 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+namespace metas::linalg {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  if (!a.is_square()) throw std::invalid_argument("cholesky: non-square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0 || !std::isfinite(s)) return std::nullopt;
+        l(i, i) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::optional<Vector> solve_spd(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size())
+    throw std::invalid_argument("solve_spd: shape mismatch");
+  auto lopt = cholesky(a);
+  if (!lopt) return std::nullopt;
+  const Matrix& l = *lopt;
+  const std::size_t n = a.rows();
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+std::optional<Vector> ridge_solve(const Matrix& a, const Vector& b,
+                                  double lambda) {
+  if (a.rows() != b.size())
+    throw std::invalid_argument("ridge_solve: shape mismatch");
+  Matrix g = a.gram();
+  Vector rhs(a.cols(), 0.0);
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = 0; i < a.rows(); ++i) rhs[j] += a(i, j) * b[i];
+  return solve_regularized(std::move(g), rhs, lambda);
+}
+
+std::optional<Vector> solve_regularized(Matrix g, const Vector& rhs,
+                                        double lambda) {
+  if (!g.is_square() || g.rows() != rhs.size())
+    throw std::invalid_argument("solve_regularized: shape mismatch");
+  for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += lambda;
+  return solve_spd(g, rhs);
+}
+
+}  // namespace metas::linalg

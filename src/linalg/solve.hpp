@@ -1,0 +1,31 @@
+// Direct solvers used inside ALS: Cholesky factorization of symmetric
+// positive-definite systems and the ridge-regularized normal-equation solve
+// argmin_x ||A x - b||^2 + lambda ||x||^2.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace metas::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Returns std::nullopt if A is not (numerically) positive definite.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky. Returns std::nullopt if the
+/// factorization fails. Throws std::invalid_argument on shape mismatch.
+std::optional<Vector> solve_spd(const Matrix& a, const Vector& b);
+
+/// Ridge least squares: solves (A^T A + lambda I) x = A^T b.
+/// Always succeeds for lambda > 0 on finite inputs; returns std::nullopt only
+/// if the regularized system is still numerically singular.
+std::optional<Vector> ridge_solve(const Matrix& a, const Vector& b,
+                                  double lambda);
+
+/// Solves the already-formed normal system (G + lambda I) x = rhs where G is
+/// SPD-ish (e.g. a Gram matrix accumulated by ALS).
+std::optional<Vector> solve_regularized(Matrix g, const Vector& rhs,
+                                        double lambda);
+
+}  // namespace metas::linalg

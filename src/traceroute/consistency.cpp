@@ -1,0 +1,115 @@
+#include "traceroute/consistency.hpp"
+
+#include <algorithm>
+
+namespace metas::traceroute {
+
+using topology::AsId;
+using topology::GeoScope;
+using topology::MetroId;
+using topology::pair_key;
+
+void ConsistencyTracker::ingest(const TraceObservations& obs) {
+  for (const LinkObs& l : obs.links) {
+    if (l.metro < 0) continue;
+    pair_data_[pair_key(l.a, l.b)].direct.insert(l.metro);
+  }
+  for (const TransitObs& t : obs.transits) {
+    MetroId m = t.metro_b_side >= 0 ? t.metro_b_side : t.metro_a_side;
+    if (m < 0) continue;
+    pair_data_[pair_key(t.a, t.b)].transit.insert(m);
+  }
+}
+
+bool ConsistencyTracker::metros_close(MetroId a, MetroId b, GeoScope g) const {
+  return static_cast<int>(net_->metro_scope(a, b)) <= static_cast<int>(g);
+}
+
+bool ConsistencyTracker::pair_inconsistent(AsId a, AsId b, GeoScope g) const {
+  auto it = pair_data_.find(pair_key(a, b));
+  if (it == pair_data_.end()) return false;
+  const PairEvidence& ev = it->second;
+  for (MetroId d : ev.direct)
+    for (MetroId t : ev.transit)
+      if (metros_close(d, t, g)) return true;
+  return false;
+}
+
+std::vector<bool> ConsistencyTracker::consistent_set(
+    GeoScope g, const std::vector<AsId>& universe) const {
+  // Collect inconsistent pairs restricted to the universe.
+  std::unordered_map<AsId, int> pos;
+  for (std::size_t i = 0; i < universe.size(); ++i)
+    pos[universe[i]] = static_cast<int>(i);
+
+  struct Pair { int a, b; };
+  std::vector<Pair> bad;
+  for (const auto& [key, ev] : pair_data_) {
+    AsId a = static_cast<AsId>(key & 0xffffffffULL);
+    AsId b = static_cast<AsId>(key >> 32);
+    auto ia = pos.find(a);
+    auto ib = pos.find(b);
+    if (ia == pos.end() || ib == pos.end()) continue;
+    bool inconsistent = false;
+    for (MetroId d : ev.direct) {
+      for (MetroId t : ev.transit)
+        if (metros_close(d, t, g)) { inconsistent = true; break; }
+      if (inconsistent) break;
+    }
+    if (inconsistent) bad.push_back({ia->second, ib->second});
+  }
+
+  std::vector<bool> alive(universe.size(), true);
+  std::vector<int> count(universe.size(), 0);
+  for (const Pair& p : bad) {
+    ++count[static_cast<std::size_t>(p.a)];
+    ++count[static_cast<std::size_t>(p.b)];
+  }
+  // Iteratively drop the AS involved in the most live inconsistent pairs.
+  while (true) {
+    int worst = -1, worst_count = 0;
+    for (std::size_t i = 0; i < universe.size(); ++i) {
+      if (!alive[i]) continue;
+      if (count[i] > worst_count) {
+        worst_count = count[i];
+        worst = static_cast<int>(i);
+      }
+    }
+    if (worst < 0 || worst_count == 0) break;
+    alive[static_cast<std::size_t>(worst)] = false;
+    for (const Pair& p : bad) {
+      if (p.a == worst && alive[static_cast<std::size_t>(p.b)])
+        --count[static_cast<std::size_t>(p.b)];
+      if (p.b == worst && alive[static_cast<std::size_t>(p.a)])
+        --count[static_cast<std::size_t>(p.a)];
+    }
+    count[static_cast<std::size_t>(worst)] = 0;
+  }
+  return alive;
+}
+
+void WellPositionedTracker::ingest(const TraceResult& trace) {
+  ++issued_[trace.vp_id];
+  auto& seen = traversed_[trace.vp_id];
+  for (const Hop& h : trace.hops) {
+    if (!h.responsive || h.observed_ingress < 0) continue;
+    seen.insert(key(h.as, h.observed_ingress));
+  }
+  // The probe's own AS at its own metro counts as traversed.
+  if (!trace.hops.empty())
+    seen.insert(key(trace.src_as, trace.src_metro));
+}
+
+bool WellPositionedTracker::well_positioned(int vp_id, AsId i, MetroId m) const {
+  auto it = issued_.find(vp_id);
+  if (it == issued_.end() || it->second == 0) return true;  // never issued
+  auto ts = traversed_.find(vp_id);
+  return ts != traversed_.end() && ts->second.count(key(i, m)) != 0;
+}
+
+std::size_t WellPositionedTracker::issued_by(int vp_id) const {
+  auto it = issued_.find(vp_id);
+  return it == issued_.end() ? 0 : it->second;
+}
+
+}  // namespace metas::traceroute

@@ -1,0 +1,75 @@
+// Consistent-routing detection and well-positioned-vantage-point tracking
+// (§3.4, Appx. D.5).
+//
+// An AS routes consistently toward a peer at a granularity if observations
+// never mix direct interconnections and transit crossings within that
+// granularity.  ASes participating in inconsistent pairs are eliminated
+// iteratively (highest inconsistency count first) until the remaining
+// submatrix is consistent -- only those ASes support non-existence inference
+// and geographic transferability.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/internet.hpp"
+#include "traceroute/observations.hpp"
+
+namespace metas::traceroute {
+
+class ConsistencyTracker {
+ public:
+  explicit ConsistencyTracker(const topology::Internet& net) : net_(&net) {}
+
+  /// Records observations from one traceroute.
+  void ingest(const TraceObservations& obs);
+
+  /// True if the pair mixes direct and transit evidence within `g`
+  /// (i.e., a direct metro and a transit metro that are `g`-close).
+  bool pair_inconsistent(topology::AsId a, topology::AsId b,
+                         topology::GeoScope g) const;
+
+  /// Iteratively eliminates the ASes with the most inconsistent pairs at
+  /// granularity `g`; returns a membership flag per AS id in `universe`
+  /// (true = consistent, usable for transfer / non-existence inference).
+  std::vector<bool> consistent_set(topology::GeoScope g,
+                                   const std::vector<topology::AsId>& universe) const;
+
+  std::size_t pairs_tracked() const { return pair_data_.size(); }
+
+ private:
+  struct PairEvidence {
+    std::set<topology::MetroId> direct;
+    std::set<topology::MetroId> transit;
+  };
+  bool metros_close(topology::MetroId a, topology::MetroId b,
+                    topology::GeoScope g) const;
+
+  const topology::Internet* net_;
+  std::unordered_map<std::uint64_t, PairEvidence> pair_data_;
+};
+
+/// Tracks which (AS, metro) interfaces each vantage point has traversed.
+/// A VP is well positioned for (i, m) if it has never issued a measurement or
+/// has previously crossed AS i at metro m (§3.4).
+class WellPositionedTracker {
+ public:
+  /// Records a completed traceroute (responsive hops only).
+  void ingest(const TraceResult& trace);
+
+  bool well_positioned(int vp_id, topology::AsId i, topology::MetroId m) const;
+  std::size_t issued_by(int vp_id) const;
+
+ private:
+  static std::uint64_t key(topology::AsId as, topology::MetroId m) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(as)) << 16) |
+           static_cast<std::uint16_t>(m);
+  }
+  std::unordered_map<int, std::size_t> issued_;
+  std::unordered_map<int, std::unordered_set<std::uint64_t>> traversed_;
+};
+
+}  // namespace metas::traceroute

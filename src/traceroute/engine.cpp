@@ -1,0 +1,106 @@
+#include "traceroute/engine.hpp"
+
+#include <stdexcept>
+
+namespace metas::traceroute {
+
+using topology::AsId;
+using topology::GeoScope;
+using topology::MetroId;
+
+TracerouteEngine::TracerouteEngine(const topology::Internet& net,
+                                   TracerouteConfig cfg)
+    : net_(&net),
+      cfg_(cfg),
+      graph_(bgp::AsGraph::from_internet(net)),
+      routing_(graph_) {}
+
+MetroId TracerouteEngine::choose_link_metro(const topology::LinkInfo& link,
+                                            AsId from, MetroId current,
+                                            util::Rng& rng) const {
+  const auto& metros = link.metros;
+  if (metros.empty())
+    throw std::logic_error("choose_link_metro: link without metros");
+  const topology::AsNode& from_node = net_->ases[static_cast<std::size_t>(from)];
+  if (!from_node.consistent_routing &&
+      rng.bernoulli(cfg_.inconsistent_divert_prob)) {
+    // Inconsistent AS: intradomain policy steers through an arbitrary
+    // interconnection (load balancing / cost, §3.4).
+    return rng.pick(metros);
+  }
+  // Hot-potato: nearest link metro to the packet's current location,
+  // deterministic tie-break on metro id.
+  MetroId best = metros.front();
+  int best_rank = 1 << 20;
+  for (MetroId m : metros) {
+    int rank = static_cast<int>(net_->metro_scope(current, m)) * 1024 + m;
+    if (rank < best_rank) {
+      best_rank = rank;
+      best = m;
+    }
+  }
+  return best;
+}
+
+TraceResult TracerouteEngine::trace(const VantagePoint& vp,
+                                    const ProbeTarget& tgt, util::Rng& rng) {
+  ++issued_;
+  TraceResult res;
+  res.vp_id = vp.id;
+  res.src_as = vp.as;
+  res.src_metro = vp.metro;
+  res.dst_as = tgt.as;
+
+  auto path = routing_.path(vp.as, tgt.as);
+  if (path.empty()) return res;  // unreachable: no hops at all
+
+  MetroId current = vp.metro;
+  Hop first;
+  first.as = vp.as;
+  first.true_ingress = -1;
+  first.observed_ingress = vp.metro;  // the probe knows where it is
+  first.responsive = true;
+  res.hops.push_back(first);
+
+  const int num_metros = static_cast<int>(net_->metros.size());
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    AsId u = path[k - 1];
+    AsId v = path[k];
+    const topology::LinkInfo* link = net_->find_link(u, v);
+    if (link == nullptr)
+      throw std::logic_error("TracerouteEngine: path edge without link");
+    MetroId ingress = choose_link_metro(*link, u, current, rng);
+    current = ingress;
+
+    Hop hop;
+    hop.as = v;
+    hop.true_ingress = ingress;
+    const topology::AsNode& vn = net_->ases[static_cast<std::size_t>(v)];
+    double responsive_p = vn.responsiveness;
+    if (k + 1 == path.size()) responsive_p *= tgt.responsiveness;
+    hop.responsive = rng.bernoulli(responsive_p);
+    if (hop.responsive) {
+      if (rng.bernoulli(cfg_.geoloc_accuracy)) {
+        hop.observed_ingress = ingress;
+      } else if (rng.bernoulli(0.6)) {
+        // Typical geolocation error: a *different* nearby metro in the same
+        // country (falls through to ungeolocatable when there is none).
+        const auto& metro = net_->metros[static_cast<std::size_t>(ingress)];
+        std::vector<MetroId> same_country;
+        for (int m = 0; m < num_metros; ++m)
+          if (m != ingress &&
+              net_->metros[static_cast<std::size_t>(m)].country == metro.country)
+            same_country.push_back(static_cast<MetroId>(m));
+        hop.observed_ingress =
+            same_country.empty() ? -1 : rng.pick(same_country);
+      } else {
+        hop.observed_ingress = -1;  // ungeolocatable interface
+      }
+    }
+    res.hops.push_back(hop);
+  }
+  res.reached = res.hops.back().responsive;
+  return res;
+}
+
+}  // namespace metas::traceroute

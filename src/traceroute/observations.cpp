@@ -1,0 +1,50 @@
+#include "traceroute/observations.hpp"
+
+#include <algorithm>
+
+namespace metas::traceroute {
+
+bool PublicRelationships::is_provider_of(topology::AsId provider,
+                                         topology::AsId customer) const {
+  if (providers_of == nullptr) return false;
+  const auto& ps = (*providers_of)[static_cast<std::size_t>(customer)];
+  return std::find(ps.begin(), ps.end(), provider) != ps.end();
+}
+
+TraceObservations extract_observations(const TraceResult& trace,
+                                       const PublicRelationships& rels,
+                                       util::Rng& rng,
+                                       const ObservationConfig& cfg) {
+  TraceObservations out;
+  const auto& hops = trace.hops;
+
+  // Direct links between consecutive responsive hops; occasional false merge
+  // across a single unresponsive hop (bdrmapit-style error).
+  for (std::size_t k = 1; k < hops.size(); ++k) {
+    if (!hops[k].responsive) continue;
+    if (hops[k - 1].responsive) {
+      out.links.push_back(
+          {hops[k - 1].as, hops[k].as, hops[k].observed_ingress, false});
+    } else if (k >= 2 && hops[k - 2].responsive &&
+               rng.bernoulli(cfg.mismap_rate)) {
+      out.links.push_back(
+          {hops[k - 2].as, hops[k].as, hops[k].observed_ingress, true});
+    }
+  }
+
+  // Transit crossings: responsive triple a -> t -> b where t is a publicly
+  // known provider of a or of b.
+  for (std::size_t k = 2; k < hops.size(); ++k) {
+    const Hop& ha = hops[k - 2];
+    const Hop& ht = hops[k - 1];
+    const Hop& hb = hops[k];
+    if (!ha.responsive || !ht.responsive || !hb.responsive) continue;
+    if (!rels.is_provider_of(ht.as, ha.as) && !rels.is_provider_of(ht.as, hb.as))
+      continue;
+    out.transits.push_back(
+        {ha.as, hb.as, ht.as, ht.observed_ingress, hb.observed_ingress});
+  }
+  return out;
+}
+
+}  // namespace metas::traceroute

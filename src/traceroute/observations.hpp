@@ -1,0 +1,60 @@
+// From raw traceroutes to link / transit observations (§3.4 front half).
+//
+// Adjacent responsive hops witness a direct interconnection at the observed
+// ingress metro.  A responsive triple a -> t -> b where t is a *publicly
+// known* provider of a or b (CAIDA-relationship analogue) witnesses that the
+// packet crossed a transit between a and b -- the raw material for
+// non-existence inference.  A pair of responsive hops spanning one
+// unresponsive hop can be mis-merged into a false direct link with a small
+// probability, reproducing the bdrmapit error rate the paper cites
+// (1.2-8.9%, [101]).
+#pragma once
+
+#include <vector>
+
+#include "traceroute/engine.hpp"
+
+namespace metas::traceroute {
+
+/// A witnessed direct interconnection.
+struct LinkObs {
+  topology::AsId a = topology::kInvalidAs;
+  topology::AsId b = topology::kInvalidAs;
+  topology::MetroId metro = -1;  // observed metro (-1 if ungeolocated)
+  bool mismapped = false;        // true for spans over an unresponsive hop
+};
+
+/// A witnessed transit crossing between a and b via AS `via`.
+struct TransitObs {
+  topology::AsId a = topology::kInvalidAs;
+  topology::AsId b = topology::kInvalidAs;
+  topology::AsId via = topology::kInvalidAs;
+  topology::MetroId metro_a_side = -1;  // observed ingress of `via`
+  topology::MetroId metro_b_side = -1;  // observed ingress of b
+};
+
+struct TraceObservations {
+  std::vector<LinkObs> links;
+  std::vector<TransitObs> transits;
+};
+
+/// Public relationship knowledge used when interpreting traceroutes:
+/// `providers_of[i]` are the publicly known (CAIDA-style) providers of i.
+/// In the simulator this is the true c2p graph -- c2p links are well
+/// captured by the public view, per the paper.
+struct PublicRelationships {
+  const std::vector<std::vector<topology::AsId>>* providers_of = nullptr;
+  bool is_provider_of(topology::AsId provider, topology::AsId customer) const;
+};
+
+struct ObservationConfig {
+  double mismap_rate = 0.03;  // P(merge hops across an unresponsive gap)
+};
+
+/// Extracts link and transit observations from a traceroute.
+TraceObservations extract_observations(const TraceResult& trace,
+                                       const PublicRelationships& rels,
+                                       util::Rng& rng,
+                                       const ObservationConfig& cfg = {});
+
+}  // namespace metas::traceroute

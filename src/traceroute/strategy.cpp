@@ -1,0 +1,77 @@
+#include "traceroute/strategy.hpp"
+
+namespace metas::traceroute {
+
+namespace {
+int vp_category(GeoScope g, VpTopo t) {
+  return static_cast<int>(g) * kNumVpTopo + static_cast<int>(t);
+}
+int target_category(GeoScope g, TargetTopo t) {
+  return static_cast<int>(g) * kNumTargetTopo + static_cast<int>(t);
+}
+}  // namespace
+
+int strategy_index(const Strategy& s) {
+  return vp_category(s.vp_geo, s.vp_topo) * kTargetCategories +
+         target_category(s.tgt_geo, s.tgt_topo);
+}
+
+int strategy_index(int vp_cat, int tgt_cat) {
+  return vp_cat * kTargetCategories + tgt_cat;
+}
+
+Strategy strategy_from_index(int idx) {
+  Strategy s;
+  int vp_cat = idx / kTargetCategories;
+  int tgt_cat = idx % kTargetCategories;
+  s.vp_geo = static_cast<GeoScope>(vp_cat / kNumVpTopo);
+  s.vp_topo = static_cast<VpTopo>(vp_cat % kNumVpTopo);
+  s.tgt_geo = static_cast<GeoScope>(tgt_cat / kNumTargetTopo);
+  s.tgt_topo = static_cast<TargetTopo>(tgt_cat % kNumTargetTopo);
+  return s;
+}
+
+std::string to_string(const Strategy& s) {
+  auto vt = [](VpTopo t) {
+    switch (t) {
+      case VpTopo::kInAs: return "InAS";
+      case VpTopo::kInCone: return "InCone";
+      case VpTopo::kOutside: return "Outside";
+    }
+    return "?";
+  };
+  auto tt = [](TargetTopo t) {
+    switch (t) {
+      case TargetTopo::kInAs: return "InAS";
+      case TargetTopo::kInCone: return "InCone";
+      case TargetTopo::kIxpAdjacent: return "IxpAdj";
+    }
+    return "?";
+  };
+  return "vp(" + topology::to_string(s.vp_geo) + "," + vt(s.vp_topo) +
+         ")->tgt(" + topology::to_string(s.tgt_geo) + "," + tt(s.tgt_topo) + ")";
+}
+
+int categorize_vp(const topology::Internet& net, const VantagePoint& vp,
+                  topology::AsId i, topology::MetroId m) {
+  GeoScope g = net.metro_scope(vp.metro, m);
+  VpTopo t;
+  if (vp.as == i) t = VpTopo::kInAs;
+  else if (net.in_cone(i, vp.as)) t = VpTopo::kInCone;
+  else t = VpTopo::kOutside;
+  return vp_category(g, t);
+}
+
+int categorize_target(const topology::Internet& net, const ProbeTarget& tgt,
+                      topology::AsId j, topology::MetroId m) {
+  GeoScope g = net.metro_scope(tgt.metro, m);
+  if (tgt.as == j) {
+    if (tgt.ixp_adjacent && tgt.metro == m)
+      return target_category(g, TargetTopo::kIxpAdjacent);
+    return target_category(g, TargetTopo::kInAs);
+  }
+  if (net.in_cone(j, tgt.as)) return target_category(g, TargetTopo::kInCone);
+  return -1;  // outside j's cone: very unlikely to reveal j's connectivity
+}
+
+}  // namespace metas::traceroute

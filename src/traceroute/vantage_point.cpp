@@ -1,0 +1,72 @@
+#include "traceroute/vantage_point.hpp"
+
+namespace metas::traceroute {
+
+std::vector<VantagePoint> place_vantage_points(const topology::Internet& net,
+                                               util::Rng& rng,
+                                               const VpPlacementConfig& cfg) {
+  using topology::AsClass;
+  std::vector<VantagePoint> vps;
+  int next_id = 0;
+  for (const auto& node : net.ases) {
+    double p = 0.0;
+    switch (node.cls) {
+      case AsClass::kTier1: p = 0.60; break;
+      case AsClass::kTier2: p = 0.40; break;
+      case AsClass::kTransit: p = 0.28; break;
+      case AsClass::kLargeIsp: p = 0.35; break;
+      case AsClass::kHypergiant: p = 0.22; break;
+      case AsClass::kContent: p = 0.12; break;
+      case AsClass::kEnterprise: p = 0.08; break;
+      case AsClass::kStub: p = 0.06; break;
+    }
+    if (node.home_continent >= 2) p *= cfg.south_penalty;
+    p *= cfg.coverage_scale;
+    if (!rng.bernoulli(p)) continue;
+    // Hosting ASes place a probe at their home metro and, for larger
+    // networks, a few additional footprint metros (anchor-style deployment).
+    std::size_t extra = 0;
+    if (node.cls == AsClass::kTier1 || node.cls == AsClass::kTier2 ||
+        node.cls == AsClass::kTransit)
+      extra = std::min<std::size_t>(node.footprint.size() - 1, 3);
+    vps.push_back({next_id++, node.id, node.footprint.front()});
+    if (extra > 0) {
+      auto picks = rng.sample_indices(node.footprint.size(), extra + 1);
+      for (std::size_t k : picks) {
+        MetroId m = node.footprint[k];
+        if (m == node.footprint.front()) continue;
+        vps.push_back({next_id++, node.id, m});
+        if (--extra == 0) break;
+      }
+    }
+  }
+  return vps;
+}
+
+std::vector<ProbeTarget> enumerate_targets(const topology::Internet& net,
+                                           util::Rng& rng) {
+  std::vector<ProbeTarget> targets;
+  int next_id = 0;
+  for (const auto& node : net.ases) {
+    for (MetroId m : node.footprint) {
+      ProbeTarget t;
+      t.id = next_id++;
+      t.as = node.id;
+      t.metro = m;
+      t.responsiveness = std::min(1.0, node.responsiveness + rng.uniform(-0.05, 0.05));
+      const auto& metro = net.metros[static_cast<std::size_t>(m)];
+      for (int ixp_idx : metro.ixps) {
+        const auto& ixp = net.ixps[static_cast<std::size_t>(ixp_idx)];
+        if (std::find(ixp.members.begin(), ixp.members.end(), node.id) !=
+            ixp.members.end()) {
+          t.ixp_adjacent = true;
+          break;
+        }
+      }
+      targets.push_back(t);
+    }
+  }
+  return targets;
+}
+
+}  // namespace metas::traceroute

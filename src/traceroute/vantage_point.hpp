@@ -1,0 +1,57 @@
+// Vantage points (RIPE-Atlas-probe analogues) and probe targets.
+//
+// VP placement reproduces the real platforms' bias: coverage concentrated in
+// well-connected networks and in the first continents of the generator's
+// geography (the Europe/North-America analogue), leaving many edge ASes in
+// other regions without nearby probes -- the bias §3.3 exists to counteract.
+#pragma once
+
+#include <vector>
+
+#include "topology/internet.hpp"
+#include "util/rng.hpp"
+
+namespace metas::traceroute {
+
+using topology::AsId;
+using topology::MetroId;
+
+/// A measurement probe hosted in an AS at a metro.
+struct VantagePoint {
+  int id = -1;
+  AsId as = topology::kInvalidAs;
+  MetroId metro = -1;
+};
+
+/// A traceroute destination: an address inside an AS at a metro.
+struct ProbeTarget {
+  int id = -1;
+  AsId as = topology::kInvalidAs;
+  MetroId metro = -1;
+  /// Target adjacent to an IXP interface at its metro (§3.3.2's extra
+  /// target category).
+  bool ixp_adjacent = false;
+  /// Probability the final hop answers (ISI-hitlist responsiveness analogue).
+  double responsiveness = 1.0;
+};
+
+/// Knobs for probe placement.
+struct VpPlacementConfig {
+  double coverage_scale = 1.0;
+  /// Multiplier on hosting probability for continents >= 2 (the
+  /// under-covered Global-South analogue; São Paulo effect of Fig. 6).
+  double south_penalty = 0.35;
+};
+
+/// Places vantage points across the Internet. Each hosting AS gets a probe
+/// in one or more of its footprint metros.
+std::vector<VantagePoint> place_vantage_points(const topology::Internet& net,
+                                               util::Rng& rng,
+                                               const VpPlacementConfig& cfg = {});
+
+/// Enumerates probe targets: one per (AS, footprint metro), flagged
+/// ixp-adjacent when the AS is an IXP member at the metro.
+std::vector<ProbeTarget> enumerate_targets(const topology::Internet& net,
+                                           util::Rng& rng);
+
+}  // namespace metas::traceroute

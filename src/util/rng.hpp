@@ -1,0 +1,119 @@
+// Deterministic random number generation for all stochastic components.
+//
+// Every stochastic piece of metAScritic (topology generation, traceroute
+// failure, scheduler tie-breaking, split selection, ...) draws from an
+// explicitly seeded Rng passed by reference.  There is no global RNG state,
+// so benches and tests regenerate identical tables from identical seeds.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace metas::util {
+
+/// Seeded pseudo-random generator wrapping std::mt19937_64 with the
+/// convenience draws used throughout the code base.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::index: n == 0");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Standard normal draw scaled to N(mean, stddev^2).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Geometric-ish draw: exponential with given mean, useful for sizes.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Pareto draw with scale x_m and shape alpha (heavy-tailed sizes, e.g.
+  /// customer cones and eyeball populations).
+  double pareto(double x_m, double alpha) {
+    double u = 1.0 - uniform();
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Pick a uniformly random element (by const reference). Requires !v.empty().
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    if (v.empty()) throw std::invalid_argument("Rng::pick: empty vector");
+    return v[index(v.size())];
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement.
+  /// If k >= n, returns all n indices (shuffled).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    shuffle(idx);
+    if (k < n) idx.resize(k);
+    return idx;
+  }
+
+  /// Weighted index draw proportional to non-negative weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("Rng::weighted_index: negative weight");
+      total += w;
+    }
+    if (total <= 0.0)
+      throw std::invalid_argument("Rng::weighted_index: all weights zero");
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derive an independent child generator (for parallel or per-entity use).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace metas::util

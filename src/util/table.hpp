@@ -1,0 +1,32 @@
+// Fixed-width console table printer used by the benchmark harness so every
+// regenerated table/figure prints in a stable, diffable layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace metas::util {
+
+/// Builds a text table row by row and renders it with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric rows: formats doubles with `precision`.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::size_t v);
+  static std::string fmt(int v);
+
+  /// Render with column separators and a header rule.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metas::util

@@ -1,0 +1,227 @@
+// Hybrid ALS completion tests: recovery of planted low-rank structure,
+// feature contributions, and API contracts.
+#include "core/als.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/curves.hpp"
+#include "util/rng.hpp"
+
+namespace metas::core {
+namespace {
+
+FeatureMatrix no_features() { return FeatureMatrix{}; }
+
+// Builds a planted rank-k +-1 matrix from random factor vectors.
+struct Planted {
+  std::size_t n;
+  std::vector<std::vector<double>> x;
+  bool link(std::size_t i, std::size_t j) const {
+    double s = 0.0;
+    for (std::size_t d = 0; d < x[i].size(); ++d) s += x[i][d] * x[j][d];
+    return s > 0.0;
+  }
+};
+
+Planted plant(std::size_t n, std::size_t k, util::Rng& rng) {
+  Planted p;
+  p.n = n;
+  p.x.assign(n, std::vector<double>(k));
+  for (auto& row : p.x)
+    for (double& v : row) v = rng.normal();
+  return p;
+}
+
+TEST(Als, ConfigValidation) {
+  AlsConfig bad;
+  bad.rank = 0;
+  auto f = no_features();
+  EXPECT_THROW(AlsCompleter(5, f, bad), std::invalid_argument);
+  bad.rank = 2;
+  bad.lambda = 0.0;
+  EXPECT_THROW(AlsCompleter(5, f, bad), std::invalid_argument);
+}
+
+TEST(Als, PredictBeforeFitThrows) {
+  auto f = no_features();
+  AlsCompleter c(5, f, AlsConfig{});
+  EXPECT_THROW(c.predict(0, 1), std::logic_error);
+}
+
+TEST(Als, BadEntriesRejected) {
+  auto f = no_features();
+  AlsCompleter c(3, f, AlsConfig{});
+  EXPECT_THROW(c.fit({{1, 1, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(c.fit({{0, 5, 1.0}}), std::invalid_argument);
+}
+
+TEST(Als, RecoverBlockMatrix) {
+  // Two communities of 10; links within, none across. Rank-2 structure.
+  const std::size_t n = 20;
+  util::Rng rng(1);
+  std::vector<RatingEntry> train;
+  std::vector<std::pair<std::size_t, std::size_t>> heldout;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      bool link = (i < 10) == (j < 10);
+      if (rng.uniform() < 0.5)
+        train.push_back({i, j, link ? 1.0 : -1.0});
+      else
+        heldout.emplace_back(i, j);
+    }
+  }
+  AlsConfig cfg;
+  cfg.rank = 3;
+  auto f = no_features();
+  AlsCompleter c(n, f, cfg);
+  c.fit(train);
+  std::size_t correct = 0;
+  for (auto [i, j] : heldout) {
+    bool link = (i < 10) == (j < 10);
+    if ((c.predict(i, j) > 0.0) == link) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / heldout.size(), 0.95);
+}
+
+TEST(Als, PredictionSymmetricAndClamped) {
+  util::Rng rng(2);
+  auto p = plant(15, 2, rng);
+  std::vector<RatingEntry> train;
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = i + 1; j < p.n; ++j)
+      if (rng.uniform() < 0.6) train.push_back({i, j, p.link(i, j) ? 1.0 : -1.0});
+  auto f = no_features();
+  AlsConfig cfg;
+  cfg.rank = 4;
+  AlsCompleter c(p.n, f, cfg);
+  c.fit(train);
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = 0; j < p.n; ++j) {
+      if (i == j) continue;
+      double v = c.predict(i, j);
+      EXPECT_DOUBLE_EQ(v, c.predict(j, i));
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(Als, CompletedMatrixMatchesPredict) {
+  util::Rng rng(3);
+  auto p = plant(10, 2, rng);
+  std::vector<RatingEntry> train;
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = i + 1; j < p.n; ++j)
+      train.push_back({i, j, p.link(i, j) ? 1.0 : -1.0});
+  auto f = no_features();
+  AlsCompleter c(p.n, f, AlsConfig{});
+  c.fit(train);
+  linalg::Matrix m = c.completed();
+  EXPECT_DOUBLE_EQ(m(3, 7), c.predict(3, 7));
+  EXPECT_DOUBLE_EQ(m(7, 3), m(3, 7));
+  EXPECT_DOUBLE_EQ(m(4, 4), 0.0);
+}
+
+TEST(Als, FeaturesRescueEmptyRows) {
+  // Community membership is exposed only through a feature; rows of
+  // community B have no observed entries at all (completely-out case).
+  const std::size_t n = 24;
+  FeatureMatrix feats;
+  feats.names = {"community"};
+  feats.rows.assign(1, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i)
+    feats.rows[0][i] = i % 2 == 0 ? 1.0 : -1.0;
+
+  auto truth = [](std::size_t i, std::size_t j) {
+    return (i % 2) == (j % 2);
+  };
+  std::vector<RatingEntry> train;
+  for (std::size_t i = 0; i < 16; ++i)
+    for (std::size_t j = i + 1; j < 16; ++j)
+      train.push_back({i, j, truth(i, j) ? 1.0 : -1.0});
+
+  AlsConfig cfg;
+  cfg.rank = 4;
+  cfg.feature_weight = 1.0;
+  AlsCompleter with_f(n, feats, cfg);
+  with_f.fit(train);
+  auto empty = no_features();
+  AlsCompleter without_f(n, empty, cfg);
+  without_f.fit(train);
+
+  // Score pairs where at least one side is unobserved (indices >= 16).
+  std::vector<util::Scored> sf, snf;
+  for (std::size_t i = 16; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      sf.push_back({with_f.predict(i, j), truth(i, j)});
+      snf.push_back({without_f.predict(i, j), truth(i, j)});
+    }
+  EXPECT_GT(util::auc(sf), util::auc(snf));
+  EXPECT_GT(util::auc(sf), 0.8);
+}
+
+TEST(Als, MseDecreasesOnTrainingData) {
+  util::Rng rng(5);
+  auto p = plant(20, 3, rng);
+  std::vector<RatingEntry> train;
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = i + 1; j < p.n; ++j)
+      train.push_back({i, j, p.link(i, j) ? 1.0 : -1.0});
+  auto f = no_features();
+  AlsConfig weak;
+  weak.rank = 1;
+  AlsConfig strong;
+  strong.rank = 6;
+  AlsCompleter cw(p.n, f, weak), cs(p.n, f, strong);
+  cw.fit(train);
+  cs.fit(train);
+  // Compare against the +-1 targets the completer trains on.
+  EXPECT_LT(cs.mse(train), cw.mse(train));
+}
+
+TEST(Als, DeterministicUnderSeed) {
+  util::Rng rng(6);
+  auto p = plant(12, 2, rng);
+  std::vector<RatingEntry> train;
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = i + 1; j < p.n; ++j)
+      if (rng.uniform() < 0.7) train.push_back({i, j, p.link(i, j) ? 1.0 : -1.0});
+  auto f = no_features();
+  AlsCompleter a(p.n, f, AlsConfig{}), b(p.n, f, AlsConfig{});
+  a.fit(train);
+  b.fit(train);
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = i + 1; j < p.n; ++j)
+      EXPECT_DOUBLE_EQ(a.predict(i, j), b.predict(i, j));
+}
+
+// Property sweep: completion accuracy grows with observed fraction.
+class AlsCoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlsCoverageTest, AccuracyAboveBaseline) {
+  double frac = GetParam();
+  util::Rng rng(7);
+  auto p = plant(40, 3, rng);
+  std::vector<RatingEntry> train;
+  std::vector<util::Scored> test;
+  AlsConfig cfg;
+  cfg.rank = 5;
+  auto f = no_features();
+  AlsCompleter c(p.n, f, cfg);
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = i + 1; j < p.n; ++j)
+      if (rng.uniform() < frac) train.push_back({i, j, p.link(i, j) ? 1.0 : -1.0});
+  c.fit(train);
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = i + 1; j < p.n; ++j)
+      test.push_back({c.predict(i, j), p.link(i, j)});
+  EXPECT_GT(util::auc(test), frac >= 0.4 ? 0.9 : 0.65);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, AlsCoverageTest,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+}  // namespace
+}  // namespace metas::core

@@ -1,0 +1,137 @@
+// Consistent-routing detection and well-positioned-VP tests (§3.4).
+#include "traceroute/consistency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.hpp"
+
+namespace metas::traceroute {
+namespace {
+
+using topology::AsId;
+using topology::GeoScope;
+using topology::MetroId;
+
+// A fixed small world whose metro/country/continent layout the tests rely
+// on: 2 metros per country, 2 countries per continent.
+class ConsistencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topology::GeneratorConfig cfg;
+    cfg.seed = 51;
+    cfg.num_continents = 2;
+    cfg.countries_per_continent = 2;
+    cfg.metros_per_country = 2;
+    cfg.num_focus_metros = 2;
+    net_ = new topology::Internet(topology::generate_internet(cfg));
+  }
+  static void TearDownTestSuite() { delete net_; net_ = nullptr; }
+
+  static TraceObservations direct_obs(AsId a, AsId b, MetroId m) {
+    TraceObservations o;
+    o.links.push_back({a, b, m, false});
+    return o;
+  }
+  static TraceObservations transit_obs(AsId a, AsId b, MetroId m) {
+    TraceObservations o;
+    o.transits.push_back({a, b, 99, m, m});
+    return o;
+  }
+  static topology::Internet* net_;
+};
+topology::Internet* ConsistencyTest::net_ = nullptr;
+
+TEST_F(ConsistencyTest, NoEvidenceIsConsistent) {
+  ConsistencyTracker t(*net_);
+  EXPECT_FALSE(t.pair_inconsistent(1, 2, GeoScope::kSameMetro));
+}
+
+TEST_F(ConsistencyTest, SameMetroMixMakesInconsistent) {
+  ConsistencyTracker t(*net_);
+  t.ingest(direct_obs(1, 2, 0));
+  t.ingest(transit_obs(1, 2, 0));
+  EXPECT_TRUE(t.pair_inconsistent(1, 2, GeoScope::kSameMetro));
+  EXPECT_TRUE(t.pair_inconsistent(1, 2, GeoScope::kElsewhere));
+}
+
+TEST_F(ConsistencyTest, GranularityHierarchy) {
+  // Direct at metro 0, transit at metro 1 (same country as 0 with
+  // metros_per_country = 2): consistent at metro granularity, inconsistent
+  // at country and coarser. This mirrors the paper's NY/Seattle/Toronto
+  // example.
+  ConsistencyTracker t(*net_);
+  t.ingest(direct_obs(3, 4, 0));
+  t.ingest(transit_obs(3, 4, 1));
+  EXPECT_FALSE(t.pair_inconsistent(3, 4, GeoScope::kSameMetro));
+  EXPECT_TRUE(t.pair_inconsistent(3, 4, GeoScope::kSameCountry));
+  EXPECT_TRUE(t.pair_inconsistent(3, 4, GeoScope::kElsewhere));
+}
+
+TEST_F(ConsistencyTest, ConsistentSetEliminatesWorstOffenders) {
+  ConsistencyTracker t(*net_);
+  // AS 7 is inconsistent with both 8 and 9; 8 and 9 are otherwise clean.
+  t.ingest(direct_obs(7, 8, 0));
+  t.ingest(transit_obs(7, 8, 0));
+  t.ingest(direct_obs(7, 9, 0));
+  t.ingest(transit_obs(7, 9, 0));
+  std::vector<AsId> universe{7, 8, 9, 10};
+  auto alive = t.consistent_set(GeoScope::kSameMetro, universe);
+  EXPECT_FALSE(alive[0]);  // 7 eliminated
+  EXPECT_TRUE(alive[1]);
+  EXPECT_TRUE(alive[2]);
+  EXPECT_TRUE(alive[3]);
+}
+
+TEST_F(ConsistencyTest, OnlyDirectOrOnlyTransitStaysConsistent) {
+  ConsistencyTracker t(*net_);
+  t.ingest(direct_obs(1, 2, 0));
+  t.ingest(direct_obs(1, 2, 3));
+  t.ingest(transit_obs(4, 5, 0));
+  t.ingest(transit_obs(4, 5, 1));
+  std::vector<AsId> universe{1, 2, 4, 5};
+  auto alive = t.consistent_set(GeoScope::kElsewhere, universe);
+  for (bool a : alive) EXPECT_TRUE(a);
+}
+
+TEST(WellPositioned, NeverIssuedIsWellPositioned) {
+  WellPositionedTracker wp;
+  EXPECT_TRUE(wp.well_positioned(5, 1, 0));
+  EXPECT_EQ(wp.issued_by(5), 0u);
+}
+
+TEST(WellPositioned, TraversedInterfaceQualifies) {
+  WellPositionedTracker wp;
+  TraceResult t;
+  t.vp_id = 3;
+  t.src_as = 1;
+  t.src_metro = 0;
+  Hop h0;
+  h0.as = 1; h0.observed_ingress = 0; h0.responsive = true;
+  Hop h1;
+  h1.as = 2; h1.true_ingress = 4; h1.observed_ingress = 4; h1.responsive = true;
+  t.hops = {h0, h1};
+  wp.ingest(t);
+  EXPECT_EQ(wp.issued_by(3), 1u);
+  EXPECT_TRUE(wp.well_positioned(3, 2, 4));   // traversed AS 2 at metro 4
+  EXPECT_TRUE(wp.well_positioned(3, 1, 0));   // its own interface
+  EXPECT_FALSE(wp.well_positioned(3, 2, 5));  // wrong metro
+  EXPECT_FALSE(wp.well_positioned(3, 9, 4));  // wrong AS
+  // Another VP that never issued is still well positioned anywhere.
+  EXPECT_TRUE(wp.well_positioned(4, 9, 9));
+}
+
+TEST(WellPositioned, UnresponsiveHopsNotRecorded) {
+  WellPositionedTracker wp;
+  TraceResult t;
+  t.vp_id = 1;
+  t.src_as = 0;
+  t.src_metro = 0;
+  Hop h;
+  h.as = 2; h.true_ingress = 3; h.observed_ingress = -1; h.responsive = false;
+  t.hops = {h};
+  wp.ingest(t);
+  EXPECT_FALSE(wp.well_positioned(1, 2, 3));
+}
+
+}  // namespace
+}  // namespace metas::traceroute

@@ -1,0 +1,134 @@
+// Tests for the Jacobi eigendecomposition and effective-rank measures.
+#include "linalg/eigen_sym.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace metas::linalg {
+namespace {
+
+TEST(EigenSym, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 3; a(1, 1) = 1; a(2, 2) = 2;
+  EigenSym es = eigen_symmetric(a);
+  ASSERT_EQ(es.values.size(), 3u);
+  EXPECT_NEAR(es.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(es.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(es.values[2], 1.0, 1e-10);
+}
+
+TEST(EigenSym, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  EigenSym es = eigen_symmetric(a);
+  EXPECT_NEAR(es.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(es.values[1], 1.0, 1e-10);
+}
+
+TEST(EigenSym, RejectsNonSquare) {
+  EXPECT_THROW(eigen_symmetric(Matrix(2, 3)), std::invalid_argument);
+}
+
+// Property: A = V diag(w) V^T and V orthogonal, over random symmetric inputs.
+class EigenReconstructionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenReconstructionTest, ReconstructsAndOrthogonal) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  std::size_t n = 3 + 4 * static_cast<std::size_t>(GetParam());
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  EigenSym es = eigen_symmetric(a);
+  // Reconstruction.
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = es.values[i];
+  Matrix rec = es.vectors * d * es.vectors.transpose();
+  EXPECT_LT(rec.max_abs_diff(a), 1e-8);
+  // Orthogonality.
+  Matrix vtv = es.vectors.transpose() * es.vectors;
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(n)), 1e-8);
+  // Eigenvalues sorted descending.
+  for (std::size_t i = 1; i < n; ++i) EXPECT_GE(es.values[i - 1], es.values[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenReconstructionTest, ::testing::Range(0, 6));
+
+TEST(SingularValues, MatchKnownRectangular) {
+  // A = [[3,0],[0,4],[0,0]] has singular values {4, 3}.
+  Matrix a(3, 2);
+  a(0, 0) = 3; a(1, 1) = 4;
+  Vector sv = singular_values(a);
+  ASSERT_EQ(sv.size(), 2u);
+  EXPECT_NEAR(sv[0], 4.0, 1e-9);
+  EXPECT_NEAR(sv[1], 3.0, 1e-9);
+}
+
+TEST(SingularValues, EmptyMatrix) {
+  EXPECT_TRUE(singular_values(Matrix()).empty());
+}
+
+TEST(EffectiveRank, ExactLowRankMatrix) {
+  // Outer product of two vectors -> rank 1.
+  util::Rng rng(5);
+  std::size_t n = 20;
+  Vector u(n), v(n);
+  for (std::size_t i = 0; i < n; ++i) { u[i] = rng.normal(); v[i] = rng.normal(); }
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = u[i] * v[j];
+  EXPECT_EQ(effective_rank_threshold(a, 0.05), 1u);
+  EXPECT_NEAR(effective_rank_entropy(a), 1.0, 0.05);
+}
+
+// The paper's controlled construction (Appx. E.5): a rank-r matrix plus
+// Gaussian noise of stddev delta has at most ~r eigenvalues above delta, so
+// the threshold effective rank recovers r.
+class NoisyLowRankTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NoisyLowRankTest, ThresholdRankRecoversPlantedRank) {
+  const std::size_t r = GetParam();
+  const std::size_t n = 60;
+  util::Rng rng(77 + r);
+  Matrix x(n, r);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < r; ++k) x(i, k) = rng.normal();
+  Matrix a = x * x.transpose();
+  double noise = 0.01 * a.frobenius_norm() / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      double e = rng.normal(0.0, noise);
+      a(i, j) += e;
+      if (i != j) a(j, i) += e;
+    }
+  std::size_t est = effective_rank_threshold(a, 0.02);
+  EXPECT_GE(est, r - 1);
+  EXPECT_LE(est, r + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PlantedRanks, NoisyLowRankTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 12u));
+
+TEST(EffectiveRank, ZeroMatrix) {
+  Matrix z(5, 5);
+  EXPECT_EQ(effective_rank_threshold(z), 0u);
+  EXPECT_DOUBLE_EQ(effective_rank_entropy(z), 0.0);
+}
+
+TEST(RelativeTailEnergy, FullAndEmptyTails) {
+  Vector sv{3.0, 2.0, 1.0};
+  EXPECT_NEAR(relative_tail_energy(sv, 0), 1.0, 1e-12);
+  EXPECT_NEAR(relative_tail_energy(sv, 3), 0.0, 1e-12);
+  double expect = std::sqrt((4.0 + 1.0) / 14.0);
+  EXPECT_NEAR(relative_tail_energy(sv, 1), expect, 1e-12);
+}
+
+}  // namespace
+}  // namespace metas::linalg

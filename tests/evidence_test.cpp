@@ -1,0 +1,184 @@
+// EvidenceStore and E_m derivation tests (§3.4 transferability rules).
+#include "core/evidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.hpp"
+
+namespace metas::core {
+namespace {
+
+using topology::AsId;
+using topology::MetroId;
+
+// Geography: 2 continents x 2 countries x 2 metros = 8 metros.
+// Metro 0 and 1 share a country; 0 and 2 share a continent; 0 and 4+ do not.
+class EvidenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    topology::GeneratorConfig cfg;
+    cfg.seed = 61;
+    cfg.num_continents = 2;
+    cfg.countries_per_continent = 2;
+    cfg.metros_per_country = 2;
+    cfg.num_focus_metros = 2;
+    cfg.latent_dim = 8;
+    net_ = new topology::Internet(topology::generate_internet(cfg));
+  }
+  static void TearDownTestSuite() { delete net_; net_ = nullptr; }
+
+  // Two ASes guaranteed present at metro 0 (taken from the metro universe).
+  static std::pair<AsId, AsId> two_ases_at_metro0() {
+    const auto& m0 = net_->metros[0].ases;
+    return {m0[0], m0[1]};
+  }
+
+  static traceroute::TraceResult trace_stub() {
+    traceroute::TraceResult t;
+    t.vp_id = 42;
+    return t;
+  }
+
+  static topology::Internet* net_;
+};
+topology::Internet* EvidenceTest::net_ = nullptr;
+
+TEST_F(EvidenceTest, DirectObservationFillsByScope) {
+  auto [a, b] = two_ases_at_metro0();
+  EvidenceStore ev;
+  traceroute::WellPositionedTracker wp;
+  traceroute::ConsistencyTracker ct(*net_);
+  traceroute::TraceObservations obs;
+  obs.links.push_back({a, b, 1, false});  // same country as metro 0
+  ev.ingest(trace_stub(), obs, wp);
+
+  MetroContext ctx(*net_, 0);
+  EstimatedMatrix e = build_estimated_matrix(ctx, ev, ct);
+  int ia = ctx.local(a), ib = ctx.local(b);
+  ASSERT_GE(ia, 0);
+  ASSERT_GE(ib, 0);
+  EXPECT_TRUE(e.filled(ia, ib));
+  EXPECT_DOUBLE_EQ(e.value(ia, ib), 0.7);  // same-country transfer
+}
+
+TEST_F(EvidenceTest, ClosestDirectObservationWins) {
+  auto [a, b] = two_ases_at_metro0();
+  EvidenceStore ev;
+  traceroute::WellPositionedTracker wp;
+  traceroute::ConsistencyTracker ct(*net_);
+  traceroute::TraceObservations obs;
+  obs.links.push_back({a, b, 4, false});  // other continent: 0.1
+  obs.links.push_back({a, b, 2, false});  // same continent: 0.4
+  ev.ingest(trace_stub(), obs, wp);
+  MetroContext ctx(*net_, 0);
+  EstimatedMatrix e = build_estimated_matrix(ctx, ev, ct);
+  EXPECT_DOUBLE_EQ(e.value(ctx.local(a), ctx.local(b)), 0.4);
+}
+
+TEST_F(EvidenceTest, TransitFromWellPositionedVpGivesNegative) {
+  auto [a, b] = two_ases_at_metro0();
+  EvidenceStore ev;
+  traceroute::WellPositionedTracker wp;  // VP never issued: well positioned
+  traceroute::ConsistencyTracker ct(*net_);
+  traceroute::TraceObservations obs;
+  obs.transits.push_back({a, b, 99, 0, 0});  // transit at the metro itself
+  ev.ingest(trace_stub(), obs, wp);
+  MetroContext ctx(*net_, 0);
+  EstimatedMatrix e = build_estimated_matrix(ctx, ev, ct);
+  EXPECT_DOUBLE_EQ(e.value(ctx.local(a), ctx.local(b)), -1.0);
+}
+
+TEST_F(EvidenceTest, TransitFromPoorlyPositionedVpIgnored) {
+  auto [a, b] = two_ases_at_metro0();
+  EvidenceStore ev;
+  traceroute::WellPositionedTracker wp;
+  // The VP has issued a measurement that did NOT traverse (a, metro 0), so
+  // it is no longer well positioned for a at 0.
+  traceroute::TraceResult prior;
+  prior.vp_id = 42;
+  prior.src_as = 7;
+  prior.src_metro = 3;
+  traceroute::Hop h;
+  h.as = 7;
+  h.observed_ingress = 3;
+  h.responsive = true;
+  prior.hops = {h};
+  wp.ingest(prior);
+
+  traceroute::TraceObservations obs;
+  obs.transits.push_back({a, b, 99, 0, 0});
+  traceroute::TraceResult t = trace_stub();
+  ev.ingest(t, obs, wp);
+  MetroContext ctx(*net_, 0);
+  traceroute::ConsistencyTracker ct(*net_);
+  EstimatedMatrix e = build_estimated_matrix(ctx, ev, ct);
+  EXPECT_FALSE(e.filled(ctx.local(a), ctx.local(b)));
+}
+
+TEST_F(EvidenceTest, InconsistentPairGetsNoNegative) {
+  auto [a, b] = two_ases_at_metro0();
+  EvidenceStore ev;
+  traceroute::WellPositionedTracker wp;
+  traceroute::ConsistencyTracker ct(*net_);
+  traceroute::TraceObservations obs;
+  obs.links.push_back({a, b, 1, false});    // direct at metro 1
+  obs.transits.push_back({a, b, 99, 1, 1}); // transit at metro 1 too
+  ev.ingest(trace_stub(), obs, wp);
+  ct.ingest(obs);
+  MetroContext ctx(*net_, 0);
+  EstimatedMatrix e = build_estimated_matrix(ctx, ev, ct);
+  // The pair is inconsistent at country granularity, so the only fill is the
+  // positive same-country transfer.
+  EXPECT_DOUBLE_EQ(e.value(ctx.local(a), ctx.local(b)), 0.7);
+}
+
+TEST_F(EvidenceTest, MixedEvidenceKeepsBiggerAbsolute) {
+  auto [a, b] = two_ases_at_metro0();
+  EvidenceStore ev;
+  traceroute::WellPositionedTracker wp;
+  traceroute::ConsistencyTracker ct(*net_);
+  traceroute::TraceObservations obs;
+  obs.links.push_back({a, b, 4, false});     // weak positive 0.1
+  obs.transits.push_back({a, b, 99, 0, 0});  // strong negative -1
+  ev.ingest(trace_stub(), obs, wp);
+  MetroContext ctx(*net_, 0);
+  EstimatedMatrix e = build_estimated_matrix(ctx, ev, ct);
+  EXPECT_DOUBLE_EQ(e.value(ctx.local(a), ctx.local(b)), -1.0);
+}
+
+TEST_F(EvidenceTest, PairsOutsideMetroIgnored) {
+  // Evidence about a pair with no presence at metro 0 must not crash or fill.
+  EvidenceStore ev;
+  traceroute::WellPositionedTracker wp;
+  traceroute::ConsistencyTracker ct(*net_);
+  // Find an AS absent from metro 0.
+  AsId outsider = topology::kInvalidAs;
+  MetroContext ctx(*net_, 0);
+  for (const auto& node : net_->ases)
+    if (ctx.local(node.id) < 0) { outsider = node.id; break; }
+  ASSERT_NE(outsider, topology::kInvalidAs);
+  traceroute::TraceObservations obs;
+  obs.links.push_back({outsider, ctx.as_at(0), 1, false});
+  ev.ingest(trace_stub(), obs, wp);
+  EstimatedMatrix e = build_estimated_matrix(ctx, ev, ct);
+  EXPECT_EQ(e.total_filled(), 0u);
+}
+
+TEST_F(EvidenceTest, AccessorsWork) {
+  auto [a, b] = two_ases_at_metro0();
+  EvidenceStore ev;
+  traceroute::WellPositionedTracker wp;
+  traceroute::TraceObservations obs;
+  obs.links.push_back({a, b, 2, false});
+  ev.ingest(trace_stub(), obs, wp);
+  EXPECT_TRUE(ev.direct_at(a, b, 2));
+  EXPECT_TRUE(ev.direct_at(b, a, 2));
+  EXPECT_FALSE(ev.direct_at(a, b, 3));
+  EXPECT_FALSE(ev.transit_at(a, b, 2));
+  EXPECT_EQ(ev.pairs(), 1u);
+  EXPECT_NE(ev.find(a, b), nullptr);
+  EXPECT_EQ(ev.find(a, a), nullptr);
+}
+
+}  // namespace
+}  // namespace metas::core

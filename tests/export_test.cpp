@@ -1,0 +1,97 @@
+// CSV-export tests.
+#include "eval/export.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+namespace metas::eval {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = std::make_unique<core::MetroContext>(testing::shared_focus_context());
+    const std::size_t n = ctx_->size();
+    result_.estimated = core::EstimatedMatrix(n);
+    result_.estimated.set(0, 1, 1.0);
+    result_.estimated.set(0, 2, -1.0);
+    result_.ratings = linalg::Matrix(n, n);
+    result_.ratings(0, 1) = result_.ratings(1, 0) = 0.9;
+    result_.ratings(2, 3) = result_.ratings(3, 2) = 0.6;
+    result_.ratings(0, 2) = result_.ratings(2, 0) = -0.8;
+    result_.threshold = 0.5;
+    core::IssuedRecord rec;
+    rec.i = 0;
+    rec.j = 1;
+    rec.ran = true;
+    rec.informative = true;
+    rec.found_existence = true;
+    rec.estimated_prob = 0.4;
+    result_.measurement_log.push_back(rec);
+  }
+  std::vector<std::string> lines(const std::string& s) {
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string line;
+    while (std::getline(is, line)) out.push_back(line);
+    return out;
+  }
+  std::unique_ptr<core::MetroContext> ctx_;
+  core::PipelineResult result_;
+};
+
+TEST_F(ExportTest, LinksCsvContainsThresholdedPairs) {
+  std::ostringstream os;
+  export_links_csv(os, *ctx_, result_, 0.5);
+  auto ls = lines(os.str());
+  ASSERT_GE(ls.size(), 3u);
+  EXPECT_EQ(ls[0], "as_a,as_b,rating,measured,inferred");
+  // (0,1) measured + inferred; (2,3) inferred only; (0,2) excluded.
+  bool has01 = false, has23 = false, has02 = false;
+  std::string a0 = std::to_string(ctx_->as_at(0));
+  std::string a1 = std::to_string(ctx_->as_at(1));
+  std::string a2 = std::to_string(ctx_->as_at(2));
+  std::string a3 = std::to_string(ctx_->as_at(3));
+  for (const auto& l : ls) {
+    if (l.rfind(a0 + "," + a1 + ",", 0) == 0) {
+      has01 = true;
+      EXPECT_NE(l.find(",1,1"), std::string::npos);
+    }
+    if (l.rfind(a2 + "," + a3 + ",", 0) == 0) {
+      has23 = true;
+      EXPECT_NE(l.find(",0,1"), std::string::npos);
+    }
+    if (l.rfind(a0 + "," + a2 + ",", 0) == 0) has02 = true;
+  }
+  EXPECT_TRUE(has01);
+  EXPECT_TRUE(has23);
+  EXPECT_FALSE(has02);
+}
+
+TEST_F(ExportTest, RatingsCsvIsSquareWithHeader) {
+  std::ostringstream os;
+  export_ratings_csv(os, *ctx_, result_);
+  auto ls = lines(os.str());
+  ASSERT_EQ(ls.size(), ctx_->size() + 1);
+  // Header has n+1 comma-separated fields.
+  std::size_t commas = 0;
+  for (char c : ls[0])
+    if (c == ',') ++commas;
+  EXPECT_EQ(commas, ctx_->size());
+}
+
+TEST_F(ExportTest, MeasurementLogRoundTrips) {
+  std::ostringstream os;
+  export_measurement_log_csv(os, *ctx_, result_);
+  auto ls = lines(os.str());
+  ASSERT_EQ(ls.size(), 2u);
+  EXPECT_EQ(ls[0],
+            "as_a,as_b,estimated_prob,ran,informative,found_link,found_nonlink");
+  EXPECT_NE(ls[1].find("0.4,1,1,1,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace metas::eval

@@ -1,0 +1,69 @@
+// Flattening-metric tests: peering shortcuts shorten paths and cut provider
+// reliance.
+#include "bgp/flattening.hpp"
+
+#include <gtest/gtest.h>
+
+namespace metas::bgp {
+namespace {
+
+// Two-branch hierarchy used throughout: 0 top; 1,2 mid; 3,4 leaves.
+AsGraph hierarchy() {
+  AsGraph g(5);
+  g.add_c2p(1, 0);
+  g.add_c2p(2, 0);
+  g.add_c2p(3, 1);
+  g.add_c2p(4, 2);
+  return g;
+}
+
+TEST(Flattening, StatsOnHierarchy) {
+  AsGraph g = hierarchy();
+  RoutingEngine eng(g);
+  PathStats s = path_stats(eng, {3}, {4});
+  ASSERT_EQ(s.lengths.size(), 1u);
+  EXPECT_EQ(s.lengths[0], 4);
+  EXPECT_DOUBLE_EQ(s.mean_length, 4.0);
+  EXPECT_DOUBLE_EQ(s.provider_fraction, 1.0);  // 3 exits via its provider
+}
+
+TEST(Flattening, PeeringShortcutShortensAndDeProviders) {
+  AsGraph base = hierarchy();
+  AsGraph ext = hierarchy();
+  ext.add_peer(3, 4);
+  RoutingEngine be(base), ee(ext);
+  PathStats bs = path_stats(be, {3, 4}, {3, 4});
+  PathStats es = path_stats(ee, {3, 4}, {3, 4});
+  EXPECT_LT(es.mean_length, bs.mean_length);
+  EXPECT_LT(es.provider_fraction, bs.provider_fraction);
+  EXPECT_DOUBLE_EQ(fraction_shorter(bs, es), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_shorter(es, es), 0.0);
+}
+
+TEST(Flattening, UnreachablePairsSkipped) {
+  AsGraph g(3);
+  g.add_c2p(1, 0);  // AS 2 isolated
+  RoutingEngine eng(g);
+  PathStats s = path_stats(eng, {0, 2}, {1});
+  ASSERT_EQ(s.lengths.size(), 2u);
+  EXPECT_EQ(s.lengths[1], kNoRoute);
+  EXPECT_DOUBLE_EQ(s.mean_length, 1.0);  // only the reachable pair counts
+}
+
+TEST(Flattening, SelfPairsExcluded) {
+  AsGraph g = hierarchy();
+  RoutingEngine eng(g);
+  PathStats s = path_stats(eng, {3}, {3});
+  EXPECT_TRUE(s.lengths.empty());
+}
+
+TEST(Flattening, MismatchedPairSetsThrow) {
+  AsGraph g = hierarchy();
+  RoutingEngine eng(g);
+  PathStats a = path_stats(eng, {3}, {4});
+  PathStats b = path_stats(eng, {3, 4}, {3, 4});
+  EXPECT_THROW(fraction_shorter(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metas::bgp

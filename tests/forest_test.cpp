@@ -1,0 +1,108 @@
+// Random-forest baseline tests.
+#include "baselines/forest.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace metas::baselines {
+namespace {
+
+TEST(Forest, RejectsBadInput) {
+  RandomForest f;
+  EXPECT_THROW(f.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(f.fit({{1.0}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(f.fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Forest, UnfittedPredictsZero) {
+  RandomForest f;
+  EXPECT_DOUBLE_EQ(f.predict({1.0, 2.0}), 0.0);
+}
+
+TEST(Forest, LearnsStepFunction) {
+  util::Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    double v = rng.uniform(-1.0, 1.0);
+    x.push_back({v, rng.uniform()});  // second feature is noise
+    y.push_back(v > 0.25 ? 1.0 : -1.0);
+  }
+  RandomForest f;
+  f.fit(x, y);
+  EXPECT_GT(f.predict({0.8, 0.5}), 0.5);
+  EXPECT_LT(f.predict({-0.8, 0.5}), -0.5);
+}
+
+TEST(Forest, LearnsInteraction) {
+  // XOR over sign(x0), sign(x1): needs depth >= 2.
+  util::Rng rng(2);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 800; ++i) {
+    double a = rng.uniform(-1.0, 1.0), b = rng.uniform(-1.0, 1.0);
+    x.push_back({a, b});
+    y.push_back((a > 0) == (b > 0) ? 1.0 : -1.0);
+  }
+  ForestConfig cfg;
+  cfg.trees = 30;
+  cfg.max_depth = 4;
+  RandomForest f(cfg);
+  f.fit(x, y);
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.uniform(-1.0, 1.0), b = rng.uniform(-1.0, 1.0);
+    double truth = (a > 0) == (b > 0) ? 1.0 : -1.0;
+    if (f.predict({a, b}) * truth > 0) ++correct;
+  }
+  EXPECT_GT(correct, 170);
+}
+
+TEST(Forest, RegressionBeatsConstantBaseline) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    double a = rng.uniform(0.0, 1.0);
+    x.push_back({a});
+    y.push_back(std::sin(6.0 * a));
+  }
+  RandomForest f;
+  f.fit(x, y);
+  double sse = 0.0, sse_mean = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    double d = f.predict(x[static_cast<std::size_t>(i)]) - y[static_cast<std::size_t>(i)];
+    sse += d * d;
+    sse_mean += y[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(sse, 0.3 * sse_mean);
+}
+
+TEST(Forest, DeterministicUnderSeed) {
+  util::Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({rng.uniform(), rng.uniform()});
+    y.push_back(x.back()[0]);
+  }
+  RandomForest a, b;
+  a.fit(x, y);
+  b.fit(x, y);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(a.predict(x[static_cast<std::size_t>(i)]),
+                     b.predict(x[static_cast<std::size_t>(i)]));
+}
+
+TEST(RegressionTreeUnit, SingleLeafOnTinyData) {
+  RegressionTree t;
+  util::Rng rng(5);
+  std::vector<std::vector<double>> x{{1.0}, {2.0}};
+  std::vector<double> y{3.0, 5.0};
+  t.fit(x, y, {0, 1}, 4, 4, 1.0, rng);  // min_leaf 4 forbids splitting
+  EXPECT_DOUBLE_EQ(t.predict({1.5}), 4.0);
+}
+
+}  // namespace
+}  // namespace metas::baselines

@@ -1,0 +1,133 @@
+// Hierarchical strategy-model tests (Appx. D.6): partial pooling must beat
+// both no-pooling and complete-pooling when predicting new metros -- the
+// paper's stated reason for the design.
+#include "core/hierarchical.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace metas::core {
+namespace {
+
+using Counts = std::array<double, traceroute::kNumStrategies>;
+
+// Synthetic world: each strategy has a global mean rate; metros deviate with
+// between-metro stddev tau.
+struct SyntheticRates {
+  std::vector<double> global;                       // per strategy
+  std::vector<std::vector<double>> per_metro;       // metro x strategy
+};
+
+SyntheticRates make_rates(int metros, double tau, util::Rng& rng) {
+  SyntheticRates r;
+  r.global.resize(traceroute::kNumStrategies);
+  for (double& g : r.global) g = rng.uniform(0.1, 0.9);
+  r.per_metro.assign(static_cast<std::size_t>(metros),
+                     std::vector<double>(traceroute::kNumStrategies));
+  for (auto& row : r.per_metro)
+    for (int s = 0; s < traceroute::kNumStrategies; ++s)
+      row[static_cast<std::size_t>(s)] = std::clamp(
+          r.global[static_cast<std::size_t>(s)] + rng.normal(0.0, tau), 0.02,
+          0.98);
+  return r;
+}
+
+void observe(HierarchicalStrategyModel& model, const SyntheticRates& rates,
+             int metro, int trials, util::Rng& rng) {
+  Counts succ{}, fail{};
+  for (int s = 0; s < traceroute::kNumStrategies; ++s) {
+    auto si = static_cast<std::size_t>(s);
+    for (int t = 0; t < trials; ++t) {
+      if (rng.bernoulli(rates.per_metro[static_cast<std::size_t>(metro)][si]))
+        succ[si] += 1.0;
+      else
+        fail[si] += 1.0;
+    }
+  }
+  model.add_metro(metro, succ, fail);
+}
+
+TEST(Hierarchical, FitRequiredBeforePrediction) {
+  HierarchicalStrategyModel m;
+  EXPECT_THROW(m.predict_new_metro(0), std::logic_error);
+  m.fit();  // zero metros: weak priors
+  EXPECT_NEAR(m.predict_new_metro(0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Hierarchical, PooledMeanTracksGlobalRate) {
+  util::Rng rng(1);
+  auto rates = make_rates(5, 0.05, rng);
+  HierarchicalStrategyModel model;
+  for (int m = 0; m < 5; ++m) observe(model, rates, m, 60, rng);
+  model.fit();
+  double err = 0.0;
+  for (int s = 0; s < traceroute::kNumStrategies; ++s)
+    err += std::fabs(model.predict_new_metro(s) -
+                     rates.global[static_cast<std::size_t>(s)]);
+  err /= traceroute::kNumStrategies;
+  EXPECT_LT(err, 0.08);
+}
+
+TEST(Hierarchical, KappaReflectsBetweenMetroAgreement) {
+  util::Rng rng(2);
+  auto tight = make_rates(6, 0.02, rng);
+  auto loose = make_rates(6, 0.25, rng);
+  HierarchicalStrategyModel mt, ml;
+  for (int m = 0; m < 6; ++m) {
+    observe(mt, tight, m, 80, rng);
+    observe(ml, loose, m, 80, rng);
+  }
+  mt.fit();
+  ml.fit();
+  double kt = 0.0, kl = 0.0;
+  for (int s = 0; s < traceroute::kNumStrategies; ++s) {
+    kt += mt.kappa(s);
+    kl += ml.kappa(s);
+  }
+  EXPECT_GT(kt, kl);  // agreement -> heavier pooling
+}
+
+TEST(Hierarchical, PartialPoolingBeatsBothExtremesOnSparseMetros) {
+  // A new metro contributes only a handful of trials per strategy; the
+  // posterior should predict its *true* rates better than its own noisy
+  // empirical rate (no pooling) and better than the global rate ignores its
+  // idiosyncrasy (complete pooling). This is Gelman's classic result and the
+  // paper's justification.
+  util::Rng rng(3);
+  auto rates = make_rates(7, 0.12, rng);
+  HierarchicalStrategyModel model;
+  for (int m = 0; m < 6; ++m) observe(model, rates, m, 100, rng);
+  observe(model, rates, 6, 6, rng);  // the sparse new metro
+  model.fit();
+
+  double err_partial = 0.0, err_none = 0.0, err_complete = 0.0;
+  for (int s = 0; s < traceroute::kNumStrategies; ++s) {
+    double truth = rates.per_metro[6][static_cast<std::size_t>(s)];
+    err_partial += std::fabs(model.posterior(s, 6) - truth);
+    err_none += std::fabs(model.no_pooling_estimate(s, 6) - truth);
+    err_complete += std::fabs(model.complete_pooling_estimate(s) - truth);
+  }
+  EXPECT_LT(err_partial, err_none);
+  EXPECT_LT(err_partial, err_complete);
+}
+
+TEST(Hierarchical, PosteriorConvergesToMetroRateWithData) {
+  util::Rng rng(4);
+  auto rates = make_rates(3, 0.2, rng);
+  HierarchicalStrategyModel model;
+  for (int m = 0; m < 2; ++m) observe(model, rates, m, 50, rng);
+  observe(model, rates, 2, 2000, rng);  // heavily observed metro
+  model.fit();
+  double err = 0.0;
+  for (int s = 0; s < traceroute::kNumStrategies; ++s)
+    err += std::fabs(model.posterior(s, 2) -
+                     rates.per_metro[2][static_cast<std::size_t>(s)]);
+  err /= traceroute::kNumStrategies;
+  EXPECT_LT(err, 0.03);  // data overwhelms the prior
+}
+
+}  // namespace
+}  // namespace metas::core

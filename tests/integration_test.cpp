@@ -1,0 +1,130 @@
+// End-to-end integration tests: the full §3.5 loop on a small world, scored
+// the way the paper scores it (cross-validation on E_m) and against the
+// hidden ground truth.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "eval/splits.hpp"
+#include "eval/validation.hpp"
+#include "test_world.hpp"
+#include "util/curves.hpp"
+
+namespace metas {
+namespace {
+
+struct PipelineFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    eval::World& w = testing::shared_world();
+    ctx_ = new core::MetroContext(w.net, w.focus_metros.front());
+    core::PipelineConfig pc;
+    pc.scheduler.seed = 100;
+    pc.rank.seed = 101;
+    pc.rank.max_rank = 24;
+    priors_ = new core::StrategyPriors();
+    core::MetascriticPipeline pipeline(*ctx_, *w.ms, priors_, pc);
+    result_ = new core::PipelineResult(pipeline.run());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete priors_;
+    delete ctx_;
+  }
+  static core::MetroContext* ctx_;
+  static core::PipelineResult* result_;
+  static core::StrategyPriors* priors_;
+};
+core::MetroContext* PipelineFixture::ctx_ = nullptr;
+core::PipelineResult* PipelineFixture::result_ = nullptr;
+core::StrategyPriors* PipelineFixture::priors_ = nullptr;
+
+TEST_F(PipelineFixture, ProducesSaneOutputs) {
+  EXPECT_GE(result_->estimated_rank, 1);
+  EXPECT_LE(result_->estimated_rank, 24);
+  EXPECT_GT(result_->targeted_traceroutes, 0u);
+  EXPECT_GT(result_->estimated.total_filled(), 0u);
+  EXPECT_EQ(result_->ratings.rows(), ctx_->size());
+  EXPECT_GE(result_->threshold, -1.0);
+  EXPECT_LE(result_->threshold, 1.0);
+  EXPECT_FALSE(result_->measurement_log.empty());
+  EXPECT_EQ(priors_->metros_observed, 1);
+}
+
+TEST_F(PipelineFixture, RatingsAreSymmetricBounded) {
+  const auto& r = result_->ratings;
+  for (std::size_t i = 0; i < r.rows(); ++i)
+    for (std::size_t j = i + 1; j < r.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(r(i, j), r(j, i));
+      EXPECT_GE(r(i, j), -1.0);
+      EXPECT_LE(r(i, j), 1.0);
+    }
+}
+
+TEST_F(PipelineFixture, CrossValidationQualityInPaperBallpark) {
+  // Fig. 3 style: hold out 20% of E_m, refit, score sign prediction.
+  util::Rng rng(7);
+  auto split = eval::make_split(result_->estimated, eval::SplitKind::kStratified,
+                                rng);
+  core::FeatureMatrix feats = core::encode_features(*ctx_);
+  core::AlsConfig ac;
+  ac.rank = result_->estimated_rank;
+  core::AlsCompleter c(ctx_->size(), feats, ac);
+  c.fit(split.train);
+  std::vector<util::Scored> scored;
+  for (const auto& e : split.test)
+    scored.push_back({c.predict(e.i, e.j), e.value > 0.0});
+  EXPECT_GT(util::auprc(scored), 0.8);
+  // The shared test world is deliberately tiny (few archives); AUC runs a
+  // little below the bench-scale numbers.
+  EXPECT_GT(util::auc(scored), 0.72);
+}
+
+TEST_F(PipelineFixture, GroundTruthMetricsBeatChance) {
+  auto pairs = eval::score_pairs(*ctx_, result_->ratings);
+  auto m = eval::truth_metrics(pairs, result_->threshold);
+  double base_rate =
+      static_cast<double>(m.positives) / static_cast<double>(m.pairs);
+  EXPECT_GT(m.auc, 0.65);
+  EXPECT_GT(m.auprc, base_rate * 1.5);
+  EXPECT_GT(m.recall, 0.5);
+}
+
+TEST_F(PipelineFixture, MeasuredEntriesAgreeWithTruth) {
+  // Same-metro (|value| = 1) measured entries should be highly accurate.
+  const auto& truth = testing::shared_world().truth_at(ctx_->metro());
+  std::size_t strong = 0, correct = 0;
+  for (auto [i, j] : result_->estimated.filled_entries()) {
+    double v = result_->estimated.value(i, j);
+    if (v < 0.99 && v > -0.99) continue;
+    ++strong;
+    if ((v > 0) == truth.link(i, j)) ++correct;
+  }
+  ASSERT_GT(strong, 50u);
+  EXPECT_GT(static_cast<double>(correct) / strong, 0.85);
+}
+
+TEST_F(PipelineFixture, ExternalValidationRecallReasonable) {
+  util::Rng rng(8);
+  auto sets = eval::make_validation_sets(*ctx_, rng);
+  for (const auto& s : sets) {
+    if (!s.recall_only || s.pairs.size() < 20) continue;
+    std::size_t hit = 0;
+    for (auto [i, j] : s.pairs)
+      if (result_->ratings(static_cast<std::size_t>(i),
+                           static_cast<std::size_t>(j)) >= result_->threshold)
+        ++hit;
+    double recall = static_cast<double>(hit) / s.pairs.size();
+    EXPECT_GT(recall, 0.5) << s.name;
+  }
+}
+
+TEST_F(PipelineFixture, HigherRatingsAreMoreAccurate) {
+  // §5.1: precision grows with the rating threshold.
+  auto pairs = eval::score_pairs(*ctx_, result_->ratings);
+  auto low = eval::truth_metrics(pairs, 0.0);
+  auto high = eval::truth_metrics(pairs, 0.8);
+  EXPECT_GE(high.precision, low.precision - 0.02);
+  EXPECT_LE(high.recall, low.recall + 1e-9);
+}
+
+}  // namespace
+}  // namespace metas

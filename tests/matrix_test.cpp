@@ -1,0 +1,120 @@
+// Tests for the dense matrix substrate.
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace metas::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, Identity) {
+  Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, RowColAccess) {
+  Matrix m(2, 2);
+  m(0, 0) = 1; m(0, 1) = 2; m(1, 0) = 3; m(1, 1) = 4;
+  EXPECT_EQ(m.row(0), (Vector{1, 2}));
+  EXPECT_EQ(m.col(1), (Vector{2, 4}));
+  m.set_row(1, {7, 8});
+  EXPECT_EQ(m.row(1), (Vector{7, 8}));
+  EXPECT_THROW(m.row(2), std::out_of_range);
+  EXPECT_THROW(m.set_row(0, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  Vector v{1.0, 2.0};
+  EXPECT_THROW(a * v, std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 0; a(0, 2) = 2;
+  a(1, 0) = 0; a(1, 1) = 3; a(1, 2) = 0;
+  Vector v{1, 2, 3};
+  Vector r = a * v;
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 7.0);
+  EXPECT_DOUBLE_EQ(r[1], 6.0);
+}
+
+TEST(Matrix, AddSubtract) {
+  Matrix a(2, 2, 1.0), b(2, 2, 2.0);
+  Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  Matrix d = b - a;
+  EXPECT_DOUBLE_EQ(d(1, 1), 1.0);
+  EXPECT_THROW(a + Matrix(3, 2), std::invalid_argument);
+  EXPECT_THROW(a - Matrix(2, 3), std::invalid_argument);
+}
+
+TEST(Matrix, ScaleAndNorms) {
+  Matrix a(1, 2);
+  a(0, 0) = 3; a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 1), 8.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2, 1.0), b(2, 2, 1.0);
+  b(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 3.0);
+  EXPECT_THROW(a.max_abs_diff(Matrix(1, 1)), std::invalid_argument);
+}
+
+TEST(Matrix, GramIsAtA) {
+  Matrix a(3, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 3; a(1, 1) = 4;
+  a(2, 0) = 5; a(2, 1) = 6;
+  Matrix g = a.gram();
+  Matrix expected = a.transpose() * a;
+  EXPECT_LT(g.max_abs_diff(expected), 1e-12);
+}
+
+TEST(VectorOps, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm({3, 4}), 5.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metas::linalg

@@ -1,0 +1,92 @@
+// Neural-collaborative-filtering baseline tests.
+#include "baselines/ncf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/curves.hpp"
+
+namespace metas::baselines {
+namespace {
+
+TEST(Ncf, Validation) {
+  EXPECT_THROW(NeuralCollabFilter(0), std::invalid_argument);
+  NeuralCollabFilter m(4);
+  EXPECT_THROW(m.predict(-1, 0), std::out_of_range);
+  EXPECT_THROW(m.predict(0, 4), std::out_of_range);
+  EXPECT_THROW(m.fit({{0, 9, 1.0}}), std::out_of_range);
+}
+
+TEST(Ncf, PredictionSymmetricAndBounded) {
+  NeuralCollabFilter m(6);
+  m.fit({{0, 1, 1.0}, {2, 3, -1.0}});
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) {
+      if (i == j) continue;
+      double v = m.predict(i, j);
+      EXPECT_DOUBLE_EQ(v, m.predict(j, i));
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(Ncf, LearnsBlockStructure) {
+  // Two communities of 8: intra-links positive, inter negative. Hold out a
+  // random 30% and verify ranking quality.
+  const int n = 16;
+  util::Rng rng(9);
+  std::vector<NcfEntry> train;
+  std::vector<std::pair<int, int>> held;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.uniform() < 0.3) {
+        held.emplace_back(i, j);
+        continue;
+      }
+      bool link = (i < 8) == (j < 8);
+      train.push_back({i, j, link ? 1.0 : -1.0});
+    }
+  NcfConfig cfg;
+  cfg.epochs = 60;
+  NeuralCollabFilter m(n, cfg);
+  m.fit(train);
+  std::vector<util::Scored> scored;
+  for (auto [i, j] : held)
+    scored.push_back({m.predict(i, j), (i < 8) == (j < 8)});
+  EXPECT_GT(util::auc(scored), 0.85);
+}
+
+TEST(Ncf, DeterministicUnderSeed) {
+  std::vector<NcfEntry> train{{0, 1, 1.0}, {1, 2, -1.0}, {0, 3, 0.5}};
+  NeuralCollabFilter a(5), b(5);
+  a.fit(train);
+  b.fit(train);
+  EXPECT_DOUBLE_EQ(a.predict(0, 2), b.predict(0, 2));
+}
+
+TEST(Ncf, TrainingReducesError) {
+  const int n = 10;
+  util::Rng rng(11);
+  std::vector<NcfEntry> train;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      train.push_back({i, j, (i + j) % 2 == 0 ? 0.8 : -0.8});
+  NcfConfig cold;
+  cold.epochs = 0;
+  NcfConfig warm;
+  warm.epochs = 50;
+  NeuralCollabFilter mc(n, cold), mw(n, warm);
+  mc.fit(train);
+  mw.fit(train);
+  auto mse = [&](const NeuralCollabFilter& m) {
+    double s = 0.0;
+    for (const auto& e : train) {
+      double d = m.predict(e.i, e.j) - e.value;
+      s += d * d;
+    }
+    return s / train.size();
+  };
+  EXPECT_LT(mse(mw), mse(mc));
+}
+
+}  // namespace
+}  // namespace metas::baselines

@@ -1,0 +1,125 @@
+// Observation-extraction tests: direct links, transit triples, mismaps.
+#include "traceroute/observations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace metas::traceroute {
+namespace {
+
+using topology::AsId;
+
+TraceResult make_trace(const std::vector<std::tuple<AsId, int, bool>>& hops) {
+  TraceResult t;
+  t.vp_id = 1;
+  t.src_as = std::get<0>(hops.front());
+  t.src_metro = 0;
+  t.dst_as = std::get<0>(hops.back());
+  for (auto [as, metro, resp] : hops) {
+    Hop h;
+    h.as = as;
+    h.true_ingress = static_cast<topology::MetroId>(metro);
+    h.observed_ingress = resp ? static_cast<topology::MetroId>(metro) : -1;
+    h.responsive = resp;
+    t.hops.push_back(h);
+  }
+  t.reached = t.hops.back().responsive;
+  return t;
+}
+
+PublicRelationships rels_with(std::vector<std::vector<AsId>>& providers) {
+  PublicRelationships r;
+  r.providers_of = &providers;
+  return r;
+}
+
+TEST(Observations, DirectLinksFromAdjacentResponsiveHops) {
+  std::vector<std::vector<AsId>> providers(3);
+  auto rels = rels_with(providers);
+  util::Rng rng(1);
+  auto t = make_trace({{0, -1, true}, {1, 2, true}, {2, 3, true}});
+  auto obs = extract_observations(t, rels, rng);
+  ASSERT_EQ(obs.links.size(), 2u);
+  EXPECT_EQ(obs.links[0].a, 0);
+  EXPECT_EQ(obs.links[0].b, 1);
+  EXPECT_EQ(obs.links[0].metro, 2);
+  EXPECT_FALSE(obs.links[0].mismapped);
+  EXPECT_EQ(obs.links[1].a, 1);
+  EXPECT_EQ(obs.links[1].b, 2);
+}
+
+TEST(Observations, UnresponsiveHopBreaksAdjacency) {
+  std::vector<std::vector<AsId>> providers(3);
+  auto rels = rels_with(providers);
+  util::Rng rng(1);
+  ObservationConfig cfg;
+  cfg.mismap_rate = 0.0;
+  auto t = make_trace({{0, -1, true}, {1, 2, false}, {2, 3, true}});
+  auto obs = extract_observations(t, rels, rng, cfg);
+  EXPECT_TRUE(obs.links.empty());
+}
+
+TEST(Observations, MismapRateProducesFalseMerges) {
+  std::vector<std::vector<AsId>> providers(3);
+  auto rels = rels_with(providers);
+  util::Rng rng(2);
+  ObservationConfig cfg;
+  cfg.mismap_rate = 1.0;  // always merge
+  auto t = make_trace({{0, -1, true}, {1, 2, false}, {2, 3, true}});
+  auto obs = extract_observations(t, rels, rng, cfg);
+  ASSERT_EQ(obs.links.size(), 1u);
+  EXPECT_EQ(obs.links[0].a, 0);
+  EXPECT_EQ(obs.links[0].b, 2);
+  EXPECT_TRUE(obs.links[0].mismapped);
+}
+
+TEST(Observations, TransitTripleRequiresKnownProvider) {
+  // Path 0 -> 1 -> 2 with 1 a provider of 0.
+  std::vector<std::vector<AsId>> providers(3);
+  providers[0] = {1};
+  auto rels = rels_with(providers);
+  util::Rng rng(3);
+  auto t = make_trace({{0, -1, true}, {1, 2, true}, {2, 3, true}});
+  auto obs = extract_observations(t, rels, rng);
+  ASSERT_EQ(obs.transits.size(), 1u);
+  EXPECT_EQ(obs.transits[0].a, 0);
+  EXPECT_EQ(obs.transits[0].via, 1);
+  EXPECT_EQ(obs.transits[0].b, 2);
+  EXPECT_EQ(obs.transits[0].metro_a_side, 2);
+  EXPECT_EQ(obs.transits[0].metro_b_side, 3);
+
+  // Without the relationship no transit observation is produced.
+  providers[0].clear();
+  auto obs2 = extract_observations(t, rels, rng);
+  EXPECT_TRUE(obs2.transits.empty());
+}
+
+TEST(Observations, TransitViaProviderOfFarSide) {
+  // 1 is a provider of 2 (the far side).
+  std::vector<std::vector<AsId>> providers(3);
+  providers[2] = {1};
+  auto rels = rels_with(providers);
+  util::Rng rng(4);
+  auto t = make_trace({{0, -1, true}, {1, 2, true}, {2, 3, true}});
+  auto obs = extract_observations(t, rels, rng);
+  EXPECT_EQ(obs.transits.size(), 1u);
+}
+
+TEST(Observations, UnresponsiveMiddleBlocksTransit) {
+  std::vector<std::vector<AsId>> providers(3);
+  providers[0] = {1};
+  auto rels = rels_with(providers);
+  util::Rng rng(5);
+  ObservationConfig cfg;
+  cfg.mismap_rate = 0.0;
+  auto t = make_trace({{0, -1, true}, {1, 2, false}, {2, 3, true}});
+  auto obs = extract_observations(t, rels, rng, cfg);
+  EXPECT_TRUE(obs.transits.empty());
+}
+
+TEST(PublicRelationships, NullSafe) {
+  PublicRelationships r;
+  EXPECT_FALSE(r.is_provider_of(1, 2));
+}
+
+}  // namespace
+}  // namespace metas::traceroute

@@ -1,0 +1,109 @@
+// Pair-feature vector and feature-encoding tests.
+#include "core/pair_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "test_world.hpp"
+
+namespace metas::core {
+namespace {
+
+TEST(PairFeatures, NamesMatchVectorLength) {
+  MetroContext ctx = testing::shared_focus_context();
+  EstimatedMatrix e(ctx.size());
+  auto names = pair_feature_names();
+  auto f = pair_features(ctx, e, 0, 1);
+  EXPECT_EQ(names.size(), f.size());
+}
+
+TEST(PairFeatures, CountsReflectMatrixContent) {
+  MetroContext ctx = testing::shared_focus_context();
+  EstimatedMatrix e(ctx.size());
+  e.set(0, 1, 1.0);
+  e.set(0, 2, 0.4);
+  e.set(0, 3, -1.0);
+  auto f = pair_features(ctx, e, 0, 5);
+  // existing_links_1 = 2 (two positive entries), non_existing_links_1 = 1.
+  EXPECT_DOUBLE_EQ(f[0], 2.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+  EXPECT_DOUBLE_EQ(f[3], 0.0);
+}
+
+TEST(PairFeatures, OverlapIndicatorsConsistentWithTopology) {
+  MetroContext ctx = testing::shared_focus_context();
+  const auto& net = ctx.net();
+  EstimatedMatrix e(ctx.size());
+  auto f = pair_features(ctx, e, 0, 1);
+  const auto& a = net.ases[static_cast<std::size_t>(ctx.as_at(0))];
+  const auto& b = net.ases[static_cast<std::size_t>(ctx.as_at(1))];
+  // Both ASes are at this metro, so they overlap in at least one metro.
+  EXPECT_GE(f[4], 1.0);
+  EXPECT_DOUBLE_EQ(f[5], a.home_country == b.home_country ? 1.0 : 0.0);
+}
+
+TEST(FeatureEncoding, ShapeAndRange) {
+  MetroContext ctx = testing::shared_focus_context();
+  FeatureMatrix fm = encode_features(ctx);
+  EXPECT_EQ(fm.names.size(), fm.rows.size());
+  EXPECT_GT(fm.count(), 10u);
+  for (const auto& row : fm.rows) {
+    EXPECT_EQ(row.size(), ctx.size());
+    for (double v : row) {
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(FeatureEncoding, OneHotGroupsAreExclusive) {
+  MetroContext ctx = testing::shared_focus_context();
+  FeatureMatrix fm = encode_features(ctx);
+  // Find the policy_* rows and verify each AS has at most one +1.
+  std::vector<std::size_t> policy_rows;
+  for (std::size_t r = 0; r < fm.names.size(); ++r)
+    if (fm.names[r].rfind("policy_", 0) == 0) policy_rows.push_back(r);
+  ASSERT_EQ(policy_rows.size(),
+            static_cast<std::size_t>(topology::kNumPeeringPolicies));
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    int ones = 0;
+    for (std::size_t r : policy_rows)
+      if (fm.rows[r][i] == 1.0) ++ones;
+    EXPECT_EQ(ones, 1);
+  }
+}
+
+TEST(FeatureEncoding, CountryCanBeExcluded) {
+  MetroContext ctx = testing::shared_focus_context();
+  FeatureEncoderConfig cfg;
+  cfg.include_country = false;
+  cfg.include_class = false;
+  FeatureMatrix fm = encode_features(ctx, cfg);
+  for (const auto& n : fm.names) {
+    EXPECT_EQ(n.rfind("country_", 0), std::string::npos);
+    EXPECT_EQ(n.rfind("class_", 0), std::string::npos);
+  }
+}
+
+TEST(FeatureEncoding, NumericFeaturesOrdered) {
+  // tanh(z-score(log1p(x))) preserves ordering of the raw values.
+  MetroContext ctx = testing::shared_focus_context();
+  const auto& net = ctx.net();
+  FeatureMatrix fm = encode_features(ctx);
+  std::size_t cone_row = 0;
+  for (std::size_t r = 0; r < fm.names.size(); ++r)
+    if (fm.names[r] == "customer_cone") cone_row = r;
+  for (std::size_t i = 1; i < ctx.size(); ++i) {
+    double raw_prev = net.ases[static_cast<std::size_t>(ctx.as_at(i - 1))]
+                          .features.customer_cone;
+    double raw_cur =
+        net.ases[static_cast<std::size_t>(ctx.as_at(i))].features.customer_cone;
+    if (raw_prev < raw_cur) {
+      EXPECT_LE(fm.rows[cone_row][i - 1], fm.rows[cone_row][i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metas::core

@@ -1,0 +1,158 @@
+// Tests for the §5.1 usage frameworks: topology views, rating calibration,
+// and probabilistic topologies.
+#include "core/probabilistic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace metas::core {
+namespace {
+
+TEST(TopologyViews, ThresholdOrdering) {
+  PipelineResult r;
+  r.threshold = 0.2;
+  double cons = view_threshold(r, TopologyView::kConservative);
+  double bal = view_threshold(r, TopologyView::kBalanced);
+  double loose = view_threshold(r, TopologyView::kLoose);
+  EXPECT_GT(cons, bal);
+  EXPECT_LT(loose, bal);
+  EXPECT_GE(cons, 0.85);
+}
+
+TEST(TopologyViews, LinksAtThresholdMonotone) {
+  linalg::Matrix ratings(4, 4);
+  ratings(0, 1) = ratings(1, 0) = 0.9;
+  ratings(0, 2) = ratings(2, 0) = 0.3;
+  ratings(1, 3) = ratings(3, 1) = -0.5;
+  auto strict = links_at_threshold(ratings, 0.8);
+  auto loose = links_at_threshold(ratings, 0.0);
+  EXPECT_EQ(strict.size(), 1u);
+  EXPECT_EQ(loose.size(), 5u);  // all pairs except the -0.5-rated one
+  EXPECT_EQ(strict[0], (std::pair{0, 1}));
+}
+
+TEST(Calibrator, Validation) {
+  RatingCalibrator c;
+  EXPECT_THROW(c.fit({}), std::invalid_argument);
+  EXPECT_THROW(c.probability(0.0), std::logic_error);
+  EXPECT_THROW(c.fit({{0.1, true}}, 1), std::invalid_argument);
+}
+
+TEST(Calibrator, RecoversStepFunction) {
+  // P(exists) = 0 below 0, 1 above 0.
+  std::vector<RatingCalibrator::Sample> samples;
+  util::Rng rng(1);
+  for (int k = 0; k < 1000; ++k) {
+    double r = rng.uniform(-1.0, 1.0);
+    samples.push_back({r, r > 0.0});
+  }
+  RatingCalibrator c;
+  c.fit(samples);
+  EXPECT_LT(c.probability(-0.8), 0.1);
+  EXPECT_GT(c.probability(0.8), 0.9);
+}
+
+TEST(Calibrator, MonotoneOutput) {
+  // Noisy sigmoid-ish labels; calibrated curve must be non-decreasing.
+  std::vector<RatingCalibrator::Sample> samples;
+  util::Rng rng(2);
+  for (int k = 0; k < 2000; ++k) {
+    double r = rng.uniform(-1.0, 1.0);
+    samples.push_back({r, rng.bernoulli(0.5 + 0.4 * r)});
+  }
+  RatingCalibrator c;
+  c.fit(samples);
+  double prev = 0.0;
+  for (double r = -1.0; r <= 1.0; r += 0.05) {
+    double p = c.probability(r);
+    EXPECT_GE(p + 1e-12, prev);
+    prev = p;
+  }
+}
+
+TEST(Calibrator, ApproximatesTrueProbabilities) {
+  std::vector<RatingCalibrator::Sample> samples;
+  util::Rng rng(3);
+  for (int k = 0; k < 5000; ++k) {
+    double r = rng.uniform(-1.0, 1.0);
+    samples.push_back({r, rng.bernoulli(0.5 + 0.45 * r)});
+  }
+  RatingCalibrator c;
+  c.fit(samples);
+  EXPECT_NEAR(c.probability(0.5), 0.725, 0.09);
+  EXPECT_NEAR(c.probability(-0.5), 0.275, 0.09);
+}
+
+class ProbTopoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 4-node ratings: (0,1) certain, (2,3) certain, (1,2) coin flip.
+    ratings_ = linalg::Matrix(4, 4);
+    set(0, 1, 1.0);
+    set(2, 3, 1.0);
+    set(1, 2, 0.0);
+    set(0, 3, -1.0);
+    set(0, 2, -1.0);
+    set(1, 3, -1.0);
+    std::vector<RatingCalibrator::Sample> samples;
+    util::Rng rng(4);
+    for (int k = 0; k < 4000; ++k) {
+      double r = rng.uniform(-1.0, 1.0);
+      samples.push_back({r, rng.bernoulli(0.5 + 0.5 * r)});
+    }
+    calib_.fit(samples);
+  }
+  void set(int i, int j, double v) {
+    ratings_(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = v;
+    ratings_(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) = v;
+  }
+  linalg::Matrix ratings_;
+  RatingCalibrator calib_;
+};
+
+TEST_F(ProbTopoTest, LinkProbabilitiesFollowCalibration) {
+  ProbabilisticTopology topo(ratings_, calib_);
+  EXPECT_GT(topo.link_probability(0, 1), 0.85);
+  EXPECT_LT(topo.link_probability(0, 3), 0.15);
+  EXPECT_NEAR(topo.link_probability(1, 2), 0.5, 0.12);
+  EXPECT_THROW(topo.link_probability(0, 9), std::out_of_range);
+}
+
+TEST_F(ProbTopoTest, ExpectedDegreeSumsProbabilities) {
+  ProbabilisticTopology topo(ratings_, calib_);
+  double d0 = topo.link_probability(0, 1) + topo.link_probability(0, 2) +
+              topo.link_probability(0, 3);
+  EXPECT_NEAR(topo.expected_degree(0), d0, 1e-12);
+}
+
+TEST_F(ProbTopoTest, SamplingMatchesProbabilities) {
+  ProbabilisticTopology topo(ratings_, calib_);
+  util::Rng rng(5);
+  int count_01 = 0, count_12 = 0;
+  const int kSamples = 3000;
+  for (int s = 0; s < kSamples; ++s) {
+    for (auto [a, b] : topo.sample(rng)) {
+      if (a == 0 && b == 1) ++count_01;
+      if (a == 1 && b == 2) ++count_12;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(count_01) / kSamples,
+              topo.link_probability(0, 1), 0.03);
+  EXPECT_NEAR(static_cast<double>(count_12) / kSamples,
+              topo.link_probability(1, 2), 0.03);
+}
+
+TEST_F(ProbTopoTest, PathExistenceComposesLinkProbabilities) {
+  ProbabilisticTopology topo(ratings_, calib_);
+  util::Rng rng(6);
+  // 0 -> 3 requires (0,1), (1,2), (2,3) (the direct links are near-zero):
+  // probability roughly p01 * p12 * p23.
+  double direct = topo.link_probability(0, 1) * topo.link_probability(1, 2) *
+                  topo.link_probability(2, 3);
+  double est = topo.path_existence_probability(0, 3, 4000, rng);
+  EXPECT_NEAR(est, direct, 0.12);
+  EXPECT_THROW(topo.path_existence_probability(0, 3, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace metas::core

@@ -1,0 +1,111 @@
+// Probability-matrix (P_m) tests: availability, Beta updates, penalties,
+// and hierarchical priors.
+#include "core/probability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+namespace metas::core {
+namespace {
+
+class ProbabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = std::make_unique<MetroContext>(testing::shared_focus_context());
+    pm_ = std::make_unique<ProbabilityMatrix>(*ctx_, *testing::shared_world().ms,
+                                              nullptr);
+  }
+  std::unique_ptr<MetroContext> ctx_;
+  std::unique_ptr<ProbabilityMatrix> pm_;
+};
+
+TEST_F(ProbabilityTest, InitialStrategyProbsAreUniformPrior) {
+  for (int s = 0; s < traceroute::kNumStrategies; ++s)
+    EXPECT_NEAR(pm_->strategy_prob(s), 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(ProbabilityTest, ChooseReturnsAvailableStrategy) {
+  StrategyChoice c = pm_->choose(0, 1);
+  EXPECT_GE(c.vp_cat, 0);
+  EXPECT_GE(c.tgt_cat, 0);
+  EXPECT_GT(c.probability, 0.0);
+  EXPECT_LE(c.probability, 1.0);
+}
+
+TEST_F(ProbabilityTest, SuccessRaisesFailureLowersStrategyProb) {
+  StrategyChoice c = pm_->choose(0, 1);
+  int s = traceroute::strategy_index(c.vp_cat, c.tgt_cat);
+  double before = pm_->strategy_prob(s);
+  pm_->record(0, 1, c, true);
+  EXPECT_GT(pm_->strategy_prob(s), before);
+  double after_success = pm_->strategy_prob(s);
+  pm_->record(0, 1, c, false);
+  EXPECT_LT(pm_->strategy_prob(s), after_success);
+}
+
+TEST_F(ProbabilityTest, RepeatedFailurePenalizesLink) {
+  double p0 = pm_->entry_prob(2, 3);
+  // Hammer the same link with failures. entry_prob is the max over all
+  // available strategies, so the drop only shows once every tied
+  // alternative has been tried and penalized (at most 144 strategies in
+  // two orientations).
+  for (int k = 0; k < 300; ++k) pm_->record(2, 3, pm_->choose(2, 3), false);
+  double p1 = pm_->entry_prob(2, 3);
+  EXPECT_LT(p1, p0);
+}
+
+TEST_F(ProbabilityTest, EntryProbIsSymmetricInOrientationChoice) {
+  // choose() considers both orientations, so it never returns a worse
+  // probability than either single orientation.
+  StrategyChoice c = pm_->choose(1, 2);
+  EXPECT_GT(c.probability, 0.0);
+  StrategyChoice r = pm_->choose(2, 1);
+  EXPECT_NEAR(c.probability, r.probability, 1e-12);
+}
+
+TEST_F(ProbabilityTest, PriorsTransferAcrossMetros) {
+  // Record a clear pattern, export, and check a fresh matrix starts biased.
+  StrategyChoice c = pm_->choose(0, 1);
+  int s = traceroute::strategy_index(c.vp_cat, c.tgt_cat);
+  for (int k = 0; k < 30; ++k) pm_->record(0, 1, c, true);
+
+  StrategyPriors pool;
+  pm_->export_priors(pool);
+  EXPECT_EQ(pool.metros_observed, 1);
+  EXPECT_GT(pool.alpha[static_cast<std::size_t>(s)], 20.0);
+
+  ProbabilityMatrix warm(*ctx_, *testing::shared_world().ms, &pool);
+  ProbabilityMatrix cold(*ctx_, *testing::shared_world().ms, nullptr);
+  EXPECT_GT(warm.strategy_prob(s), cold.strategy_prob(s));
+}
+
+TEST_F(ProbabilityTest, PriorStrengthIsCapped) {
+  StrategyChoice c = pm_->choose(0, 1);
+  int s = traceroute::strategy_index(c.vp_cat, c.tgt_cat);
+  for (int k = 0; k < 500; ++k) pm_->record(0, 1, c, true);
+  StrategyPriors pool;
+  pm_->export_priors(pool);
+  ProbabilityConfig cfg;
+  ProbabilityMatrix warm(*ctx_, *testing::shared_world().ms, &pool, cfg);
+  // Even with 500 pooled successes, the warm prior stays a prior: a run of
+  // failures can still pull the estimate down.
+  double before = warm.strategy_prob(s);
+  StrategyChoice fixed = c;
+  for (int k = 0; k < 40; ++k) warm.record(0, 1, fixed, false);
+  EXPECT_LT(warm.strategy_prob(s), before * 0.8);
+}
+
+TEST_F(ProbabilityTest, IxpMappedRestrictionNarrowsChoices) {
+  pm_->restrict_to_ixp_mapped();
+  StrategyChoice c = pm_->choose(0, 1);
+  if (c.vp_cat >= 0) {
+    auto st = traceroute::strategy_from_index(
+        traceroute::strategy_index(c.vp_cat, c.tgt_cat));
+    EXPECT_NE(st.vp_topo, traceroute::VpTopo::kOutside);
+    EXPECT_NE(st.tgt_topo, traceroute::TargetTopo::kInCone);
+  }
+}
+
+}  // namespace
+}  // namespace metas::core

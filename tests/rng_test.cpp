@@ -1,0 +1,114 @@
+// Tests for the deterministic RNG wrapper.
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace metas::util {
+namespace {
+
+TEST(Rng, DeterministicUnderSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen, (std::set<int>{2, 3, 4, 5}));
+  EXPECT_THROW(rng.uniform_int(5, 2), std::invalid_argument);
+}
+
+TEST(Rng, IndexErrorsOnZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(22);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) EXPECT_GE(rng.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(5);
+  auto idx = rng.sample_indices(10, 4);
+  EXPECT_EQ(idx.size(), 4u);
+  std::set<std::size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 4u);
+  for (std::size_t i : idx) EXPECT_LT(i, 10u);
+  // Requesting more than available returns everything.
+  auto all = rng.sample_indices(3, 10);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(6);
+  std::vector<double> w{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.35);
+}
+
+TEST(Rng, WeightedIndexErrors) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, PickErrorsOnEmpty) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(99);
+  Rng child = a.fork();
+  // The fork and the parent produce different streams.
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform() == child.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace metas::util

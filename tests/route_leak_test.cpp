@@ -1,0 +1,102 @@
+// Route-leak simulation tests.
+#include "bgp/route_leak.hpp"
+
+#include <gtest/gtest.h>
+
+namespace metas::bgp {
+namespace {
+
+// Two-branch hierarchy: 0 top; 1, 2 customers of 0; 3 customer of 1;
+// 4 customer of 2. Peer link 3 -- 4.
+AsGraph leak_graph() {
+  AsGraph g(5);
+  g.add_c2p(1, 0);
+  g.add_c2p(2, 0);
+  g.add_c2p(3, 1);
+  g.add_c2p(4, 2);
+  g.add_peer(3, 4);
+  return g;
+}
+
+TEST(RouteLeak, PeerRouteLeakedToProviderDivertsTraffic) {
+  // 4 learns 3's prefix over the peer link; leaking it to provider 2 makes
+  // 2 prefer the (shorter, customer) leaked route 2->4->3 over 2->0->1->3.
+  AsGraph g = leak_graph();
+  LeakResult r = simulate_route_leak(g, /*victim=*/3, /*leaker=*/4);
+  EXPECT_EQ(r.impact[2], LeakImpact::kDiverted);
+  EXPECT_EQ(r.impact[3], LeakImpact::kUnaffected);  // the victim itself
+  EXPECT_EQ(r.impact[4], LeakImpact::kUnaffected);  // the leaker itself
+  EXPECT_GE(r.diverted, 1u);
+  EXPECT_GT(r.diverted_fraction, 0.0);
+}
+
+TEST(RouteLeak, EqualLengthLeakDoesNotStealTraffic) {
+  // At the top (0), the leaked path 0<-2<-4<-3 (len 3) is longer than the
+  // legitimate 0<-1<-3 (len 2): 0 stays unaffected.
+  AsGraph g = leak_graph();
+  LeakResult r = simulate_route_leak(g, 3, 4);
+  EXPECT_EQ(r.impact[0], LeakImpact::kUnaffected);
+  EXPECT_EQ(r.impact[1], LeakImpact::kUnaffected);
+}
+
+TEST(RouteLeak, NoLeakWithoutRoute) {
+  AsGraph g(4);
+  g.add_c2p(1, 0);
+  g.add_c2p(3, 2);  // {0,1} and {2,3} are disconnected
+  LeakResult r = simulate_route_leak(g, 1, 3);  // leaker can't reach victim
+  EXPECT_EQ(r.diverted, 0u);
+  EXPECT_EQ(r.newly_routed, 0u);
+}
+
+TEST(RouteLeak, LeakCanCreateNewReachability) {
+  // 5 is a provider of the leaker but otherwise disconnected from the
+  // victim's component: the leak gives it a route it never had.
+  AsGraph g(6);
+  g.add_c2p(1, 0);
+  g.add_c2p(2, 0);
+  g.add_c2p(3, 1);
+  g.add_c2p(4, 2);
+  g.add_peer(3, 4);
+  g.add_c2p(4, 5);  // 5 is a second provider of 4, isolated from 0's tree
+  LeakResult r = simulate_route_leak(g, 3, 4);
+  EXPECT_EQ(r.impact[5], LeakImpact::kNewlyRouted);
+  EXPECT_EQ(r.newly_routed, 1u);
+}
+
+TEST(RouteLeak, InvalidIdsThrow) {
+  AsGraph g(3);
+  g.add_c2p(1, 0);
+  EXPECT_THROW(simulate_route_leak(g, 9, 0), std::out_of_range);
+  EXPECT_THROW(simulate_route_leak(g, 0, -1), std::out_of_range);
+}
+
+TEST(RouteLeakAccuracy, MatchesAndMismatches) {
+  LeakResult actual, predicted;
+  actual.impact = {LeakImpact::kDiverted, LeakImpact::kUnaffected,
+                   LeakImpact::kNoRoute, LeakImpact::kNewlyRouted};
+  predicted.impact = {LeakImpact::kDiverted, LeakImpact::kDiverted,
+                      LeakImpact::kUnaffected, LeakImpact::kUnaffected};
+  // Considered: 0, 1, 3. Correct: only 0.
+  EXPECT_NEAR(leak_prediction_accuracy(actual, predicted), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(leak_prediction_accuracy({}, {}), 0.0);
+}
+
+TEST(RouteLeak, MissingLinksDegradePrediction) {
+  // Predicting the leak on a topology that lacks the peer link misses the
+  // diverted ASes -- the reason metAScritic's links improve leak forecasts.
+  AsGraph truth = leak_graph();
+  AsGraph partial(5);
+  partial.add_c2p(1, 0);
+  partial.add_c2p(2, 0);
+  partial.add_c2p(3, 1);
+  partial.add_c2p(4, 2);  // peer 3--4 invisible
+  LeakResult actual = simulate_route_leak(truth, 3, 4);
+  LeakResult pred = simulate_route_leak(partial, 3, 4);
+  double acc = leak_prediction_accuracy(actual, pred);
+  EXPECT_LT(acc, 1.0);
+  LeakResult self = simulate_route_leak(truth, 3, 4);
+  EXPECT_DOUBLE_EQ(leak_prediction_accuracy(actual, self), 1.0);
+}
+
+}  // namespace
+}  // namespace metas::bgp

@@ -1,0 +1,167 @@
+// Gao-Rexford routing tests on hand-built graphs.
+#include "bgp/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace metas::bgp {
+namespace {
+
+using topology::AsId;
+
+TEST(AsGraph, EdgeBookkeeping) {
+  AsGraph g(4);
+  g.add_c2p(1, 0);
+  g.add_peer(2, 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+  // Idempotent adds.
+  g.add_c2p(1, 0);
+  g.add_peer(3, 2);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.providers(1).size(), 1u);
+  EXPECT_EQ(g.peers(2).size(), 1u);
+  EXPECT_THROW(g.add_peer(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_c2p(5, 0), std::out_of_range);
+}
+
+TEST(RoutePreferred, PreferenceOrder) {
+  EXPECT_TRUE(route_preferred(RouteKind::kCustomer, 5, RouteKind::kPeer, 1));
+  EXPECT_TRUE(route_preferred(RouteKind::kPeer, 5, RouteKind::kProvider, 1));
+  EXPECT_TRUE(route_preferred(RouteKind::kPeer, 2, RouteKind::kPeer, 3));
+  EXPECT_FALSE(route_preferred(RouteKind::kPeer, 3, RouteKind::kPeer, 3));
+  EXPECT_TRUE(route_preferred(RouteKind::kProvider, 9, RouteKind::kNone, 0));
+  EXPECT_FALSE(route_preferred(RouteKind::kNone, 0, RouteKind::kProvider, 9));
+}
+
+// Chain: 0 is provider of 1, 1 provider of 2. Routes to 2.
+TEST(Routing, CustomerAndProviderRoutes) {
+  AsGraph g(3);
+  g.add_c2p(1, 0);
+  g.add_c2p(2, 1);
+  RoutingEngine eng(g);
+  const RoutingTable& t = eng.table(2);
+  // 1 and 0 learn via customers.
+  EXPECT_EQ(t.kind[1], RouteKind::kCustomer);
+  EXPECT_EQ(t.length[1], 1);
+  EXPECT_EQ(t.kind[0], RouteKind::kCustomer);
+  EXPECT_EQ(t.length[0], 2);
+  // Routes toward 0 from 2 go up through providers.
+  const RoutingTable& t0 = eng.table(0);
+  EXPECT_EQ(t0.kind[2], RouteKind::kProvider);
+  EXPECT_EQ(t0.length[2], 2);
+  EXPECT_EQ(eng.path(2, 0), (std::vector<AsId>{2, 1, 0}));
+}
+
+// Peer routes take exactly one peer hop and only off customer routes.
+TEST(Routing, PeerRouteSingleHop) {
+  // 0 -- 1 peers; 2 customer of 1; 3 customer of 0.
+  AsGraph g(4);
+  g.add_peer(0, 1);
+  g.add_c2p(2, 1);
+  g.add_c2p(3, 0);
+  RoutingEngine eng(g);
+  const RoutingTable& t = eng.table(2);
+  // 0 reaches 2 via its peer 1 (peer route, length 2).
+  EXPECT_EQ(t.kind[0], RouteKind::kPeer);
+  EXPECT_EQ(t.length[0], 2);
+  // 3 reaches 2 via its provider 0 (provider route through the peer link).
+  EXPECT_EQ(t.kind[3], RouteKind::kProvider);
+  EXPECT_EQ(t.length[3], 3);
+  EXPECT_EQ(eng.path(3, 2), (std::vector<AsId>{3, 0, 1, 2}));
+}
+
+// Valley-free: no route may traverse peer -> peer.
+TEST(Routing, NoPeerPeerValley) {
+  // 0 -- 1 -- 2 all peers in a line, no c2p at all.
+  AsGraph g(3);
+  g.add_peer(0, 1);
+  g.add_peer(1, 2);
+  RoutingEngine eng(g);
+  const RoutingTable& t = eng.table(2);
+  EXPECT_EQ(t.kind[1], RouteKind::kPeer);  // direct peer: fine
+  EXPECT_EQ(t.kind[0], RouteKind::kNone);  // would need two peer hops
+  EXPECT_TRUE(eng.path(0, 2).empty());
+}
+
+// Customer routes are preferred even when longer.
+TEST(Routing, CustomerPreferredOverShorterPeer) {
+  // dst 3. AS 0 has a direct peer link to 3 (length 1) and a customer chain
+  // 0 <- 1 <- 3 does not exist... build: 1 customer of 0, 3 customer of 1.
+  AsGraph g(4);
+  g.add_c2p(1, 0);
+  g.add_c2p(3, 1);
+  g.add_peer(0, 3);
+  RoutingEngine eng(g);
+  const RoutingTable& t = eng.table(3);
+  EXPECT_EQ(t.kind[0], RouteKind::kCustomer);
+  EXPECT_EQ(t.length[0], 2);  // longer than the 1-hop peer route
+  EXPECT_EQ(eng.path(0, 3), (std::vector<AsId>{0, 1, 3}));
+}
+
+// Among equal-preference routes, shortest path wins; ties break to lowest id.
+TEST(Routing, ShortestThenLowestIdTieBreak) {
+  // dst 4; providers 1 and 2 both provide to 4's provider... simpler:
+  // 4 customer of both 1 and 2; 0 provider of 1 and 2; route 0 -> 4.
+  AsGraph g(5);
+  g.add_c2p(4, 1);
+  g.add_c2p(4, 2);
+  g.add_c2p(1, 0);
+  g.add_c2p(2, 0);
+  RoutingEngine eng(g);
+  const RoutingTable& t = eng.table(4);
+  EXPECT_EQ(t.kind[0], RouteKind::kCustomer);
+  EXPECT_EQ(t.length[0], 2);
+  EXPECT_EQ(t.next_hop[0], 1);  // 1 < 2
+}
+
+TEST(Routing, UnreachableIsolated) {
+  AsGraph g(3);
+  g.add_c2p(1, 0);
+  RoutingEngine eng(g);
+  const RoutingTable& t = eng.table(2);
+  EXPECT_EQ(t.kind[0], RouteKind::kNone);
+  EXPECT_FALSE(t.reachable(0));
+  EXPECT_TRUE(eng.path(0, 2).empty());
+  EXPECT_THROW(eng.table(7), std::out_of_range);
+}
+
+TEST(Routing, SelfRoute) {
+  AsGraph g(2);
+  g.add_c2p(1, 0);
+  RoutingEngine eng(g);
+  const RoutingTable& t = eng.table(1);
+  EXPECT_EQ(t.length[1], 0);
+  EXPECT_EQ(eng.path(1, 1), (std::vector<AsId>{1}));
+}
+
+TEST(Routing, CacheIsReused) {
+  AsGraph g(2);
+  g.add_c2p(1, 0);
+  RoutingEngine eng(g);
+  eng.table(0);
+  eng.table(0);
+  EXPECT_EQ(eng.cached_tables(), 1u);
+  eng.clear_cache();
+  EXPECT_EQ(eng.cached_tables(), 0u);
+}
+
+// Provider routes chain down through multiple levels.
+TEST(Routing, MultiLevelProviderDescent) {
+  // Hierarchy: 0 top; 1,2 mid (customers of 0); 3 customer of 1; 4 customer
+  // of 2. Route 3 -> 4 must go up via 1 to 0 then down via 2.
+  AsGraph g(5);
+  g.add_c2p(1, 0);
+  g.add_c2p(2, 0);
+  g.add_c2p(3, 1);
+  g.add_c2p(4, 2);
+  RoutingEngine eng(g);
+  EXPECT_EQ(eng.path(3, 4), (std::vector<AsId>{3, 1, 0, 2, 4}));
+  const RoutingTable& t = eng.table(4);
+  EXPECT_EQ(t.kind[3], RouteKind::kProvider);
+  EXPECT_EQ(t.length[3], 4);
+}
+
+}  // namespace
+}  // namespace metas::bgp

@@ -1,0 +1,106 @@
+// Tests for Cholesky and ridge solvers.
+#include "linalg/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace metas::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, util::Rng& rng, double ridge = 0.5) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Matrix spd = a.transpose() * a;
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += ridge;
+  return spd;
+}
+
+TEST(Cholesky, FactorizesKnownMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 3;
+  auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  Matrix rec = *l * l->transpose();
+  EXPECT_LT(rec.max_abs_diff(a), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(SolveSpd, RecoversKnownSolution) {
+  util::Rng rng(17);
+  for (std::size_t n : {1u, 3u, 8u, 20u}) {
+    Matrix a = random_spd(n, rng);
+    Vector x_true(n);
+    for (double& v : x_true) v = rng.normal();
+    Vector b = a * x_true;
+    auto x = solve_spd(a, b);
+    ASSERT_TRUE(x.has_value());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+  }
+}
+
+TEST(SolveSpd, ShapeMismatchThrows) {
+  EXPECT_THROW(solve_spd(Matrix(2, 2), Vector{1.0}), std::invalid_argument);
+}
+
+TEST(RidgeSolve, ShrinksTowardZero) {
+  util::Rng rng(23);
+  Matrix a(30, 4);
+  Vector x_true{1.0, -2.0, 0.5, 3.0};
+  Vector b(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.normal();
+    b[i] = dot(a.row(i), x_true) + rng.normal(0.0, 0.01);
+  }
+  auto x_small = ridge_solve(a, b, 1e-6);
+  auto x_big = ridge_solve(a, b, 1e4);
+  ASSERT_TRUE(x_small && x_big);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR((*x_small)[j], x_true[j], 0.05);
+    EXPECT_LT(std::abs((*x_big)[j]), std::abs(x_true[j]));
+  }
+}
+
+TEST(SolveRegularized, HandlesSingularGramWithRidge) {
+  // Rank-deficient Gram matrix: solvable once the ridge is added.
+  Matrix g(2, 2);
+  g(0, 0) = 1; g(0, 1) = 1; g(1, 0) = 1; g(1, 1) = 1;
+  auto x = solve_regularized(g, {1.0, 1.0}, 0.1);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], (*x)[1], 1e-12);  // symmetric problem, symmetric answer
+}
+
+TEST(SolveRegularized, ShapeMismatchThrows) {
+  EXPECT_THROW(solve_regularized(Matrix(2, 2), Vector{1.0}, 0.1),
+               std::invalid_argument);
+}
+
+// Property: for any SPD system, the Cholesky solution satisfies A x = b.
+class SolveResidualTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveResidualTest, ResidualIsTiny) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::size_t n = 5 + static_cast<std::size_t>(GetParam()) * 3;
+  Matrix a = random_spd(n, rng);
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  auto x = solve_spd(a, b);
+  ASSERT_TRUE(x.has_value());
+  Vector r = a * *x;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveResidualTest, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace metas::linalg

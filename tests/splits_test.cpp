@@ -1,0 +1,116 @@
+// Train/test split tests (stratified / random / completely-out).
+#include "eval/splits.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace metas::eval {
+namespace {
+
+core::EstimatedMatrix dense_matrix(std::size_t n, util::Rng& rng,
+                                   double fill = 0.8) {
+  core::EstimatedMatrix e(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.uniform() < fill) e.set(i, j, rng.bernoulli(0.5) ? 1.0 : -1.0);
+  return e;
+}
+
+TEST(Splits, FractionValidation) {
+  util::Rng rng(1);
+  core::EstimatedMatrix e(4);
+  EXPECT_THROW(make_split(e, SplitKind::kRandom, rng, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_split(e, SplitKind::kRandom, rng, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Splits, EmptyMatrixYieldsEmptySplit) {
+  util::Rng rng(1);
+  core::EstimatedMatrix e(5);
+  Split s = make_split(e, SplitKind::kRandom, rng);
+  EXPECT_TRUE(s.train.empty());
+  EXPECT_TRUE(s.test.empty());
+}
+
+class SplitKindTest : public ::testing::TestWithParam<SplitKind> {};
+
+TEST_P(SplitKindTest, PartitionIsExactAndDisjoint) {
+  util::Rng rng(7);
+  core::EstimatedMatrix e = dense_matrix(30, rng);
+  Split s = make_split(e, GetParam(), rng);
+  EXPECT_EQ(s.train.size() + s.test.size(), e.total_filled());
+  std::set<std::pair<std::size_t, std::size_t>> train_set;
+  for (const auto& t : s.train) train_set.insert({t.i, t.j});
+  for (const auto& t : s.test)
+    EXPECT_EQ(train_set.count({t.i, t.j}), 0u);
+  // Values are carried through unchanged.
+  for (const auto& t : s.train) EXPECT_EQ(t.value, e.value(t.i, t.j));
+}
+
+TEST_P(SplitKindTest, TestFractionApproximatelyRespected) {
+  util::Rng rng(8);
+  core::EstimatedMatrix e = dense_matrix(40, rng);
+  Split s = make_split(e, GetParam(), rng, 0.2);
+  double frac = static_cast<double>(s.test.size()) /
+                static_cast<double>(e.total_filled());
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.32);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SplitKindTest,
+                         ::testing::Values(SplitKind::kStratified,
+                                           SplitKind::kRandom,
+                                           SplitKind::kCompletelyOut));
+
+TEST(Splits, StratifiedRemovesFromEveryRow) {
+  util::Rng rng(9);
+  core::EstimatedMatrix e = dense_matrix(30, rng, 0.9);
+  Split s = make_split(e, SplitKind::kStratified, rng, 0.2);
+  std::vector<int> removed(30, 0);
+  for (const auto& t : s.test) {
+    ++removed[t.i];
+    ++removed[t.j];
+  }
+  int rows_touched = 0;
+  for (int r : removed)
+    if (r > 0) ++rows_touched;
+  EXPECT_GT(rows_touched, 25);  // nearly every row loses something
+}
+
+TEST(Splits, CompletelyOutKnocksWholeRows) {
+  util::Rng rng(10);
+  core::EstimatedMatrix e = dense_matrix(30, rng, 0.9);
+  Split s = make_split(e, SplitKind::kCompletelyOut, rng, 0.2);
+  // Every row is either fully in train or fully removed w.r.t. the knocked
+  // rows: collect rows appearing in test entries; they must not appear in
+  // train entries *as the knocked side*. Weaker checkable invariant: the
+  // set of rows covering test entries is small (whole rows, not scattered).
+  std::set<std::size_t> test_rows;
+  for (const auto& t : s.test) {
+    test_rows.insert(t.i);
+    test_rows.insert(t.j);
+  }
+  std::set<std::size_t> knocked;
+  for (std::size_t r = 0; r < 30; ++r) {
+    // A knocked row has all its entries in the test set.
+    std::size_t in_train = 0;
+    for (const auto& t : s.train)
+      if (t.i == r || t.j == r) ++in_train;
+    if (in_train == 0 && test_rows.count(r) != 0) knocked.insert(r);
+  }
+  EXPECT_FALSE(knocked.empty());
+  // All test entries touch at least one knocked row.
+  for (const auto& t : s.test)
+    EXPECT_TRUE(knocked.count(t.i) != 0 || knocked.count(t.j) != 0);
+}
+
+TEST(Splits, KindNames) {
+  EXPECT_STREQ(to_string(SplitKind::kStratified), "stratified");
+  EXPECT_STREQ(to_string(SplitKind::kRandom), "random");
+  EXPECT_STREQ(to_string(SplitKind::kCompletelyOut), "completely-out");
+}
+
+}  // namespace
+}  // namespace metas::eval

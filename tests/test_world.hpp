@@ -1,0 +1,25 @@
+// Shared test fixture helpers: a lazily-built, cached small world so the
+// heavier core tests do not regenerate the Internet per test case.
+#pragma once
+
+#include "eval/world.hpp"
+
+namespace metas::testing {
+
+/// A process-wide small world (about 400 ASes). Built on first use.
+inline eval::World& shared_world() {
+  static eval::World* world = [] {
+    auto cfg = eval::small_world_config(1234);
+    cfg.public_archive_traces = 8000;
+    return new eval::World(eval::build_world(cfg));
+  }();
+  return *world;
+}
+
+/// Context for the first focus metro of the shared world.
+inline core::MetroContext shared_focus_context() {
+  eval::World& w = shared_world();
+  return core::MetroContext(w.net, w.focus_metros.front());
+}
+
+}  // namespace metas::testing

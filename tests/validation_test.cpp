@@ -1,0 +1,106 @@
+// External-validation-set construction tests.
+#include "eval/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+namespace metas::eval {
+namespace {
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = std::make_unique<core::MetroContext>(testing::shared_focus_context());
+    util::Rng rng(55);
+    sets_ = make_validation_sets(*ctx_, rng);
+  }
+  const ValidationSet* find(const std::string& name) const {
+    for (const auto& s : sets_)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+  std::unique_ptr<core::MetroContext> ctx_;
+  std::vector<ValidationSet> sets_;
+};
+
+TEST_F(ValidationTest, AllExpectedSetsPresent) {
+  for (const char* name :
+       {"GroundTruth(cloud)", "BGPCommunity", "iGDB", "LookingGlass",
+        "BilateralIXP", "MultilateralIXP", "IPAlias"})
+    EXPECT_NE(find(name), nullptr) << name;
+}
+
+TEST_F(ValidationTest, LabelsParallelPairs) {
+  for (const auto& s : sets_) {
+    EXPECT_EQ(s.pairs.size(), s.labels.size()) << s.name;
+    for (auto [i, j] : s.pairs) {
+      EXPECT_GE(i, 0);
+      EXPECT_LT(j, static_cast<int>(ctx_->size()));
+      EXPECT_LT(i, j);
+    }
+  }
+}
+
+TEST_F(ValidationTest, RecallOnlySetsHaveAllPositiveLabels) {
+  const auto& truth = ctx_->net().truth.at(
+      static_cast<std::size_t>(ctx_->metro()));
+  for (const auto& s : sets_) {
+    if (!s.recall_only) continue;
+    for (std::size_t k = 0; k < s.pairs.size(); ++k) {
+      EXPECT_TRUE(s.labels[k]) << s.name;
+      auto [i, j] = s.pairs[k];
+      EXPECT_TRUE(truth.link(static_cast<std::size_t>(i),
+                             static_cast<std::size_t>(j)))
+          << s.name;
+    }
+  }
+}
+
+TEST_F(ValidationTest, CloudSetHasBothClasses) {
+  const auto* cloud = find("GroundTruth(cloud)");
+  ASSERT_NE(cloud, nullptr);
+  EXPECT_FALSE(cloud->recall_only);
+  if (cloud->pairs.empty()) GTEST_SKIP() << "no hypergiants at this metro";
+  bool has_pos = false, has_neg = false;
+  for (bool l : cloud->labels) (l ? has_pos : has_neg) = true;
+  EXPECT_TRUE(has_pos);
+  EXPECT_TRUE(has_neg);
+  // Labels agree with ground truth.
+  const auto& truth = ctx_->net().truth.at(
+      static_cast<std::size_t>(ctx_->metro()));
+  for (std::size_t k = 0; k < cloud->pairs.size(); ++k) {
+    auto [i, j] = cloud->pairs[k];
+    EXPECT_EQ(cloud->labels[k], truth.link(static_cast<std::size_t>(i),
+                                           static_cast<std::size_t>(j)));
+  }
+}
+
+TEST_F(ValidationTest, IgdbPairsOverlapOnlyHere) {
+  const auto* igdb = find("iGDB");
+  ASSERT_NE(igdb, nullptr);
+  const auto& net = ctx_->net();
+  for (auto [i, j] : igdb->pairs) {
+    const auto& a = net.ases[static_cast<std::size_t>(
+        ctx_->as_at(static_cast<std::size_t>(i)))];
+    const auto& b = net.ases[static_cast<std::size_t>(
+        ctx_->as_at(static_cast<std::size_t>(j)))];
+    int shared = 0;
+    for (auto m : a.footprint)
+      if (std::binary_search(b.footprint.begin(), b.footprint.end(), m))
+        ++shared;
+    EXPECT_EQ(shared, 1);
+  }
+}
+
+TEST_F(ValidationTest, DeterministicUnderSeed) {
+  util::Rng rng_a(55), rng_b(55);
+  auto a = make_validation_sets(*ctx_, rng_a);
+  auto b = make_validation_sets(*ctx_, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k)
+    EXPECT_EQ(a[k].pairs, b[k].pairs);
+}
+
+}  // namespace
+}  // namespace metas::eval

@@ -1,0 +1,36 @@
+#include <iostream>
+#include "eval/world.hpp"
+#include "eval/metrics.hpp"
+#include "core/als.hpp"
+#include "util/curves.hpp"
+using namespace metas;
+int main() {
+  auto wc = eval::small_world_config(99);
+  auto w = eval::build_world(wc);
+  auto m = w.focus_metros.front();
+  core::MetroContext ctx(w.net, m);
+  const auto& t = w.truth_at(m);
+  util::Rng rng(1);
+  const int n = (int)ctx.size();
+  // sample fraction of truth entries as ±1 ratings
+  for (double frac : {0.1, 0.2, 0.3}) {
+    std::vector<core::RatingEntry> train;
+    std::vector<std::pair<int,int>> test_pairs;
+    for (int i=0;i<n;i++) for (int j=i+1;j<n;j++) {
+      if (rng.uniform() < frac) train.push_back({(size_t)i,(size_t)j, t.link(i,j)?1.0:-1.0});
+      else test_pairs.push_back({i,j});
+    }
+    for (int rank : {4, 8, 16}) {
+      for (double fw : {0.0, 0.3}) {
+        core::FeatureMatrix feats = core::encode_features(ctx);
+        core::AlsConfig cfg; cfg.rank = rank; cfg.feature_weight = fw;
+        core::AlsCompleter c(n, feats, cfg);
+        c.fit(train);
+        std::vector<util::Scored> sc;
+        for (auto [i,j] : test_pairs) sc.push_back({c.predict(i,j), t.link(i,j)});
+        std::cout << "frac=" << frac << " rank=" << rank << " fw=" << fw
+                  << " AUC=" << util::auc(sc) << " AUPRC=" << util::auprc(sc) << "\n";
+      }
+    }
+  }
+}

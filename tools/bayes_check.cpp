@@ -1,0 +1,28 @@
+#include <iostream>
+#include "eval/world.hpp"
+#include "topology/generator.hpp"
+#include "util/curves.hpp"
+using namespace metas;
+int main() {
+  auto wc = eval::small_world_config(99);
+  auto w = eval::build_world(wc);
+  auto m = w.focus_metros.front();
+  core::MetroContext ctx(w.net, m);
+  const auto& t = w.truth_at(m);
+  const int n = (int)ctx.size();
+  auto pol_pen = [](double bias) {
+    if (bias > 0.35) return 0.0;
+    if (bias > -0.15) return 0.35;
+    if (bias > -0.60) return 1.10;
+    return 0.60;
+  };
+  std::vector<util::Scored> sc, sc_p2p;
+  for (int i=0;i<n;i++) for (int j=i+1;j<n;j++) {
+    const auto& a = w.net.ases[ctx.as_at(i)];
+    const auto& b = w.net.ases[ctx.as_at(j)];
+    double s = topology::pair_score(a, b, w.net.num_continents)
+             - pol_pen(a.latent_bias) - pol_pen(b.latent_bias);
+    sc.push_back({s, t.link(i,j)});
+  }
+  std::cout << "Bayes-ish AUC (latent score vs truth incl c2p/ixp): " << util::auc(sc) << "\n";
+}

@@ -1,0 +1,45 @@
+#include <iostream>
+#include "eval/world.hpp"
+#include "eval/metrics.hpp"
+#include "linalg/eigen_sym.hpp"
+using namespace metas;
+int main() {
+  auto wc = eval::small_world_config(99);
+  auto w = eval::build_world(wc);
+  std::cout << "ASes=" << w.net.num_ases() << " links=" << w.net.links.size() << " VPs=" << w.vps.size() << " collectors=" << w.collectors.size() << " publicview=" << w.public_view.size() << "\n";
+  for (auto m : w.focus_metros) {
+    core::MetroContext ctx(w.net, m);
+    const auto& t = w.truth_at(m);
+    auto e = w.ms->build_matrix(ctx);
+    size_t pos=0, neg=0;
+    for (auto [i,j] : e.filled_entries()) (e.value(i,j)>0?pos:neg)++;
+    size_t tot = ctx.size()*(ctx.size()-1)/2;
+    {
+      linalg::Matrix tm(ctx.size(), ctx.size());
+      for (size_t i=0;i<ctx.size();++i) for (size_t j=0;j<ctx.size();++j)
+        if (i!=j) tm(i,j) = t.link(i,j) ? 1.0 : -1.0;
+      std::cout << "  truth eff-rank(5%)=" << linalg::effective_rank_threshold(tm, 0.05)
+                << " entropy=" << linalg::effective_rank_entropy(tm) << "\n";
+    }
+    std::cout << w.net.metros[m].name << ": n=" << ctx.size()
+              << " density=" << double(t.link_count())/tot
+              << " E: pos=" << pos << " neg=" << neg << "\n";
+    // correctness of entries vs truth
+    size_t pos_ok=0, neg_ok=0;
+    for (auto [i,j] : e.filled_entries()) {
+      bool truth = t.link(i,j);
+      if (e.value(i,j)>0 && truth) pos_ok++;
+      if (e.value(i,j)<0 && !truth) neg_ok++;
+    }
+    std::cout << "  pos acc=" << (pos? double(pos_ok)/pos:0) << " neg acc=" << (neg? double(neg_ok)/neg:0) << "\n";
+    // accuracy by rating magnitude
+    for (double v : {1.0, 0.7, 0.4, 0.1}) {
+      size_t c=0, ok=0;
+      for (auto [i,j] : e.filled_entries()) {
+        double val = e.value(i,j);
+        if (val > v-0.01 && val < v+0.01) { c++; if (t.link(i,j)) ok++; }
+      }
+      std::cout << "    val=" << v << " count=" << c << " acc=" << (c?double(ok)/c:0) << "\n";
+    }
+  }
+}

@@ -1,0 +1,34 @@
+// Sweep ALS hyperparameters on a pipeline-produced E_m against ground truth.
+#include <iostream>
+#include "eval/world.hpp"
+#include "eval/metrics.hpp"
+using namespace metas;
+int main() {
+  auto wc = eval::small_world_config(99);
+  auto w = eval::build_world(wc);
+  auto m = w.focus_metros.front();
+  core::MetroContext ctx(w.net, m);
+  core::PipelineConfig pc;
+  core::MetascriticPipeline p(ctx, *w.ms, nullptr, pc);
+  auto r = p.run();
+  auto entries = core::rating_entries(r.estimated);
+  core::FeatureMatrix feats = core::encode_features(ctx);
+  for (int rank : {6, 10, 16, 24}) {
+    for (double fw : {0.15, 0.3, 0.6}) {
+      for (double lam : {0.04, 0.08, 0.16}) {
+        for (double floor : {0.05, 0.15, 0.4}) {
+          core::AlsConfig ac;
+          ac.rank = rank; ac.feature_weight = fw; ac.lambda = lam;
+          ac.confidence_floor = floor;
+          core::AlsCompleter c(ctx.size(), feats, ac);
+          c.fit(entries);
+          auto pairs = eval::score_pairs(ctx, c.completed());
+          auto mt = eval::truth_metrics(pairs, 0.0);
+          std::cout << "rank=" << rank << " fw=" << fw << " lam=" << lam
+                    << " floor=" << floor << " AUC=" << mt.auc
+                    << " AUPRC=" << mt.auprc << "\n";
+        }
+      }
+    }
+  }
+}

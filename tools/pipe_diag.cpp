@@ -1,0 +1,51 @@
+#include <iostream>
+#include "eval/world.hpp"
+#include "eval/metrics.hpp"
+#include "eval/splits.hpp"
+using namespace metas;
+int main(int argc, char** argv) {
+  int budget_scale = argc>1 ? atoi(argv[1]) : 1;
+  auto wc = eval::small_world_config(99);
+  auto w = eval::build_world(wc);
+  auto m = w.focus_metros.front();
+  core::MetroContext ctx(w.net, m);
+  core::PipelineConfig pc;
+  pc.rank.budget_per_iteration = 4000 * budget_scale;
+  pc.rank.max_rank = 40;
+  core::StrategyPriors priors;
+  core::MetascriticPipeline p(ctx, *w.ms, &priors, pc);
+  auto r = p.run();
+  std::cout << "rank=" << r.estimated_rank << " traces=" << r.targeted_traceroutes
+            << " entries=" << r.estimated.total_filled() << " lambda=" << r.threshold << "\n";
+  std::cout << "mse history:";
+  for (auto [rk, mse] : r.rank_detail.history) std::cout << " " << rk << ":" << mse;
+  std::cout << "\n";
+  size_t inf=0, ran=0;
+  for (auto& rec : r.measurement_log) { ran += rec.ran; inf += rec.informative; }
+  std::cout << "measurements logged=" << r.measurement_log.size() << " ran=" << ran << " informative=" << inf << "\n";
+  auto pairs = eval::score_pairs(ctx, r.ratings);
+  auto mt = eval::truth_metrics(pairs, r.threshold);
+  std::cout << "prec=" << mt.precision << " rec=" << mt.recall << " f=" << mt.f_score
+            << " auprc=" << mt.auprc << " auc=" << mt.auc << "\n";
+
+  // Paper-style cross-validation (Fig. 3): hold out 20% of E entries,
+  // complete from the rest, PR on held-out signs.
+  util::Rng srng(5);
+  for (auto kind : {eval::SplitKind::kStratified, eval::SplitKind::kCompletelyOut}) {
+    auto split = eval::make_split(r.estimated, kind, srng);
+    core::FeatureMatrix feats = core::encode_features(ctx);
+    core::AlsConfig ac; ac.rank = r.estimated_rank;
+    core::AlsCompleter c(ctx.size(), feats, ac);
+    c.fit(split.train);
+    std::vector<util::Scored> sc;
+    size_t truth_ok = 0;
+    const auto& t = w.truth_at(m);
+    for (auto& e : split.test) {
+      sc.push_back({c.predict(e.i, e.j), e.value > 0});
+      if ((e.value>0) == t.link(e.i, e.j)) truth_ok++;
+    }
+    std::cout << eval::to_string(kind) << ": AUPRC=" << util::auprc(sc)
+              << " AUC=" << util::auc(sc)
+              << " (label-vs-truth agreement " << double(truth_ok)/split.test.size() << ")\n";
+  }
+}
