@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_traceroute_efficiency.dir/e3_traceroute_efficiency.cpp.o"
+  "CMakeFiles/e3_traceroute_efficiency.dir/e3_traceroute_efficiency.cpp.o.d"
+  "e3_traceroute_efficiency"
+  "e3_traceroute_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_traceroute_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_nonexistence_ablation.dir/e7_nonexistence_ablation.cpp.o"
+  "CMakeFiles/e7_nonexistence_ablation.dir/e7_nonexistence_ablation.cpp.o.d"
+  "e7_nonexistence_ablation"
+  "e7_nonexistence_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_nonexistence_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

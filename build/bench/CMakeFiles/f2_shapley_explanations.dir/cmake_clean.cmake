@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2_shapley_explanations.dir/f2_shapley_explanations.cpp.o"
+  "CMakeFiles/f2_shapley_explanations.dir/f2_shapley_explanations.cpp.o.d"
+  "f2_shapley_explanations"
+  "f2_shapley_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2_shapley_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_feature_correlations.dir/fig01_feature_correlations.cpp.o"
+  "CMakeFiles/fig01_feature_correlations.dir/fig01_feature_correlations.cpp.o.d"
+  "fig01_feature_correlations"
+  "fig01_feature_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_feature_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

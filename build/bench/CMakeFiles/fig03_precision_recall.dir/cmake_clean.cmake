@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_precision_recall.dir/fig03_precision_recall.cpp.o"
+  "CMakeFiles/fig03_precision_recall.dir/fig03_precision_recall.cpp.o.d"
+  "fig03_precision_recall"
+  "fig03_precision_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_probability_calibration.dir/fig04_probability_calibration.cpp.o"
+  "CMakeFiles/fig04_probability_calibration.dir/fig04_probability_calibration.cpp.o.d"
+  "fig04_probability_calibration"
+  "fig04_probability_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_probability_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_probe_coverage_rating.dir/fig05_probe_coverage_rating.cpp.o"
+  "CMakeFiles/fig05_probe_coverage_rating.dir/fig05_probe_coverage_rating.cpp.o.d"
+  "fig05_probe_coverage_rating"
+  "fig05_probe_coverage_rating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_probe_coverage_rating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_probe_coverage_rating.
+# This may be replaced when dependencies are built.

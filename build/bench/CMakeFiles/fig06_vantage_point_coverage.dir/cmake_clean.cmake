@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_vantage_point_coverage.dir/fig06_vantage_point_coverage.cpp.o"
+  "CMakeFiles/fig06_vantage_point_coverage.dir/fig06_vantage_point_coverage.cpp.o.d"
+  "fig06_vantage_point_coverage"
+  "fig06_vantage_point_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_vantage_point_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_hijack_prediction.dir/fig07_hijack_prediction.cpp.o"
+  "CMakeFiles/fig07_hijack_prediction.dir/fig07_hijack_prediction.cpp.o.d"
+  "fig07_hijack_prediction"
+  "fig07_hijack_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_hijack_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_roc_classifiers.dir/fig08_roc_classifiers.cpp.o"
+  "CMakeFiles/fig08_roc_classifiers.dir/fig08_roc_classifiers.cpp.o.d"
+  "fig08_roc_classifiers"
+  "fig08_roc_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_roc_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_transferability.dir/fig09_transferability.cpp.o"
+  "CMakeFiles/fig09_transferability.dir/fig09_transferability.cpp.o.d"
+  "fig09_transferability"
+  "fig09_transferability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_transferability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_controlled_rank.dir/fig10_controlled_rank.cpp.o"
+  "CMakeFiles/fig10_controlled_rank.dir/fig10_controlled_rank.cpp.o.d"
+  "fig10_controlled_rank"
+  "fig10_controlled_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_controlled_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

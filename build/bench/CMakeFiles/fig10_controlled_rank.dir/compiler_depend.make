@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_controlled_rank.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_measurement_efficiency.dir/fig11_measurement_efficiency.cpp.o"
+  "CMakeFiles/fig11_measurement_efficiency.dir/fig11_measurement_efficiency.cpp.o.d"
+  "fig11_measurement_efficiency"
+  "fig11_measurement_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_measurement_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_links_per_metro.dir/fig16_links_per_metro.cpp.o"
+  "CMakeFiles/fig16_links_per_metro.dir/fig16_links_per_metro.cpp.o.d"
+  "fig16_links_per_metro"
+  "fig16_links_per_metro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_links_per_metro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

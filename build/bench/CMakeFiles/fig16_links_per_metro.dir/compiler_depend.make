@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_links_per_metro.
+# This may be replaced when dependencies are built.

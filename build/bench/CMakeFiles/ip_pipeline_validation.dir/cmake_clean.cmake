@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_pipeline_validation.dir/ip_pipeline_validation.cpp.o"
+  "CMakeFiles/ip_pipeline_validation.dir/ip_pipeline_validation.cpp.o.d"
+  "ip_pipeline_validation"
+  "ip_pipeline_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_pipeline_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

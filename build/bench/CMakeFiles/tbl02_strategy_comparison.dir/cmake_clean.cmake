@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl02_strategy_comparison.dir/tbl02_strategy_comparison.cpp.o"
+  "CMakeFiles/tbl02_strategy_comparison.dir/tbl02_strategy_comparison.cpp.o.d"
+  "tbl02_strategy_comparison"
+  "tbl02_strategy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl02_strategy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl03_flattening.dir/tbl03_flattening.cpp.o"
+  "CMakeFiles/tbl03_flattening.dir/tbl03_flattening.cpp.o.d"
+  "tbl03_flattening"
+  "tbl03_flattening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl03_flattening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl03_flattening.
+# This may be replaced when dependencies are built.

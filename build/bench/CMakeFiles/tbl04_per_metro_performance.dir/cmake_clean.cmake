@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl04_per_metro_performance.dir/tbl04_per_metro_performance.cpp.o"
+  "CMakeFiles/tbl04_per_metro_performance.dir/tbl04_per_metro_performance.cpp.o.d"
+  "tbl04_per_metro_performance"
+  "tbl04_per_metro_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl04_per_metro_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tbl04_per_metro_performance.
+# This may be replaced when dependencies are built.

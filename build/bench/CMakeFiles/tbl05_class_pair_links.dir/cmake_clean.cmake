@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl05_class_pair_links.dir/tbl05_class_pair_links.cpp.o"
+  "CMakeFiles/tbl05_class_pair_links.dir/tbl05_class_pair_links.cpp.o.d"
+  "tbl05_class_pair_links"
+  "tbl05_class_pair_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl05_class_pair_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

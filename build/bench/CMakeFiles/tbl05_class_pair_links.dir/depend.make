@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl05_class_pair_links.
+# This may be replaced when dependencies are built.

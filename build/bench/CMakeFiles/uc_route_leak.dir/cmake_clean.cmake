@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_route_leak.dir/uc_route_leak.cpp.o"
+  "CMakeFiles/uc_route_leak.dir/uc_route_leak.cpp.o.d"
+  "uc_route_leak"
+  "uc_route_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_route_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flattening_study.dir/flattening_study.cpp.o"
+  "CMakeFiles/flattening_study.dir/flattening_study.cpp.o.d"
+  "flattening_study"
+  "flattening_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flattening_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

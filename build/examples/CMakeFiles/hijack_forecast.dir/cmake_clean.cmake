@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hijack_forecast.dir/hijack_forecast.cpp.o"
+  "CMakeFiles/hijack_forecast.dir/hijack_forecast.cpp.o.d"
+  "hijack_forecast"
+  "hijack_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hijack_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

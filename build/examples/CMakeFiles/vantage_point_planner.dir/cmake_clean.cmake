@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vantage_point_planner.dir/vantage_point_planner.cpp.o"
+  "CMakeFiles/vantage_point_planner.dir/vantage_point_planner.cpp.o.d"
+  "vantage_point_planner"
+  "vantage_point_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vantage_point_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

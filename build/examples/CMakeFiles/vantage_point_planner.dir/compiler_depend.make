@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vantage_point_planner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metas_baselines.dir/forest.cpp.o"
+  "CMakeFiles/metas_baselines.dir/forest.cpp.o.d"
+  "CMakeFiles/metas_baselines.dir/ncf.cpp.o"
+  "CMakeFiles/metas_baselines.dir/ncf.cpp.o.d"
+  "libmetas_baselines.a"
+  "libmetas_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metas_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_graph.cpp" "src/bgp/CMakeFiles/metas_bgp.dir/as_graph.cpp.o" "gcc" "src/bgp/CMakeFiles/metas_bgp.dir/as_graph.cpp.o.d"
+  "/root/repo/src/bgp/flattening.cpp" "src/bgp/CMakeFiles/metas_bgp.dir/flattening.cpp.o" "gcc" "src/bgp/CMakeFiles/metas_bgp.dir/flattening.cpp.o.d"
+  "/root/repo/src/bgp/hijack.cpp" "src/bgp/CMakeFiles/metas_bgp.dir/hijack.cpp.o" "gcc" "src/bgp/CMakeFiles/metas_bgp.dir/hijack.cpp.o.d"
+  "/root/repo/src/bgp/public_view.cpp" "src/bgp/CMakeFiles/metas_bgp.dir/public_view.cpp.o" "gcc" "src/bgp/CMakeFiles/metas_bgp.dir/public_view.cpp.o.d"
+  "/root/repo/src/bgp/route_leak.cpp" "src/bgp/CMakeFiles/metas_bgp.dir/route_leak.cpp.o" "gcc" "src/bgp/CMakeFiles/metas_bgp.dir/route_leak.cpp.o.d"
+  "/root/repo/src/bgp/routing.cpp" "src/bgp/CMakeFiles/metas_bgp.dir/routing.cpp.o" "gcc" "src/bgp/CMakeFiles/metas_bgp.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/metas_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/metas_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

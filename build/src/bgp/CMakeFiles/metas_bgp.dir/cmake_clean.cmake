@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metas_bgp.dir/as_graph.cpp.o"
+  "CMakeFiles/metas_bgp.dir/as_graph.cpp.o.d"
+  "CMakeFiles/metas_bgp.dir/flattening.cpp.o"
+  "CMakeFiles/metas_bgp.dir/flattening.cpp.o.d"
+  "CMakeFiles/metas_bgp.dir/hijack.cpp.o"
+  "CMakeFiles/metas_bgp.dir/hijack.cpp.o.d"
+  "CMakeFiles/metas_bgp.dir/public_view.cpp.o"
+  "CMakeFiles/metas_bgp.dir/public_view.cpp.o.d"
+  "CMakeFiles/metas_bgp.dir/route_leak.cpp.o"
+  "CMakeFiles/metas_bgp.dir/route_leak.cpp.o.d"
+  "CMakeFiles/metas_bgp.dir/routing.cpp.o"
+  "CMakeFiles/metas_bgp.dir/routing.cpp.o.d"
+  "libmetas_bgp.a"
+  "libmetas_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metas_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/als.cpp" "src/core/CMakeFiles/metas_core.dir/als.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/als.cpp.o.d"
+  "/root/repo/src/core/estimated_matrix.cpp" "src/core/CMakeFiles/metas_core.dir/estimated_matrix.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/estimated_matrix.cpp.o.d"
+  "/root/repo/src/core/evidence.cpp" "src/core/CMakeFiles/metas_core.dir/evidence.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/evidence.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/metas_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/hierarchical.cpp" "src/core/CMakeFiles/metas_core.dir/hierarchical.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/core/measurement_system.cpp" "src/core/CMakeFiles/metas_core.dir/measurement_system.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/measurement_system.cpp.o.d"
+  "/root/repo/src/core/pair_features.cpp" "src/core/CMakeFiles/metas_core.dir/pair_features.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/pair_features.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/metas_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/probabilistic.cpp" "src/core/CMakeFiles/metas_core.dir/probabilistic.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/probabilistic.cpp.o.d"
+  "/root/repo/src/core/probability.cpp" "src/core/CMakeFiles/metas_core.dir/probability.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/probability.cpp.o.d"
+  "/root/repo/src/core/rank_estimator.cpp" "src/core/CMakeFiles/metas_core.dir/rank_estimator.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/rank_estimator.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/metas_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/shapley.cpp" "src/core/CMakeFiles/metas_core.dir/shapley.cpp.o" "gcc" "src/core/CMakeFiles/metas_core.dir/shapley.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traceroute/CMakeFiles/metas_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/metas_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/metas_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/metas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

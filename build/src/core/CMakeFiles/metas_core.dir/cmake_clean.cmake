@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metas_core.dir/als.cpp.o"
+  "CMakeFiles/metas_core.dir/als.cpp.o.d"
+  "CMakeFiles/metas_core.dir/estimated_matrix.cpp.o"
+  "CMakeFiles/metas_core.dir/estimated_matrix.cpp.o.d"
+  "CMakeFiles/metas_core.dir/evidence.cpp.o"
+  "CMakeFiles/metas_core.dir/evidence.cpp.o.d"
+  "CMakeFiles/metas_core.dir/features.cpp.o"
+  "CMakeFiles/metas_core.dir/features.cpp.o.d"
+  "CMakeFiles/metas_core.dir/hierarchical.cpp.o"
+  "CMakeFiles/metas_core.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/metas_core.dir/measurement_system.cpp.o"
+  "CMakeFiles/metas_core.dir/measurement_system.cpp.o.d"
+  "CMakeFiles/metas_core.dir/pair_features.cpp.o"
+  "CMakeFiles/metas_core.dir/pair_features.cpp.o.d"
+  "CMakeFiles/metas_core.dir/pipeline.cpp.o"
+  "CMakeFiles/metas_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/metas_core.dir/probabilistic.cpp.o"
+  "CMakeFiles/metas_core.dir/probabilistic.cpp.o.d"
+  "CMakeFiles/metas_core.dir/probability.cpp.o"
+  "CMakeFiles/metas_core.dir/probability.cpp.o.d"
+  "CMakeFiles/metas_core.dir/rank_estimator.cpp.o"
+  "CMakeFiles/metas_core.dir/rank_estimator.cpp.o.d"
+  "CMakeFiles/metas_core.dir/scheduler.cpp.o"
+  "CMakeFiles/metas_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/metas_core.dir/shapley.cpp.o"
+  "CMakeFiles/metas_core.dir/shapley.cpp.o.d"
+  "libmetas_core.a"
+  "libmetas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

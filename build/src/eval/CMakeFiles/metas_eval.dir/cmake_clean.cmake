@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metas_eval.dir/export.cpp.o"
+  "CMakeFiles/metas_eval.dir/export.cpp.o.d"
+  "CMakeFiles/metas_eval.dir/metrics.cpp.o"
+  "CMakeFiles/metas_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/metas_eval.dir/splits.cpp.o"
+  "CMakeFiles/metas_eval.dir/splits.cpp.o.d"
+  "CMakeFiles/metas_eval.dir/topologies.cpp.o"
+  "CMakeFiles/metas_eval.dir/topologies.cpp.o.d"
+  "CMakeFiles/metas_eval.dir/validation.cpp.o"
+  "CMakeFiles/metas_eval.dir/validation.cpp.o.d"
+  "CMakeFiles/metas_eval.dir/world.cpp.o"
+  "CMakeFiles/metas_eval.dir/world.cpp.o.d"
+  "libmetas_eval.a"
+  "libmetas_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metas_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipnet/address_plan.cpp" "src/ipnet/CMakeFiles/metas_ipnet.dir/address_plan.cpp.o" "gcc" "src/ipnet/CMakeFiles/metas_ipnet.dir/address_plan.cpp.o.d"
+  "/root/repo/src/ipnet/ip_trace.cpp" "src/ipnet/CMakeFiles/metas_ipnet.dir/ip_trace.cpp.o" "gcc" "src/ipnet/CMakeFiles/metas_ipnet.dir/ip_trace.cpp.o.d"
+  "/root/repo/src/ipnet/prefix.cpp" "src/ipnet/CMakeFiles/metas_ipnet.dir/prefix.cpp.o" "gcc" "src/ipnet/CMakeFiles/metas_ipnet.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traceroute/CMakeFiles/metas_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/metas_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/metas_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/metas_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metas_ipnet.dir/address_plan.cpp.o"
+  "CMakeFiles/metas_ipnet.dir/address_plan.cpp.o.d"
+  "CMakeFiles/metas_ipnet.dir/ip_trace.cpp.o"
+  "CMakeFiles/metas_ipnet.dir/ip_trace.cpp.o.d"
+  "CMakeFiles/metas_ipnet.dir/prefix.cpp.o"
+  "CMakeFiles/metas_ipnet.dir/prefix.cpp.o.d"
+  "libmetas_ipnet.a"
+  "libmetas_ipnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metas_ipnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metas_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/metas_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/metas_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/metas_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/metas_linalg.dir/solve.cpp.o"
+  "CMakeFiles/metas_linalg.dir/solve.cpp.o.d"
+  "libmetas_linalg.a"
+  "libmetas_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metas_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

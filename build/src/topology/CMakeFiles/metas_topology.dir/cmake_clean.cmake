@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metas_topology.dir/generator.cpp.o"
+  "CMakeFiles/metas_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/metas_topology.dir/internet.cpp.o"
+  "CMakeFiles/metas_topology.dir/internet.cpp.o.d"
+  "libmetas_topology.a"
+  "libmetas_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metas_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

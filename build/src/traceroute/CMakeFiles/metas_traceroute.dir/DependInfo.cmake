@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traceroute/consistency.cpp" "src/traceroute/CMakeFiles/metas_traceroute.dir/consistency.cpp.o" "gcc" "src/traceroute/CMakeFiles/metas_traceroute.dir/consistency.cpp.o.d"
+  "/root/repo/src/traceroute/engine.cpp" "src/traceroute/CMakeFiles/metas_traceroute.dir/engine.cpp.o" "gcc" "src/traceroute/CMakeFiles/metas_traceroute.dir/engine.cpp.o.d"
+  "/root/repo/src/traceroute/observations.cpp" "src/traceroute/CMakeFiles/metas_traceroute.dir/observations.cpp.o" "gcc" "src/traceroute/CMakeFiles/metas_traceroute.dir/observations.cpp.o.d"
+  "/root/repo/src/traceroute/strategy.cpp" "src/traceroute/CMakeFiles/metas_traceroute.dir/strategy.cpp.o" "gcc" "src/traceroute/CMakeFiles/metas_traceroute.dir/strategy.cpp.o.d"
+  "/root/repo/src/traceroute/vantage_point.cpp" "src/traceroute/CMakeFiles/metas_traceroute.dir/vantage_point.cpp.o" "gcc" "src/traceroute/CMakeFiles/metas_traceroute.dir/vantage_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/metas_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/metas_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/metas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/metas_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

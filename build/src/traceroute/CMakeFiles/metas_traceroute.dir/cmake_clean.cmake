@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metas_traceroute.dir/consistency.cpp.o"
+  "CMakeFiles/metas_traceroute.dir/consistency.cpp.o.d"
+  "CMakeFiles/metas_traceroute.dir/engine.cpp.o"
+  "CMakeFiles/metas_traceroute.dir/engine.cpp.o.d"
+  "CMakeFiles/metas_traceroute.dir/observations.cpp.o"
+  "CMakeFiles/metas_traceroute.dir/observations.cpp.o.d"
+  "CMakeFiles/metas_traceroute.dir/strategy.cpp.o"
+  "CMakeFiles/metas_traceroute.dir/strategy.cpp.o.d"
+  "CMakeFiles/metas_traceroute.dir/vantage_point.cpp.o"
+  "CMakeFiles/metas_traceroute.dir/vantage_point.cpp.o.d"
+  "libmetas_traceroute.a"
+  "libmetas_traceroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metas_traceroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

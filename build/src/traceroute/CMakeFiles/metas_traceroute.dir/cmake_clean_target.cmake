@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmetas_traceroute.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metas_util.dir/curves.cpp.o"
+  "CMakeFiles/metas_util.dir/curves.cpp.o.d"
+  "CMakeFiles/metas_util.dir/stats.cpp.o"
+  "CMakeFiles/metas_util.dir/stats.cpp.o.d"
+  "CMakeFiles/metas_util.dir/table.cpp.o"
+  "CMakeFiles/metas_util.dir/table.cpp.o.d"
+  "libmetas_util.a"
+  "libmetas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

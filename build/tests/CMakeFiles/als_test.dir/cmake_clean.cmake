@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/als_test.dir/als_test.cpp.o"
+  "CMakeFiles/als_test.dir/als_test.cpp.o.d"
+  "als_test"
+  "als_test.pdb"
+  "als_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/als_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimated_matrix_test.dir/estimated_matrix_test.cpp.o"
+  "CMakeFiles/estimated_matrix_test.dir/estimated_matrix_test.cpp.o.d"
+  "estimated_matrix_test"
+  "estimated_matrix_test.pdb"
+  "estimated_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimated_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flattening_test.dir/flattening_test.cpp.o"
+  "CMakeFiles/flattening_test.dir/flattening_test.cpp.o.d"
+  "flattening_test"
+  "flattening_test.pdb"
+  "flattening_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flattening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

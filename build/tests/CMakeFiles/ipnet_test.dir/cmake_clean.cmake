@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipnet_test.dir/ipnet_test.cpp.o"
+  "CMakeFiles/ipnet_test.dir/ipnet_test.cpp.o.d"
+  "ipnet_test"
+  "ipnet_test.pdb"
+  "ipnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

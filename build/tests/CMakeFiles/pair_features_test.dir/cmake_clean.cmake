@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_features_test.dir/pair_features_test.cpp.o"
+  "CMakeFiles/pair_features_test.dir/pair_features_test.cpp.o.d"
+  "pair_features_test"
+  "pair_features_test.pdb"
+  "pair_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

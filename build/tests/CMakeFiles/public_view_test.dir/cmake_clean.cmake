@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/public_view_test.dir/public_view_test.cpp.o"
+  "CMakeFiles/public_view_test.dir/public_view_test.cpp.o.d"
+  "public_view_test"
+  "public_view_test.pdb"
+  "public_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/public_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_estimator_test.dir/rank_estimator_test.cpp.o"
+  "CMakeFiles/rank_estimator_test.dir/rank_estimator_test.cpp.o.d"
+  "rank_estimator_test"
+  "rank_estimator_test.pdb"
+  "rank_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

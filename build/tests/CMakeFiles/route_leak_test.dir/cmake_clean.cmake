@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_leak_test.dir/route_leak_test.cpp.o"
+  "CMakeFiles/route_leak_test.dir/route_leak_test.cpp.o.d"
+  "route_leak_test"
+  "route_leak_test.pdb"
+  "route_leak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_leak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapley_test.dir/shapley_test.cpp.o"
+  "CMakeFiles/shapley_test.dir/shapley_test.cpp.o.d"
+  "shapley_test"
+  "shapley_test.pdb"
+  "shapley_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapley_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_test.dir/solve_test.cpp.o"
+  "CMakeFiles/solve_test.dir/solve_test.cpp.o.d"
+  "solve_test"
+  "solve_test.pdb"
+  "solve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/als_check.dir/als_check.cpp.o"
+  "CMakeFiles/als_check.dir/als_check.cpp.o.d"
+  "als_check"
+  "als_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/als_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayes_check.dir/bayes_check.cpp.o"
+  "CMakeFiles/bayes_check.dir/bayes_check.cpp.o.d"
+  "bayes_check"
+  "bayes_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayes_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

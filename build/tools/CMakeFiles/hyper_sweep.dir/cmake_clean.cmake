@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyper_sweep.dir/hyper_sweep.cpp.o"
+  "CMakeFiles/hyper_sweep.dir/hyper_sweep.cpp.o.d"
+  "hyper_sweep"
+  "hyper_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyper_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metascritic_cli.dir/metascritic_cli.cpp.o"
+  "CMakeFiles/metascritic_cli.dir/metascritic_cli.cpp.o.d"
+  "metascritic_cli"
+  "metascritic_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metascritic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipe_diag.dir/pipe_diag.cpp.o"
+  "CMakeFiles/pipe_diag.dir/pipe_diag.cpp.o.d"
+  "pipe_diag"
+  "pipe_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipe_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
