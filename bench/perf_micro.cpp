@@ -54,13 +54,13 @@ BENCHMARK(BM_JacobiEigen)->Arg(60)->Arg(120);
 
 struct WorldHolder {
   static eval::World& get() {
-    static eval::World* w = [] {
+    static eval::World w = [] {
       auto cfg = eval::small_world_config(321);
       cfg.public_archive_traces = 500;
       cfg.compute_public_view = false;
-      return new eval::World(eval::build_world(cfg));
+      return eval::build_world(cfg);
     }();
-    return *w;
+    return w;
   }
 };
 

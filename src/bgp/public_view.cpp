@@ -1,5 +1,7 @@
 #include "bgp/public_view.hpp"
 
+#include "util/contracts.hpp"
+
 namespace metas::bgp {
 
 LinkSet compute_public_view(const AsGraph& graph,
@@ -14,6 +16,10 @@ LinkSet compute_public_view(const AsGraph& graph,
       AsId cur = c;
       while (cur != dst) {
         AsId nh = t.next_hop[static_cast<std::size_t>(cur)];
+        // Export-policy consistency: a selected route's next hop must itself
+        // hold a route to the destination (otherwise the walk would derail).
+        MAC_ASSERT(nh != topology::kInvalidAs && t.reachable(nh),
+                   "cur=", cur, " nh=", nh, " dst=", dst);
         visible.add(cur, nh);
         cur = nh;
       }
@@ -44,6 +50,7 @@ std::vector<AsId> place_collectors(const topology::Internet& net,
     // Collector density is skewed toward the first two continents
     // (Europe/North-America analogue in the generator).
     if (node.home_continent >= 2) p *= 0.4;
+    MAC_ASSERT(p >= 0.0 && p <= 1.0, "p=", p, " as=", node.id);
     if (rng.bernoulli(p * coverage_scale)) out.push_back(node.id);
   }
   return out;

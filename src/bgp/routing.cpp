@@ -4,7 +4,46 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace metas::bgp {
+
+namespace {
+
+// Classifies the directed edge u -> v: +1 customer->provider (uphill),
+// -1 provider->customer (downhill), 0 peer, INT_MIN no edge.
+[[maybe_unused]] int edge_direction(const AsGraph& g, AsId u, AsId v) {
+  const auto& provs = g.providers(u);
+  if (std::find(provs.begin(), provs.end(), v) != provs.end()) return 1;
+  const auto& custs = g.customers(u);
+  if (std::find(custs.begin(), custs.end(), v) != custs.end()) return -1;
+  const auto& prs = g.peers(u);
+  if (std::find(prs.begin(), prs.end(), v) != prs.end()) return 0;
+  return std::numeric_limits<int>::min();
+}
+
+// Gao-Rexford validity: a path is uphill (c2p) edges, at most one peer
+// edge, then downhill (p2c) edges -- no valleys, no double peering.
+[[maybe_unused]] bool is_valley_free(const AsGraph& g,
+                                     const std::vector<AsId>& path) {
+  // 0 = climbing, 1 = after the peer edge, 2 = descending.
+  int stage = 0;
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    int dir = edge_direction(g, path[k - 1], path[k]);
+    if (dir == std::numeric_limits<int>::min()) return false;
+    if (dir == 1) {
+      if (stage != 0) return false;  // uphill after peer/downhill: a valley
+    } else if (dir == 0) {
+      if (stage != 0) return false;  // second peer edge or peer after descent
+      stage = 1;
+    } else {
+      stage = 2;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 bool route_preferred(RouteKind ka, int la, RouteKind kb, int lb) {
   if (ka == RouteKind::kNone) return false;
@@ -129,7 +168,12 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
       t.length[u] = prov_len[u];
       t.next_hop[u] = prov_nh[u];
     }
+    MAC_ENSURE(t.kind[u] == RouteKind::kNone ||
+                   t.next_hop[u] != topology::kInvalidAs,
+               "routed AS without next hop: u=", u);
   }
+  MAC_ENSURE(t.length[static_cast<std::size_t>(dst)] == 0,
+             "dst=", dst, " self-length=", t.length[static_cast<std::size_t>(dst)]);
   return t;
 }
 
@@ -146,6 +190,12 @@ std::vector<AsId> RoutingEngine::path(AsId src, AsId dst) {
     cur = t.next_hop[static_cast<std::size_t>(cur)];
     p.push_back(cur);
   }
+  MAC_ENSURE(static_cast<std::size_t>(t.length[static_cast<std::size_t>(src)]) + 1 ==
+                 p.size(),
+             "table length=", t.length[static_cast<std::size_t>(src)],
+             " path hops=", p.size());
+  MAC_ENSURE(is_valley_free(*graph_, p), "src=", src, " dst=", dst,
+             " hops=", p.size());
   return p;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/solve.hpp"
+#include "util/contracts.hpp"
 #include "util/rng.hpp"
 
 namespace metas::core {
@@ -59,6 +60,7 @@ void AlsCompleter::fit(const std::vector<RatingEntry>& observed) {
       target = e.value > 0.0 ? 1.0 : -1.0;
     }
     if (e.value < 0.0) w *= neg_boost;
+    MAC_ASSERT(w > 0.0 && std::isfinite(w), "w=", w, " value=", e.value);
     add(e.i, e.j, target, w);
     add(e.j, e.i, target, w);
   }
@@ -80,10 +82,17 @@ void AlsCompleter::fit(const std::vector<RatingEntry>& observed) {
       q_(i, k) = rng.normal(0.0, 0.1);
     }
 
+  MAC_REQUIRE(cfg_.iterations > 0, "iterations=", cfg_.iterations);
   for (int it = 0; it < cfg_.iterations; ++it) {
     solve_side(cols_, vals_, wts_, q_, p_);
     solve_side(cols_, vals_, wts_, p_, q_);
   }
+#if METASCRITIC_CONTRACTS
+  // Convergence postcondition: every factor entry must stay finite -- a NaN
+  // here would silently poison every downstream rating.
+  for (double x : p_.data()) MAC_ENSURE(std::isfinite(x), "NaN/Inf in P");
+  for (double x : q_.data()) MAC_ENSURE(std::isfinite(x), "NaN/Inf in Q");
+#endif
   fitted_ = true;
 }
 
@@ -130,7 +139,9 @@ double AlsCompleter::predict(std::size_t i, std::size_t j) const {
   double s = 0.0;
   for (std::size_t k = 0; k < r; ++k)
     s += p_(i, k) * q_(j, k) + p_(j, k) * q_(i, k);
-  return std::clamp(0.5 * s, -1.0, 1.0);
+  double out = std::clamp(0.5 * s, -1.0, 1.0);
+  MAC_ENSURE(out >= -1.0 && out <= 1.0, "out=", out);
+  return out;
 }
 
 double AlsCompleter::mse(const std::vector<RatingEntry>& held_out) const {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace metas::core {
 
 double positive_rating(topology::GeoScope g) {
@@ -25,6 +27,9 @@ EstimatedMatrix::EstimatedMatrix(std::size_t n)
 void EstimatedMatrix::set(std::size_t i, std::size_t j, double v) {
   if (i == j) throw std::invalid_argument("EstimatedMatrix::set: diagonal");
   if (i >= n_ || j >= n_) throw std::out_of_range("EstimatedMatrix::set");
+  // Ratings are geo-scope confidences in [-1, 1] (§3.4); anything outside
+  // means a caller skipped positive_rating()/negative_rating().
+  MAC_REQUIRE(std::isfinite(v) && v >= -1.0 && v <= 1.0, "v=", v);
   std::size_t a = i * n_ + j, b = j * n_ + i;
   if (mask_[a] != 0) {
     if (std::fabs(v) <= std::fabs(values_[a])) return;

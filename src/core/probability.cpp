@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contracts.hpp"
+
 namespace metas::core {
 
 using traceroute::kNumStrategies;
@@ -26,6 +28,10 @@ ProbabilityMatrix::ProbabilityMatrix(const MetroContext& ctx,
                                      const StrategyPriors* priors,
                                      const ProbabilityConfig& cfg)
     : ctx_(&ctx), cfg_(cfg), n_(ctx.size()) {
+  MAC_REQUIRE(cfg.prior_alpha > 0.0 && cfg.prior_beta > 0.0,
+              "alpha=", cfg.prior_alpha, " beta=", cfg.prior_beta);
+  MAC_REQUIRE(cfg.penalty_factor > 0.0 && cfg.penalty_factor <= 1.0,
+              "penalty_factor=", cfg.penalty_factor);
   vp_counts_.resize(n_);
   tgt_counts_.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) {
@@ -54,8 +60,13 @@ ProbabilityMatrix::ProbabilityMatrix(const MetroContext& ctx,
 }
 
 double ProbabilityMatrix::strategy_prob(int strategy) const {
+  MAC_REQUIRE(strategy >= 0 && strategy < kNumStrategies,
+              "strategy=", strategy);
   auto si = static_cast<std::size_t>(strategy);
-  return alpha_[si] / (alpha_[si] + beta_[si]);
+  double p = alpha_[si] / (alpha_[si] + beta_[si]);
+  MAC_ENSURE(p >= 0.0 && p <= 1.0, "p=", p, " alpha=", alpha_[si],
+             " beta=", beta_[si]);
+  return p;
 }
 
 std::uint64_t ProbabilityMatrix::penalty_key(int i, int j, int s) const {
@@ -91,10 +102,14 @@ double ProbabilityMatrix::dir_prob(int near, int far, int* best_vp,
       }
     }
   }
+  MAC_ENSURE(best >= 0.0, "best=", best);
   return std::min(best, 1.0);
 }
 
 StrategyChoice ProbabilityMatrix::choose(int i, int j) const {
+  MAC_REQUIRE(i >= 0 && j >= 0 && static_cast<std::size_t>(i) < n_ &&
+                  static_cast<std::size_t>(j) < n_ && i != j,
+              "i=", i, " j=", j, " n=", n_);
   StrategyChoice c;
   int vp_a = -1, tgt_a = -1, vp_b = -1, tgt_b = -1;
   double pa = dir_prob(i, j, &vp_a, &tgt_a);
@@ -115,6 +130,8 @@ StrategyChoice ProbabilityMatrix::choose(int i, int j) const {
 
 void ProbabilityMatrix::record(int i, int j, const StrategyChoice& choice,
                                bool informative) {
+  MAC_REQUIRE(choice.probability >= 0.0 && choice.probability <= 1.0,
+              "probability=", choice.probability);
   if (choice.vp_cat < 0 || choice.tgt_cat < 0) return;
   int s = traceroute::strategy_index(choice.vp_cat, choice.tgt_cat);
   auto si = static_cast<std::size_t>(s);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contracts.hpp"
+
 namespace metas::core {
 
 namespace {
@@ -69,6 +71,9 @@ double RankEstimator::holdout_mse(const EstimatedMatrix& e, int rank,
 
 RankEstimateResult RankEstimator::run(MeasurementScheduler* scheduler,
                                       MeasurementSystem& ms) {
+  MAC_REQUIRE(cfg_.max_rank >= 1, "max_rank=", cfg_.max_rank);
+  MAC_REQUIRE(cfg_.holdout_per_row >= 1,
+              "holdout_per_row=", cfg_.holdout_per_row);
   util::Rng rng(cfg_.seed);
   RankEstimateResult res;
   double best = 1e30;
@@ -92,10 +97,13 @@ RankEstimateResult RankEstimator::run(MeasurementScheduler* scheduler,
       break;
     }
   }
+  MAC_ENSURE(res.best_rank >= 1 && res.best_rank <= cfg_.max_rank,
+             "best_rank=", res.best_rank, " max_rank=", cfg_.max_rank);
   return res;
 }
 
 RankEstimateResult RankEstimator::run_static(const EstimatedMatrix& e) {
+  MAC_REQUIRE(cfg_.max_rank >= 1, "max_rank=", cfg_.max_rank);
   util::Rng rng(cfg_.seed);
   RankEstimateResult res;
   double best = 1e30;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contracts.hpp"
+
 namespace metas::core {
 
 namespace {
@@ -23,6 +25,12 @@ MeasurementScheduler::MeasurementScheduler(const MetroContext& ctx,
       rng_(cfg.seed),
       fail_streak_(ctx.size(), 0),
       given_up_(ctx.size(), false) {
+  MAC_REQUIRE(cfg.batch_size > 0, "batch_size=", cfg.batch_size);
+  MAC_REQUIRE(cfg.epsilon >= 0.0 && cfg.epsilon <= 1.0,
+              "epsilon=", cfg.epsilon);
+  MAC_REQUIRE(cfg.row_fail_limit > 0, "row_fail_limit=", cfg.row_fail_limit);
+  MAC_REQUIRE(cfg.exploit_min_prob >= 0.0 && cfg.exploit_min_prob <= 1.0,
+              "exploit_min_prob=", cfg.exploit_min_prob);
   if (cfg_.policy == SelectionPolicy::kOnlyExploit) cfg_.epsilon = 0.0;
   if (cfg_.policy == SelectionPolicy::kOnlyExplore) cfg_.epsilon = 1.0;
   if (cfg_.policy == SelectionPolicy::kIxpMapped) {
@@ -32,6 +40,7 @@ MeasurementScheduler::MeasurementScheduler(const MetroContext& ctx,
 }
 
 std::size_t MeasurementScheduler::fill_rows_to(int target, std::size_t budget) {
+  MAC_REQUIRE(target >= 1, "target=", target);
   std::size_t issued = 0;
   std::fill(fail_streak_.begin(), fail_streak_.end(), 0);
   std::fill(given_up_.begin(), given_up_.end(), false);
@@ -50,6 +59,11 @@ std::size_t MeasurementScheduler::fill_rows_to(int target, std::size_t budget) {
     issued += got;
     if (got == 0) break;  // nothing selectable anymore
   }
+  // Budget accounting: overshoot is bounded by one batch (the batch that
+  // crosses the budget line is not truncated mid-flight).
+  MAC_ENSURE(issued < budget + static_cast<std::size_t>(cfg_.batch_size),
+             "issued=", issued, " budget=", budget,
+             " batch_size=", cfg_.batch_size);
   return issued;
 }
 
@@ -214,6 +228,10 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_greedy(
 }
 
 void MeasurementScheduler::execute(const Pick& pick) {
+  MAC_REQUIRE(pick.i >= 0 && pick.j >= 0 && pick.i != pick.j &&
+                  static_cast<std::size_t>(pick.i) < ctx_->size() &&
+                  static_cast<std::size_t>(pick.j) < ctx_->size(),
+              "i=", pick.i, " j=", pick.j, " n=", ctx_->size());
   StrategyChoice choice = pm_->choose(pick.i, pick.j);
   IssuedRecord rec;
   rec.i = pick.i;

@@ -1,5 +1,7 @@
 #include "eval/metrics.hpp"
 
+#include "util/contracts.hpp"
+
 namespace metas::eval {
 
 std::vector<EvaluatedPair> score_pairs(
@@ -47,6 +49,14 @@ TruthMetrics truth_metrics(const std::vector<EvaluatedPair>& pairs,
   m.auc = util::auc(scored);
   for (const auto& p : pairs)
     if (p.truth) ++m.positives;
+  // All reported rates are probabilities by construction.
+  MAC_ENSURE(m.precision >= 0.0 && m.precision <= 1.0, "precision=", m.precision);
+  MAC_ENSURE(m.recall >= 0.0 && m.recall <= 1.0, "recall=", m.recall);
+  MAC_ENSURE(m.f_score >= 0.0 && m.f_score <= 1.0, "f_score=", m.f_score);
+  MAC_ENSURE(m.auprc >= 0.0 && m.auprc <= 1.0, "auprc=", m.auprc);
+  MAC_ENSURE(m.auc >= 0.0 && m.auc <= 1.0, "auc=", m.auc);
+  MAC_ENSURE(m.positives <= m.pairs, "positives=", m.positives,
+             " pairs=", m.pairs);
   return m;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace metas::eval {
 
 const char* to_string(SplitKind k) {
@@ -71,6 +73,10 @@ Split make_split(const core::EstimatedMatrix& e, SplitKind kind,
     core::RatingEntry r{i, j, e.value(i, j)};
     (held[k] ? out.test : out.train).push_back(r);
   }
+  // The split is a partition: every filled entry lands in exactly one side.
+  MAC_ENSURE(out.train.size() + out.test.size() == entries.size(),
+             "train=", out.train.size(), " test=", out.test.size(),
+             " entries=", entries.size());
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contracts.hpp"
+
 namespace metas::eval {
 
 using topology::AsClass;
@@ -153,6 +155,16 @@ std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
       if (rng.bernoulli(0.15)) pairs.emplace_back(i, j);
     sets.push_back(recall_sample("IPAlias", std::move(pairs)));
   }
+#if METASCRITIC_CONTRACTS
+  // Every set pairs labels one-to-one and addresses local indices in range.
+  for (const auto& v : sets) {
+    MAC_ENSURE(v.labels.size() == v.pairs.size(), "set=", v.name,
+               " pairs=", v.pairs.size(), " labels=", v.labels.size());
+    for (auto [i, j] : v.pairs)
+      MAC_ENSURE(i >= 0 && j > i && j < n, "set=", v.name, " pair=(", i, ",",
+                 j, ") n=", n);
+  }
+#endif
   return sets;
 }
 

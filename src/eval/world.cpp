@@ -1,13 +1,23 @@
 #include "eval/world.hpp"
 
+#include "util/contracts.hpp"
+
 namespace metas::eval {
 
 std::vector<topology::MetroId> focus_metro_ids(
     const topology::GeneratorConfig& g) {
-  std::vector<topology::MetroId> ids;
   const int M = g.total_metros();
+  MAC_REQUIRE(g.num_focus_metros > 0 && g.num_focus_metros <= M,
+              "num_focus_metros=", g.num_focus_metros, " total_metros=", M);
+  std::vector<topology::MetroId> ids;
   for (int f = 0; f < g.num_focus_metros; ++f)
     ids.push_back(static_cast<topology::MetroId>(f * M / g.num_focus_metros));
+#if METASCRITIC_CONTRACTS
+  // Focus metros are distinct and strictly increasing by construction.
+  for (std::size_t k = 1; k < ids.size(); ++k)
+    MAC_ENSURE(ids[k] > ids[k - 1], "ids[", k - 1, "]=", ids[k - 1], " ids[",
+               k, "]=", ids[k]);
+#endif
   return ids;
 }
 

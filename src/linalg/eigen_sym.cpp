@@ -5,11 +5,30 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace metas::linalg {
+
+namespace {
+
+// Max |a_ij - a_ji| relative to the Frobenius norm; the Jacobi sweep is only
+// correct on (numerically) symmetric input.
+bool nearly_symmetric(const Matrix& a) {
+  const double scale = std::max(a.frobenius_norm(), 1e-300);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j)
+      if (std::fabs(a(i, j) - a(j, i)) > 1e-9 * scale) return false;
+  return true;
+}
+
+}  // namespace
 
 EigenSym eigen_symmetric(Matrix a, int max_sweeps, double tol) {
   if (!a.is_square())
     throw std::invalid_argument("eigen_symmetric: non-square matrix");
+  MAC_REQUIRE(nearly_symmetric(a), "n=", a.rows());
+  MAC_REQUIRE(max_sweeps > 0 && tol > 0.0, "max_sweeps=", max_sweeps,
+              " tol=", tol);
   const std::size_t n = a.rows();
   Matrix v = Matrix::identity(n);
 
@@ -74,6 +93,11 @@ EigenSym eigen_symmetric(Matrix a, int max_sweeps, double tol) {
   }
   out.values = std::move(sorted_vals);
   out.vectors = std::move(sorted_vecs);
+#if METASCRITIC_CONTRACTS
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    MAC_ENSURE(out.values[i] >= out.values[i + 1],
+               "eigenvalues not sorted at i=", i);
+#endif
   return out;
 }
 
@@ -89,9 +113,11 @@ Vector singular_values(const Matrix& a) {
 }
 
 std::size_t rank_above(const Vector& singular, double threshold) {
+  MAC_REQUIRE(threshold >= 0.0, "threshold=", threshold);
   std::size_t r = 0;
   for (double s : singular)
     if (s > threshold) ++r;
+  MAC_ENSURE(r <= singular.size());
   return r;
 }
 

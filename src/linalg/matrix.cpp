@@ -100,6 +100,7 @@ Matrix& Matrix::operator*=(double s) {
 double Matrix::frobenius_norm() const {
   double s = 0.0;
   for (double x : data_) s += x * x;
+  MAC_ENSURE(s >= 0.0, "s=", s);
   return std::sqrt(s);
 }
 
@@ -121,6 +122,7 @@ Matrix Matrix::gram() const {
       g(i, j) = s;
       g(j, i) = s;
     }
+  MAC_ENSURE(g.is_square(), "gram must be square: ", g.rows(), "x", g.cols());
   return g;
 }
 

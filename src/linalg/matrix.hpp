@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/contracts.hpp"
+
 namespace metas::linalg {
 
 using Vector = std::vector<double>;
@@ -29,9 +31,13 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   double& operator()(std::size_t r, std::size_t c) {
+    MAC_ASSERT(r < rows_ && c < cols_, "r=", r, " c=", c, " shape=", rows_,
+               "x", cols_);
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const {
+    MAC_ASSERT(r < rows_ && c < cols_, "r=", r, " c=", c, " shape=", rows_,
+               "x", cols_);
     return data_[r * cols_ + c];
   }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/contracts.hpp"
+
 namespace metas::linalg {
 
 std::optional<Matrix> cholesky(const Matrix& a) {
@@ -20,6 +22,10 @@ std::optional<Matrix> cholesky(const Matrix& a) {
       }
     }
   }
+#if METASCRITIC_CONTRACTS
+  for (std::size_t i = 0; i < n; ++i)
+    MAC_ENSURE(l(i, i) > 0.0, "non-positive Cholesky pivot at i=", i);
+#endif
   return l;
 }
 
@@ -43,6 +49,7 @@ std::optional<Vector> solve_spd(const Matrix& a, const Vector& b) {
     double s = y[ii];
     for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
     x[ii] = s / l(ii, ii);
+    MAC_ENSURE(std::isfinite(x[ii]), "non-finite solution at i=", ii);
   }
   return x;
 }
@@ -62,6 +69,7 @@ std::optional<Vector> solve_regularized(Matrix g, const Vector& rhs,
                                         double lambda) {
   if (!g.is_square() || g.rows() != rhs.size())
     throw std::invalid_argument("solve_regularized: shape mismatch");
+  MAC_REQUIRE(lambda >= 0.0, "lambda=", lambda);
   for (std::size_t i = 0; i < g.rows(); ++i) g(i, i) += lambda;
   return solve_spd(g, rhs);
 }

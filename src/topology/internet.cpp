@@ -67,6 +67,10 @@ MetroTruth::MetroTruth(MetroId metro, std::vector<AsId> ases)
   index_.reserve(ases_.size());
   for (std::size_t i = 0; i < ases_.size(); ++i)
     index_[ases_[i]] = static_cast<int>(i);
+  // Referential integrity: the local index must be a bijection, so the metro
+  // AS list cannot contain duplicates.
+  MAC_ENSURE(index_.size() == ases_.size(), "metro=", metro_,
+             " ases=", ases_.size(), " unique=", index_.size());
   cells_.assign(ases_.size() * ases_.size(), 0);
 }
 
@@ -78,8 +82,11 @@ int MetroTruth::local_index(AsId as) const {
 void MetroTruth::set_link(std::size_t i, std::size_t j, bool v) {
   if (i >= ases_.size() || j >= ases_.size())
     throw std::out_of_range("MetroTruth::set_link");
+  MAC_REQUIRE(i != j, "self-link at local index ", i, " metro=", metro_);
   cells_[i * ases_.size() + j] = v ? 1 : 0;
   cells_[j * ases_.size() + i] = v ? 1 : 0;
+  // The peering matrix is symmetric by construction; both cells must agree.
+  MAC_ENSURE(link(i, j) == link(j, i), "asymmetry at (", i, ",", j, ")");
 }
 
 std::size_t MetroTruth::link_count() const {
@@ -116,6 +123,8 @@ std::vector<AsId> Internet::neighbors(AsId a) const {
 }
 
 GeoScope Internet::scope_to_metro(AsId a, MetroId m) const {
+  MAC_REQUIRE(a >= 0 && static_cast<std::size_t>(a) < ases.size(), "a=", a);
+  MAC_REQUIRE(m >= 0 && static_cast<std::size_t>(m) < metros.size(), "m=", m);
   const AsNode& node = ases[static_cast<std::size_t>(a)];
   const Metro& metro = metros[static_cast<std::size_t>(m)];
   // Presence at the metro itself dominates registration geography.
@@ -136,10 +145,24 @@ GeoScope Internet::metro_scope(MetroId a, MetroId b) const {
 void Internet::finalize_derived_state() {
   cones = compute_customer_cones(customers);
   for (auto& node : ases) {
+    // Cones include the AS itself; an empty cone means the DAG walk lost it.
+    MAC_ENSURE(in_cone(node.id, node.id), "as=", node.id);
     node.features.customer_cone =
         static_cast<double>(cones[static_cast<std::size_t>(node.id)].size());
     node.features.footprint_size = static_cast<int>(node.footprint.size());
   }
+#if METASCRITIC_CONTRACTS
+  // Metro referential integrity: every AS listed at a metro must carry that
+  // metro in its footprint, and vice versa the footprint must be a real metro.
+  for (const Metro& m : metros)
+    for (AsId a : m.ases)
+      MAC_ENSURE(a >= 0 && static_cast<std::size_t>(a) < ases.size(),
+                 "metro=", m.id, " as=", a);
+  for (const AsNode& node : ases)
+    for (MetroId fm : node.footprint)
+      MAC_ENSURE(fm >= 0 && static_cast<std::size_t>(fm) < metros.size(),
+                 "as=", node.id, " footprint metro=", fm);
+#endif
 }
 
 std::vector<std::vector<AsId>> compute_customer_cones(

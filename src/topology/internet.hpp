@@ -14,6 +14,7 @@
 
 #include "topology/as_node.hpp"
 #include "topology/metro.hpp"
+#include "util/contracts.hpp"
 
 namespace metas::topology {
 
@@ -51,7 +52,11 @@ class MetroTruth {
   /// Local index of an AS, or -1 if not present at the metro.
   int local_index(AsId as) const;
 
-  bool link(std::size_t i, std::size_t j) const { return cells_[i * ases_.size() + j] != 0; }
+  bool link(std::size_t i, std::size_t j) const {
+    MAC_ASSERT(i < ases_.size() && j < ases_.size(), "i=", i, " j=", j,
+               " n=", ases_.size());
+    return cells_[i * ases_.size() + j] != 0;
+  }
   void set_link(std::size_t i, std::size_t j, bool v);
 
   /// Number of links (upper triangle).

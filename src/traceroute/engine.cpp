@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace metas::traceroute {
 
 using topology::AsId;
@@ -39,11 +41,24 @@ MetroId TracerouteEngine::choose_link_metro(const topology::LinkInfo& link,
       best = m;
     }
   }
+  MAC_ENSURE(link.present_at(best), "chosen metro ", best,
+             " not on the link");
   return best;
 }
 
 TraceResult TracerouteEngine::trace(const VantagePoint& vp,
                                     const ProbeTarget& tgt, util::Rng& rng) {
+  // VP and target validity: both ends must name real ASes and the VP a real
+  // metro, or the simulated probe would index out of the topology.
+  MAC_REQUIRE(vp.as >= 0 && static_cast<std::size_t>(vp.as) < net_->num_ases(),
+              "vp.as=", vp.as);
+  MAC_REQUIRE(vp.metro >= 0 &&
+                  static_cast<std::size_t>(vp.metro) < net_->metros.size(),
+              "vp.metro=", vp.metro);
+  MAC_REQUIRE(tgt.as >= 0 && static_cast<std::size_t>(tgt.as) < net_->num_ases(),
+              "tgt.as=", tgt.as);
+  MAC_REQUIRE(tgt.responsiveness >= 0.0 && tgt.responsiveness <= 1.0,
+              "tgt.responsiveness=", tgt.responsiveness);
   ++issued_;
   TraceResult res;
   res.vp_id = vp.id;
@@ -100,6 +115,19 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
     res.hops.push_back(hop);
   }
   res.reached = res.hops.back().responsive;
+#if METASCRITIC_CONTRACTS
+  // Hop monotonicity: hops mirror the BGP path one-to-one, starting at the
+  // VP and ending at the target, with no repeated AS (paths are loop-free).
+  MAC_ENSURE(res.hops.size() == path.size(), "hops=", res.hops.size(),
+             " path=", path.size());
+  MAC_ENSURE(res.hops.front().as == vp.as && res.hops.back().as == tgt.as);
+  for (std::size_t k = 0; k < res.hops.size(); ++k) {
+    MAC_ENSURE(res.hops[k].as == path[k], "hop ", k, " diverges from path");
+    for (std::size_t l = k + 1; l < res.hops.size(); ++l)
+      MAC_ENSURE(res.hops[k].as != res.hops[l].as, "AS ", res.hops[k].as,
+                 " repeats at hops ", k, " and ", l);
+  }
+#endif
   return res;
 }
 

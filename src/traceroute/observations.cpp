@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contracts.hpp"
+
 namespace metas::traceroute {
 
 bool PublicRelationships::is_provider_of(topology::AsId provider,
@@ -15,6 +17,8 @@ TraceObservations extract_observations(const TraceResult& trace,
                                        const PublicRelationships& rels,
                                        util::Rng& rng,
                                        const ObservationConfig& cfg) {
+  MAC_REQUIRE(cfg.mismap_rate >= 0.0 && cfg.mismap_rate <= 1.0,
+              "mismap_rate=", cfg.mismap_rate);
   TraceObservations out;
   const auto& hops = trace.hops;
 
@@ -44,6 +48,14 @@ TraceObservations extract_observations(const TraceResult& trace,
     out.transits.push_back(
         {ha.as, hb.as, ht.as, ht.observed_ingress, hb.observed_ingress});
   }
+#if METASCRITIC_CONTRACTS
+  // Observed links/transits connect distinct ASes (paths are loop-free, so
+  // even the mismap across an unresponsive hop cannot fold back).
+  for (const auto& l : out.links) MAC_ENSURE(l.a != l.b, "as=", l.a);
+  for (const auto& t : out.transits)
+    MAC_ENSURE(t.a != t.b && t.via != t.a && t.via != t.b, "a=", t.a,
+               " b=", t.b, " via=", t.via);
+#endif
   return out;
 }
 

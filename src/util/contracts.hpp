@@ -1,0 +1,99 @@
+// Runtime contracts for load-bearing invariants.
+//
+// metAScritic's output is a set of numerical claims (completion accuracy,
+// calibrated link probabilities, valley-free routes); a silently corrupted
+// matrix or probability poisons every downstream figure.  The MAC_* macros
+// make the invariants executable:
+//
+//   MAC_REQUIRE(cond, ...)      precondition on the caller
+//   MAC_ENSURE(cond, ...)       postcondition on the callee
+//   MAC_ASSERT(cond, ...)       internal invariant
+//   MAC_UNREACHABLE(...)        control flow that must never be reached
+//
+// The variadic tail is streamed into the diagnostic, so contextual values
+// ride along:  MAC_REQUIRE(i < n_, "i=", i, " n=", n_).
+//
+// Contracts are active when METASCRITIC_CONTRACTS is 1: by default in
+// non-NDEBUG (Debug) builds, and forced on by the sanitizer presets via the
+// METASCRITIC_SANITIZE CMake option.  In Release they compile to an
+// unevaluated sizeof so the condition still typechecks but costs nothing.
+// A failed contract prints the expression, location, and context to stderr
+// and aborts -- sanitizers and death tests both catch the abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#ifndef METASCRITIC_CONTRACTS
+#if defined(METASCRITIC_FORCE_CONTRACTS) || !defined(NDEBUG)
+#define METASCRITIC_CONTRACTS 1
+#else
+#define METASCRITIC_CONTRACTS 0
+#endif
+#endif
+
+namespace metas::util::contracts {
+
+/// Concatenates the macro's variadic context into one string.
+template <typename... Parts>
+std::string format_context(const Parts&... parts) {
+  if constexpr (sizeof...(Parts) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+  }
+}
+
+/// Prints the diagnostic and aborts. Never returns.
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line, const char* func,
+                              const std::string& context) {
+  std::fprintf(stderr, "metascritic contract violation: %s(%s)\n  at %s:%d in %s\n",
+               kind, expr, file, line, func);
+  if (!context.empty()) std::fprintf(stderr, "  context: %s\n", context.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace metas::util::contracts
+
+#if METASCRITIC_CONTRACTS
+
+#define MAC_CONTRACT_IMPL_(kind, cond, ...)                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::metas::util::contracts::fail(                                        \
+          kind, #cond, __FILE__, __LINE__, static_cast<const char*>(__func__), \
+          ::metas::util::contracts::format_context(__VA_ARGS__));            \
+    }                                                                        \
+  } while (false)
+
+#define MAC_REQUIRE(cond, ...) MAC_CONTRACT_IMPL_("MAC_REQUIRE", cond, __VA_ARGS__)
+#define MAC_ENSURE(cond, ...) MAC_CONTRACT_IMPL_("MAC_ENSURE", cond, __VA_ARGS__)
+#define MAC_ASSERT(cond, ...) MAC_CONTRACT_IMPL_("MAC_ASSERT", cond, __VA_ARGS__)
+#define MAC_UNREACHABLE(...)                                                 \
+  ::metas::util::contracts::fail(                                            \
+      "MAC_UNREACHABLE", "reached", __FILE__, __LINE__,                      \
+      static_cast<const char*>(__func__),                                    \
+      ::metas::util::contracts::format_context(__VA_ARGS__))
+
+#else  // !METASCRITIC_CONTRACTS
+
+// Unevaluated: the condition still typechecks (so contract-only expressions
+// cannot rot) but no code is emitted and no side effects run.
+#define MAC_CONTRACT_NOOP_(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+
+#define MAC_REQUIRE(cond, ...) MAC_CONTRACT_NOOP_(cond)
+#define MAC_ENSURE(cond, ...) MAC_CONTRACT_NOOP_(cond)
+#define MAC_ASSERT(cond, ...) MAC_CONTRACT_NOOP_(cond)
+#if defined(__GNUC__) || defined(__clang__)
+#define MAC_UNREACHABLE(...) __builtin_unreachable()
+#else
+#define MAC_UNREACHABLE(...) ::std::abort()
+#endif
+
+#endif  // METASCRITIC_CONTRACTS

@@ -112,7 +112,7 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  std::mt19937_64 engine_;  // lint: allow(unseeded-engine) seeded in the ctor
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
 };
 

@@ -1,6 +1,8 @@
 // Consistent-routing detection and well-positioned-VP tests (§3.4).
 #include "traceroute/consistency.hpp"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "topology/generator.hpp"
@@ -23,9 +25,9 @@ class ConsistencyTest : public ::testing::Test {
     cfg.countries_per_continent = 2;
     cfg.metros_per_country = 2;
     cfg.num_focus_metros = 2;
-    net_ = new topology::Internet(topology::generate_internet(cfg));
+    net_ = std::make_unique<topology::Internet>(topology::generate_internet(cfg));
   }
-  static void TearDownTestSuite() { delete net_; net_ = nullptr; }
+  static void TearDownTestSuite() { net_.reset(); }
 
   static TraceObservations direct_obs(AsId a, AsId b, MetroId m) {
     TraceObservations o;
@@ -37,9 +39,9 @@ class ConsistencyTest : public ::testing::Test {
     o.transits.push_back({a, b, 99, m, m});
     return o;
   }
-  static topology::Internet* net_;
+  static std::unique_ptr<topology::Internet> net_;
 };
-topology::Internet* ConsistencyTest::net_ = nullptr;
+std::unique_ptr<topology::Internet> ConsistencyTest::net_;
 
 TEST_F(ConsistencyTest, NoEvidenceIsConsistent) {
   ConsistencyTracker t(*net_);

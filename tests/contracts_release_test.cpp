@@ -1,0 +1,41 @@
+// Verifies the Release side of the contract layer: with
+// METASCRITIC_CONTRACTS forced to 0 (see tests/CMakeLists.txt) the MAC_*
+// macros must compile, never fire, and never evaluate their condition -- a
+// contract must not be able to slow down or abort a Release binary.
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+static_assert(METASCRITIC_CONTRACTS == 0,
+              "this TU must be compiled with contracts disabled");
+
+namespace {
+
+TEST(ContractsCompiledOut, ViolatedContractsDoNotAbort) {
+  MAC_REQUIRE(false, "would abort if contracts were on");
+  MAC_ENSURE(false);
+  MAC_ASSERT(1 == 2);
+  SUCCEED();
+}
+
+TEST(ContractsCompiledOut, ConditionIsNotEvaluated) {
+  int calls = 0;
+  auto bump = [&calls] {
+    ++calls;
+    return true;
+  };
+  MAC_REQUIRE(bump());
+  MAC_ENSURE(bump());
+  MAC_ASSERT(bump());
+  EXPECT_EQ(calls, 0) << "no-op macros must not evaluate their condition";
+}
+
+TEST(ContractsCompiledOut, ConditionStillTypechecks) {
+  // A condition referencing an undefined symbol would fail to compile even in
+  // Release; this is the guard against contract-only expressions rotting.
+  const int n = 3;
+  MAC_REQUIRE(n > 0, "n=", n);
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Determinism regression: the whole pipeline -- world generation, public
+// archives, targeted measurement, ALS completion -- routes every random draw
+// through seeded util::Rng instances, so two runs from the same seed must be
+// bit-identical.  A drift here means some component picked up an unseeded
+// source of randomness (or iteration order of an unordered container leaked
+// into results).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "eval/world.hpp"
+
+namespace metas {
+namespace {
+
+core::PipelineResult run_pipeline(eval::World& w) {
+  core::MetroContext ctx(w.net, w.focus_metros.front());
+  core::PipelineConfig pc;
+  pc.scheduler.batch_size = 60;
+  core::MetascriticPipeline pipeline(ctx, *w.ms, nullptr, pc);
+  return pipeline.run();
+}
+
+TEST(DeterminismTest, SameSeedSameEstimatedMatrixBitForBit) {
+  auto cfg = eval::small_world_config(4242);
+  cfg.public_archive_traces = 4000;
+
+  eval::World w1 = eval::build_world(cfg);
+  eval::World w2 = eval::build_world(cfg);
+
+  core::PipelineResult r1 = run_pipeline(w1);
+  core::PipelineResult r2 = run_pipeline(w2);
+
+  EXPECT_EQ(r1.estimated_rank, r2.estimated_rank);
+  EXPECT_EQ(r1.threshold, r2.threshold);
+  EXPECT_EQ(r1.targeted_traceroutes, r2.targeted_traceroutes);
+
+  const core::EstimatedMatrix& e1 = r1.estimated;
+  const core::EstimatedMatrix& e2 = r2.estimated;
+  ASSERT_EQ(e1.size(), e2.size());
+  ASSERT_GT(e1.size(), 0u);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    for (std::size_t j = 0; j < e1.size(); ++j) {
+      if (e1.filled(i, j) != e2.filled(i, j)) ++mismatches;
+      // Exact binary comparison on purpose: determinism means bit-identical.
+      else if (e1.filled(i, j) && e1.value(i, j) != e2.value(i, j))
+        ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+
+  const linalg::Matrix& c1 = r1.ratings;
+  const linalg::Matrix& c2 = r2.ratings;
+  ASSERT_EQ(c1.rows(), c2.rows());
+  ASSERT_EQ(c1.cols(), c2.cols());
+  for (std::size_t i = 0; i < c1.rows(); ++i)
+    for (std::size_t j = 0; j < c1.cols(); ++j)
+      ASSERT_EQ(c1(i, j), c2(i, j)) << "ratings diverge at (" << i << "," << j
+                                    << ")";
+}
+
+}  // namespace
+}  // namespace metas

@@ -3,6 +3,7 @@
 #include "traceroute/engine.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -34,12 +35,13 @@ topology::GeneratorConfig small_cfg(std::uint64_t seed = 31) {
 class EngineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    net_ = new topology::Internet(topology::generate_internet(small_cfg()));
+    net_ = std::make_unique<topology::Internet>(
+        topology::generate_internet(small_cfg()));
   }
-  static void TearDownTestSuite() { delete net_; net_ = nullptr; }
-  static topology::Internet* net_;
+  static void TearDownTestSuite() { net_.reset(); }
+  static std::unique_ptr<topology::Internet> net_;
 };
-topology::Internet* EngineTest::net_ = nullptr;
+std::unique_ptr<topology::Internet> EngineTest::net_;
 
 TEST_F(EngineTest, TraceFollowsBgpPathAndLinkMetros) {
   TracerouteConfig tc;

@@ -1,6 +1,8 @@
 // EvidenceStore and E_m derivation tests (§3.4 transferability rules).
 #include "core/evidence.hpp"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "topology/generator.hpp"
@@ -23,9 +25,9 @@ class EvidenceTest : public ::testing::Test {
     cfg.metros_per_country = 2;
     cfg.num_focus_metros = 2;
     cfg.latent_dim = 8;
-    net_ = new topology::Internet(topology::generate_internet(cfg));
+    net_ = std::make_unique<topology::Internet>(topology::generate_internet(cfg));
   }
-  static void TearDownTestSuite() { delete net_; net_ = nullptr; }
+  static void TearDownTestSuite() { net_.reset(); }
 
   // Two ASes guaranteed present at metro 0 (taken from the metro universe).
   static std::pair<AsId, AsId> two_ases_at_metro0() {
@@ -39,9 +41,9 @@ class EvidenceTest : public ::testing::Test {
     return t;
   }
 
-  static topology::Internet* net_;
+  static std::unique_ptr<topology::Internet> net_;
 };
-topology::Internet* EvidenceTest::net_ = nullptr;
+std::unique_ptr<topology::Internet> EvidenceTest::net_;
 
 TEST_F(EvidenceTest, DirectObservationFillsByScope) {
   auto [a, b] = two_ases_at_metro0();

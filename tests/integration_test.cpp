@@ -1,6 +1,8 @@
 // End-to-end integration tests: the full §3.5 loop on a small world, scored
 // the way the paper scores it (cross-validation on E_m) and against the
 // hidden ground truth.
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "eval/metrics.hpp"
@@ -15,27 +17,27 @@ namespace {
 struct PipelineFixture : public ::testing::Test {
   static void SetUpTestSuite() {
     eval::World& w = testing::shared_world();
-    ctx_ = new core::MetroContext(w.net, w.focus_metros.front());
+    ctx_ = std::make_unique<core::MetroContext>(w.net, w.focus_metros.front());
     core::PipelineConfig pc;
     pc.scheduler.seed = 100;
     pc.rank.seed = 101;
     pc.rank.max_rank = 24;
-    priors_ = new core::StrategyPriors();
-    core::MetascriticPipeline pipeline(*ctx_, *w.ms, priors_, pc);
-    result_ = new core::PipelineResult(pipeline.run());
+    priors_ = std::make_unique<core::StrategyPriors>();
+    core::MetascriticPipeline pipeline(*ctx_, *w.ms, priors_.get(), pc);
+    result_ = std::make_unique<core::PipelineResult>(pipeline.run());
   }
   static void TearDownTestSuite() {
-    delete result_;
-    delete priors_;
-    delete ctx_;
+    result_.reset();
+    priors_.reset();
+    ctx_.reset();
   }
-  static core::MetroContext* ctx_;
-  static core::PipelineResult* result_;
-  static core::StrategyPriors* priors_;
+  static std::unique_ptr<core::MetroContext> ctx_;
+  static std::unique_ptr<core::PipelineResult> result_;
+  static std::unique_ptr<core::StrategyPriors> priors_;
 };
-core::MetroContext* PipelineFixture::ctx_ = nullptr;
-core::PipelineResult* PipelineFixture::result_ = nullptr;
-core::StrategyPriors* PipelineFixture::priors_ = nullptr;
+std::unique_ptr<core::MetroContext> PipelineFixture::ctx_;
+std::unique_ptr<core::PipelineResult> PipelineFixture::result_;
+std::unique_ptr<core::StrategyPriors> PipelineFixture::priors_;
 
 TEST_F(PipelineFixture, ProducesSaneOutputs) {
   EXPECT_GE(result_->estimated_rank, 1);

@@ -1,5 +1,7 @@
 // Tests for the IP-level substrate: prefixes, address plans, IP traces,
 // bdrmap-style mapping, and interface geolocation.
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "ipnet/ip_trace.hpp"
@@ -44,15 +46,12 @@ class IpnetWorldTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     util::Rng rng(777);
-    plan_ = new AddressPlan(testing::shared_world().net, rng);
+    plan_ = std::make_unique<AddressPlan>(testing::shared_world().net, rng);
   }
-  static void TearDownTestSuite() {
-    delete plan_;
-    plan_ = nullptr;
-  }
-  static AddressPlan* plan_;
+  static void TearDownTestSuite() { plan_.reset(); }
+  static std::unique_ptr<AddressPlan> plan_;
 };
-AddressPlan* IpnetWorldTest::plan_ = nullptr;
+std::unique_ptr<AddressPlan> IpnetWorldTest::plan_;
 
 TEST_F(IpnetWorldTest, EveryLinkSideHasAnInterface) {
   const auto& net = testing::shared_world().net;

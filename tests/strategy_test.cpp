@@ -1,6 +1,8 @@
 // Measurement-strategy taxonomy tests (144 strategies, §3.3.2).
 #include "traceroute/strategy.hpp"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "topology/generator.hpp"
@@ -34,15 +36,12 @@ class StrategyCategorizeTest : public ::testing::Test {
   static void SetUpTestSuite() {
     topology::GeneratorConfig cfg;
     cfg.seed = 21;
-    net_ = new topology::Internet(topology::generate_internet(cfg));
+    net_ = std::make_unique<topology::Internet>(topology::generate_internet(cfg));
   }
-  static void TearDownTestSuite() {
-    delete net_;
-    net_ = nullptr;
-  }
-  static topology::Internet* net_;
+  static void TearDownTestSuite() { net_.reset(); }
+  static std::unique_ptr<topology::Internet> net_;
 };
-topology::Internet* StrategyCategorizeTest::net_ = nullptr;
+std::unique_ptr<topology::Internet> StrategyCategorizeTest::net_;
 
 TEST_F(StrategyCategorizeTest, VpInAsAtMetro) {
   const auto& a = net_->ases[5];

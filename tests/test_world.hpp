@@ -8,12 +8,12 @@ namespace metas::testing {
 
 /// A process-wide small world (about 400 ASes). Built on first use.
 inline eval::World& shared_world() {
-  static eval::World* world = [] {
+  static eval::World world = [] {
     auto cfg = eval::small_world_config(1234);
     cfg.public_archive_traces = 8000;
-    return new eval::World(eval::build_world(cfg));
+    return eval::build_world(cfg);
   }();
-  return *world;
+  return world;
 }
 
 /// Context for the first focus metro of the shared world.

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Repo lint for metAScritic.
+
+Enforces the handful of rules the compiler cannot:
+
+  R1  no rand()/srand()/random()/std::random_device -- every stochastic draw
+      must flow through an explicitly seeded metas::util::Rng, because
+      bit-exact reproducibility is load-bearing for the paper repro
+  R2  no unseeded std::mt19937 / std::mt19937_64 default construction
+  R3  no naked `new` / `delete` outside of smart-pointer factories
+  R4  every header starts its include-guarding with `#pragma once`
+  R5  no `using namespace` at namespace scope in headers
+  R6  no #include of a .cpp file
+
+Usage:
+  tools/lint.py [--clang-tidy [BUILD_DIR]] [PATHS...]
+
+With no PATHS, lints src/ tests/ bench/ tools/ examples/.  With
+--clang-tidy, additionally runs clang-tidy (using the checked-in
+.clang-tidy) over src/**/*.cpp against BUILD_DIR's compile commands when
+the binary is available; if clang-tidy is not installed the step is
+skipped with a notice (the CI image has it, the dev container may not).
+
+Exits non-zero if any finding is produced.
+
+A line can opt out with a trailing `// lint: allow(<rule>)` marker, e.g.
+`// lint: allow(naked-new)`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_DIRS = ["src", "tests", "bench", "tools", "examples"]
+HEADER_SUFFIXES = {".hpp", ".h"}
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx"} | HEADER_SUFFIXES
+
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
+
+# (rule-id, regex, message).  Applied per line with comments/strings stripped.
+LINE_RULES = [
+    (
+        "libc-rand",
+        re.compile(r"(?<![\w:.])(?:std::)?(?:s?rand|random)\s*\("),
+        "libc rand()/srand()/random() is banned: draw from a seeded metas::util::Rng",
+    ),
+    (
+        "random-device",
+        re.compile(r"\bstd::random_device\b"),
+        "std::random_device is nondeterministic: seed a metas::util::Rng explicitly",
+    ),
+    (
+        "unseeded-engine",
+        re.compile(r"\bstd::mt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\})"),
+        "unseeded std::mt19937 engine: pass an explicit seed (or use metas::util::Rng)",
+    ),
+    (
+        "naked-new",
+        re.compile(r"(?<![\w_])new\s+[A-Za-z_:][\w:<>, ]*[({]"),
+        "naked `new`: use std::make_unique/std::make_shared or a container",
+    ),
+    (
+        "naked-delete",
+        re.compile(r"(?<![\w_])delete(?:\s*\[\s*\])?\s+[A-Za-z_]"),
+        "naked `delete`: ownership must live in a smart pointer or container",
+    ),
+    (
+        "include-cpp",
+        re.compile(r'#\s*include\s*[<"][^<">]+\.cpp[">]'),
+        "#include of a .cpp file",
+    ),
+]
+
+HEADER_USING_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
+
+
+def strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blanks out string/char literals and comments, tracking /* */ state."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if in_block_comment:
+            if ch == "*" and nxt == "/":
+                in_block_comment = False
+                i += 2
+            else:
+                i += 1
+            continue
+        if ch == "/" and nxt == "/":
+            break  # rest of line is a comment
+        if ch == "/" and nxt == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if ch in "\"'":
+            quote = ch
+            out.append(" ")
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, path: Path, lineno: int, rule: str, message: str) -> None:
+        rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path: Path) -> None:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            self.report(path, 1, "encoding", "file is not valid UTF-8")
+            return
+        lines = text.splitlines()
+        is_header = path.suffix in HEADER_SUFFIXES
+
+        if is_header:
+            self._check_pragma_once(path, lines)
+
+        in_block = False
+        for lineno, raw in enumerate(lines, start=1):
+            allowed = set(ALLOW_RE.findall(raw))
+            code, in_block = strip_comments_and_strings(raw, in_block)
+            if not code.strip():
+                continue
+            for rule, pattern, message in LINE_RULES:
+                if rule in allowed:
+                    continue
+                if pattern.search(code):
+                    self.report(path, lineno, rule, message)
+            if is_header and "header-using-namespace" not in allowed:
+                if HEADER_USING_RE.match(code):
+                    self.report(
+                        path, lineno, "header-using-namespace",
+                        "`using namespace` in a header leaks into every includer",
+                    )
+
+    def _check_pragma_once(self, path: Path, lines: list[str]) -> None:
+        for raw in lines:
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            if re.match(r"#\s*pragma\s+once\b", stripped):
+                return
+            break  # first non-comment line is not the guard
+        self.report(path, 1, "pragma-once", "header must start with `#pragma once`")
+
+
+def collect_files(paths: list[str]) -> list[Path]:
+    roots = [REPO_ROOT / d for d in DEFAULT_DIRS] if not paths else [Path(p) for p in paths]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        for f in sorted(root.rglob("*")):
+            if f.suffix in SOURCE_SUFFIXES and "build" not in f.parts:
+                files.append(f)
+    return files
+
+
+def run_clang_tidy(build_dir: str) -> int:
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        print("lint: clang-tidy not found on PATH; skipping the clang-tidy pass",
+              file=sys.stderr)
+        return 0
+    sources = sorted((REPO_ROOT / "src").rglob("*.cpp"))
+    cmd = [tidy, "-p", build_dir, "--quiet", *map(str, sources)]
+    print(f"lint: running clang-tidy over {len(sources)} sources", file=sys.stderr)
+    return subprocess.run(cmd, cwd=REPO_ROOT, check=False).returncode
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--clang-tidy", nargs="?", const="build", default=None,
+                        metavar="BUILD_DIR",
+                        help="also run clang-tidy against BUILD_DIR (default: build)")
+    args = parser.parse_args(argv)
+
+    linter = Linter()
+    files = collect_files(args.paths)
+    for f in files:
+        linter.lint_file(f)
+
+    for finding in linter.findings:
+        print(finding)
+    status = 0
+    if linter.findings:
+        print(f"lint: {len(linter.findings)} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        status = 1
+    else:
+        print(f"lint: OK ({len(files)} files)", file=sys.stderr)
+
+    if args.clang_tidy is not None:
+        tidy_status = run_clang_tidy(args.clang_tidy)
+        status = status or (1 if tidy_status != 0 else 0)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
