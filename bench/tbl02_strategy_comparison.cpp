@@ -74,9 +74,9 @@ StrategyResult run_strategy(const std::string& name,
   std::size_t spent = 0;
   while (spent < budget) {
     core::EstimatedMatrix e = w.ms->build_matrix(ctx);
-    std::size_t got = sched.run_batch(e, fill_target);
-    if (got == 0) break;
-    spent += got;
+    core::BatchResult got = sched.run_batch(e, fill_target);
+    if (got.selected == 0) break;
+    spent += got.launched;
   }
   res.traces = w.ms->traceroutes_issued() - before;
 

@@ -56,9 +56,60 @@ void MeasurementSystem::run_public_archives(std::size_t count) {
     const ProbeTarget& tgt = targets_[rng_.weighted_index(weights)];
     if (tgt.as == vp.as) continue;
     auto trace = engine_->trace(vp, tgt, rng_);
+    // Archives degrade gracefully: a faulted probe simply contributes no
+    // observation (the real archives only contain completed traceroutes).
+    if (trace.status != traceroute::ProbeStatus::kOk) continue;
     traceroute::TraceObservations obs;
     process_trace(trace, obs);
   }
+}
+
+bool MeasurementSystem::vp_usable(int vp_id) const {
+  const traceroute::FaultInjector* inj = engine_->fault_injector();
+  if (inj == nullptr || !inj->enabled()) return true;
+  if (inj->dead(vp_id)) return false;
+  if (!resilience_.enabled) return true;
+  auto it = vp_health_.find(vp_id);
+  return it == vp_health_.end() || it->second.blocked_until <= health_clock_;
+}
+
+void MeasurementSystem::note_vp_ok(int vp_id) {
+  if (vp_health_.empty()) return;
+  auto it = vp_health_.find(vp_id);
+  if (it != vp_health_.end()) it->second.strikes = 0;
+}
+
+void MeasurementSystem::note_vp_fault(int vp_id,
+                                      traceroute::ProbeStatus status) {
+  if (!resilience_.enabled) return;
+  VpHealth& h = vp_health_[vp_id];
+  ++h.strikes;
+  auto backoff = [&](int doublings, std::uint64_t base) {
+    std::uint64_t d = base << std::min(doublings, 16);
+    return health_clock_ + std::min(d, resilience_.backoff_cap);
+  };
+  if (status == traceroute::ProbeStatus::kRateLimited) {
+    // Exponential backoff: the platform is telling us to slow down.
+    h.blocked_until = backoff(h.strikes - 1, resilience_.backoff_base);
+  } else if (h.strikes >= resilience_.quarantine_threshold) {
+    // Repeatedly failing VP: quarantine, doubling with every extra strike.
+    h.blocked_until = backoff(h.strikes - resilience_.quarantine_threshold,
+                              resilience_.backoff_base * 4);
+  }
+}
+
+std::size_t MeasurementSystem::quarantined_vps() const {
+  const traceroute::FaultInjector* inj = engine_->fault_injector();
+  if (inj == nullptr || vp_health_.empty()) return 0;
+  std::size_t n = 0;
+  for (const auto& [id, h] : vp_health_)
+    if (h.blocked_until > health_clock_ && !inj->dead(id)) ++n;
+  return n;
+}
+
+std::size_t MeasurementSystem::dead_vps() const {
+  const traceroute::FaultInjector* inj = engine_->fault_injector();
+  return inj == nullptr ? 0 : inj->dead_vps();
 }
 
 MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
@@ -67,17 +118,31 @@ MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
   AsId near = swapped ? j : i;
   AsId far = swapped ? i : j;
   MeasurementOutcome out;
+  ++health_clock_;
 
   // Candidate vantage points in the requested category, weighted by their
-  // historical score for detecting links of the near-side AS.
+  // historical score for detecting links of the near-side AS.  Dead,
+  // quarantined, and backing-off VPs are excluded up front (a no-op without
+  // fault injection).
   std::vector<std::size_t> cand_vps;
   std::vector<double> weights;
+  bool any_sidelined = false;
   for (std::size_t v = 0; v < vps_.size(); ++v) {
     if (traceroute::categorize_vp(*net_, vps_[v], near, m) != vp_cat) continue;
+    if (!vp_usable(vps_[v].id)) {
+      any_sidelined = true;
+      continue;
+    }
     cand_vps.push_back(v);
     weights.push_back(vp_score(vps_[v].id, near));
   }
-  if (cand_vps.empty()) return out;
+  if (cand_vps.empty()) {
+    // A category emptied by dead/quarantined VPs is an infrastructure
+    // failure (the strategy may work once they recover), not a missing
+    // strategy.
+    out.infra_failure = any_sidelined;
+    return out;
+  }
 
   // Candidate targets: far AS itself plus its customer cone.
   std::vector<std::size_t> cand_tgts;
@@ -91,12 +156,58 @@ MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
   }
   if (cand_tgts.empty()) return out;
 
-  const VantagePoint& vp = vps_[cand_vps[rng_.weighted_index(weights)]];
+  std::size_t pick_idx = rng_.weighted_index(weights);
   const ProbeTarget& tgt = targets_[rng_.pick(cand_tgts)];
-  if (vp.as == tgt.as) return out;
+  if (vps_[cand_vps[pick_idx]].as == tgt.as) return out;
 
-  out.ran = true;
-  auto trace = engine_->trace(vp, tgt, rng_);
+  // Attempt loop with failover: a faulted attempt retries from the
+  // next-best usable candidate by vp_score (deterministic tie-break on
+  // candidate order).  Without fault injection every probe completes and
+  // the loop body runs exactly once, with the exact legacy rng draws.
+  const traceroute::FaultInjector* inj = engine_->fault_injector();
+  const bool faults_active = inj != nullptr && inj->enabled();
+  const int max_attempts =
+      faults_active && resilience_.enabled
+          ? std::max(1, resilience_.max_attempts)
+          : 1;
+  std::vector<char> tried(cand_vps.size(), 0);
+  traceroute::TraceResult trace;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const VantagePoint& vp = vps_[cand_vps[pick_idx]];
+    tried[pick_idx] = 1;
+    ++out.attempts;
+    trace = engine_->trace(vp, tgt, rng_);
+    out.status = trace.status;
+    if (trace.status == traceroute::ProbeStatus::kOk ||
+        trace.status == traceroute::ProbeStatus::kLost)
+      ++out.launched;
+    if (trace.status == traceroute::ProbeStatus::kOk) {
+      note_vp_ok(vp.id);
+      break;
+    }
+    ++out.faulted;
+    note_vp_fault(vp.id, trace.status);
+    // Fail over to the highest-scoring untried candidate still usable.
+    std::size_t next = cand_vps.size();
+    double best_w = -1.0;
+    for (std::size_t c = 0; c < cand_vps.size(); ++c) {
+      if (tried[c] != 0 || !vp_usable(vps_[cand_vps[c]].id)) continue;
+      if (weights[c] > best_w) {
+        best_w = weights[c];
+        next = c;
+      }
+    }
+    if (next == cand_vps.size()) break;  // nobody left to fail over to
+    pick_idx = next;
+  }
+  out.ran = out.launched > 0;
+  if (out.status != traceroute::ProbeStatus::kOk) {
+    // Every attempt was eaten by the infrastructure: nothing observed, and
+    // nothing learned about the link or the strategy.
+    out.infra_failure = true;
+    return out;
+  }
+
   // Informativeness checks (like evidence ingestion) must see the
   // well-positioned tracker state *before* this trace, so wp_.ingest runs
   // last.
@@ -122,7 +233,8 @@ MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
   wp_.ingest(trace);
   out.informative = out.revealed_direct || out.revealed_transit;
 
-  auto key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(vp.id)) << 32) |
+  auto key = (static_cast<std::uint64_t>(
+                  static_cast<std::uint32_t>(trace.vp_id)) << 32) |
              static_cast<std::uint32_t>(near);
   auto& st = vp_stats_[key];
   ++st.first;

@@ -18,10 +18,34 @@ namespace metas::core {
 
 /// Result of one targeted measurement attempt.
 struct MeasurementOutcome {
-  bool ran = false;             // a (vp, target) candidate existed
+  bool ran = false;             // at least one probe was launched
   bool informative = false;     // revealed (non-)existence of the target link
   bool revealed_direct = false;
   bool revealed_transit = false;
+  /// Infrastructure verdict of the last attempt (kOk without fault injection).
+  traceroute::ProbeStatus status = traceroute::ProbeStatus::kOk;
+  int attempts = 0;   // probe attempts, including failovers
+  int launched = 0;   // attempts that actually left the platform (budget)
+  int faulted = 0;    // attempts that hit an infrastructure fault
+  /// Candidates existed but every attempt was eaten by the infrastructure:
+  /// the measurement says nothing about the link and must not be treated as
+  /// an uninformative strategy outcome.
+  bool infra_failure = false;
+};
+
+/// Failover / backoff / quarantine policy of the measurement plane.  All
+/// durations are targeted-measurement ticks (one per run_targeted call), a
+/// clock that keeps advancing even while probes are blocked, so backoffs
+/// always expire; nothing here reads wall-clock time.
+struct ResilienceConfig {
+  bool enabled = true;
+  /// Total probe attempts per targeted measurement (first try + failovers).
+  int max_attempts = 4;
+  /// Consecutive faulted attempts before a VP is quarantined.
+  int quarantine_threshold = 3;
+  /// Backoff after a rate-limited attempt, doubling per consecutive strike.
+  std::uint64_t backoff_base = 32;
+  std::uint64_t backoff_cap = 8192;
 };
 
 class MeasurementSystem {
@@ -57,6 +81,14 @@ class MeasurementSystem {
   std::size_t traceroutes_issued() const { return engine_->issued(); }
   const std::vector<traceroute::VantagePoint>& vps() const { return vps_; }
 
+  void set_resilience(const ResilienceConfig& rc) { resilience_ = rc; }
+  const ResilienceConfig& resilience() const { return resilience_; }
+
+  /// VPs currently sidelined (quarantine or rate-limit backoff).
+  std::size_t quarantined_vps() const;
+  /// VPs that churned out permanently (0 without fault injection).
+  std::size_t dead_vps() const;
+
   /// VP score for detecting links of AS i: Laplace-smoothed success fraction
   /// of its previous measurements targeting i (§3.3.2 "choosing specific
   /// vantage points").
@@ -65,6 +97,12 @@ class MeasurementSystem {
  private:
   void process_trace(const traceroute::TraceResult& trace,
                      traceroute::TraceObservations& obs_out);
+
+  /// False when the VP is dead, quarantined, or backing off.  Always true
+  /// without an active fault injector.
+  bool vp_usable(int vp_id) const;
+  void note_vp_ok(int vp_id);
+  void note_vp_fault(int vp_id, traceroute::ProbeStatus status);
 
   const topology::Internet* net_;
   traceroute::TracerouteEngine* engine_;
@@ -80,6 +118,19 @@ class MeasurementSystem {
 
   // (vp_id, as) -> {attempts, confirmed}
   std::unordered_map<std::uint64_t, std::pair<int, int>> vp_stats_;
+
+  ResilienceConfig resilience_;
+  // Targeted-measurement clock: one tick per run_targeted call.  Backoff and
+  // quarantine expiry are measured against this clock (not the injector's
+  // probe clock, which freezes when nothing launches).
+  std::uint64_t health_clock_ = 0;
+  // Infrastructure health per VP: consecutive faulted attempts and the
+  // health-clock tick until which the VP is sidelined.
+  struct VpHealth {
+    int strikes = 0;
+    std::uint64_t blocked_until = 0;
+  };
+  std::unordered_map<int, VpHealth> vp_health_;
 };
 
 }  // namespace metas::core

@@ -64,6 +64,7 @@ PipelineResult MetascriticPipeline::run() {
   res.estimated_rank = res.rank_detail.best_rank;
   res.targeted_traceroutes = res.rank_detail.traceroutes_used;
   res.measurement_log = scheduler.history();
+  res.degradation = scheduler.degradation();
 
   // Final completion over the full E_m at the estimated rank.
   res.estimated = ms_->build_matrix(*ctx_);

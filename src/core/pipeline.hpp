@@ -26,6 +26,9 @@ struct PipelineResult {
   std::size_t targeted_traceroutes = 0;
   RankEstimateResult rank_detail;
   std::vector<IssuedRecord> measurement_log;
+  /// How gracefully the measurement campaign degraded under infrastructure
+  /// faults (inert numbers when no faults are injected).
+  DegradationReport degradation;
 };
 
 class MetascriticPipeline {

@@ -29,6 +29,10 @@ MeasurementScheduler::MeasurementScheduler(const MetroContext& ctx,
   MAC_REQUIRE(cfg.epsilon >= 0.0 && cfg.epsilon <= 1.0,
               "epsilon=", cfg.epsilon);
   MAC_REQUIRE(cfg.row_fail_limit > 0, "row_fail_limit=", cfg.row_fail_limit);
+  MAC_REQUIRE(cfg.requeue_backoff_base >= 1 &&
+                  cfg.requeue_backoff_cap >= cfg.requeue_backoff_base,
+              "requeue_backoff_base=", cfg.requeue_backoff_base,
+              " cap=", cfg.requeue_backoff_cap);
   MAC_REQUIRE(cfg.exploit_min_prob >= 0.0 && cfg.exploit_min_prob <= 1.0,
               "exploit_min_prob=", cfg.exploit_min_prob);
   if (cfg_.policy == SelectionPolicy::kOnlyExploit) cfg_.epsilon = 0.0;
@@ -44,6 +48,12 @@ std::size_t MeasurementScheduler::fill_rows_to(int target, std::size_t budget) {
   std::size_t issued = 0;
   std::fill(fail_streak_.begin(), fail_streak_.end(), 0);
   std::fill(given_up_.begin(), given_up_.end(), false);
+  // A batch can select picks yet launch nothing (every entry requeued, or
+  // the infrastructure blocking every attempt before launch).  A bounded
+  // number of such dry batches lets backoff windows expire; beyond that the
+  // campaign degrades gracefully instead of spinning.
+  constexpr int kMaxDryBatches = 16;
+  int dry_batches = 0;
   while (issued < budget) {
     EstimatedMatrix e = ms_->build_matrix(*ctx_);
     bool any_deficient = false;
@@ -55,19 +65,54 @@ std::size_t MeasurementScheduler::fill_rows_to(int target, std::size_t budget) {
       }
     }
     if (!any_deficient) break;
-    std::size_t got = run_batch(e, target);
-    issued += got;
-    if (got == 0) break;  // nothing selectable anymore
+    BatchResult got = run_batch(e, target);
+    issued += got.launched;
+    if (got.selected == 0) break;  // nothing selectable anymore
+    if (got.launched == 0) {
+      if (++dry_batches >= kMaxDryBatches) break;
+    } else {
+      dry_batches = 0;
+    }
   }
-  // Budget accounting: overshoot is bounded by one batch (the batch that
+  finish_campaign(target);
+  // Budget accounting: overshoot is bounded by one batch worth of picks,
+  // each of which may fail over a bounded number of times (the batch that
   // crosses the budget line is not truncated mid-flight).
-  MAC_ENSURE(issued < budget + static_cast<std::size_t>(cfg_.batch_size),
+  MAC_ENSURE(issued < budget + static_cast<std::size_t>(cfg_.batch_size) *
+                                   static_cast<std::size_t>(std::max(
+                                       1, ms_->resilience().max_attempts)),
              "issued=", issued, " budget=", budget,
              " batch_size=", cfg_.batch_size);
   return issued;
 }
 
-std::size_t MeasurementScheduler::run_batch(const EstimatedMatrix& e,
+bool MeasurementScheduler::under_backoff(int i, int j) const {
+  if (requeued_.empty()) return false;
+  auto it = requeued_.find(entry_key(i, j, ctx_->size()));
+  return it != requeued_.end() && it->second.first > sched_tick_;
+}
+
+void MeasurementScheduler::finish_campaign(int target) {
+  const std::size_t n = ctx_->size();
+  EstimatedMatrix e = ms_->build_matrix(*ctx_);
+  degradation_.fill_target = target;
+  degradation_.rows = n;
+  degradation_.rows_at_target = 0;
+  degradation_.rows_given_up = 0;
+  double fill = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto filled = static_cast<double>(e.row_filled(i));
+    fill += std::min(1.0, filled / static_cast<double>(target));
+    if (e.row_filled(i) >= static_cast<std::size_t>(target))
+      ++degradation_.rows_at_target;
+    if (given_up_[i]) ++degradation_.rows_given_up;
+  }
+  degradation_.fill_fraction = n == 0 ? 0.0 : fill / static_cast<double>(n);
+  degradation_.quarantined_vps = ms_->quarantined_vps();
+  degradation_.dead_vps = ms_->dead_vps();
+}
+
+BatchResult MeasurementScheduler::run_batch(const EstimatedMatrix& e,
                                             int target) {
   const std::size_t n = ctx_->size();
   // Optimistic per-batch fill counts: selected measurements are assumed
@@ -76,7 +121,7 @@ std::size_t MeasurementScheduler::run_batch(const EstimatedMatrix& e,
   for (std::size_t i = 0; i < n; ++i) sim_filled[i] = e.row_filled(i);
 
   std::unordered_set<std::uint64_t> batch_explored_rows;
-  std::size_t issued = 0;
+  BatchResult result;
 
   if (cfg_.policy == SelectionPolicy::kGreedy && greedy_order_.empty()) {
     for (std::size_t i = 0; i < n; ++i)
@@ -89,6 +134,7 @@ std::size_t MeasurementScheduler::run_batch(const EstimatedMatrix& e,
   }
 
   for (int slot = 0; slot < cfg_.batch_size; ++slot) {
+    ++sched_tick_;  // the deterministic clock backoff windows count in
     Pick pick;
     switch (cfg_.policy) {
       case SelectionPolicy::kRandom:
@@ -115,10 +161,10 @@ std::size_t MeasurementScheduler::run_batch(const EstimatedMatrix& e,
     }
     sim_filled[static_cast<std::size_t>(pick.i)]++;
     sim_filled[static_cast<std::size_t>(pick.j)]++;
-    execute(pick);
-    ++issued;
+    result.launched += execute(pick);
+    ++result.selected;
   }
-  return issued;
+  return result;
 }
 
 MeasurementScheduler::Pick MeasurementScheduler::pick_exploit(
@@ -142,12 +188,18 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_exploit(
     }
   }
   if (best_row < 0) return {};
-  // Unfilled entry in that row with the highest P.
+  // Unfilled entry in that row with the highest P, skipping entries waiting
+  // out an infrastructure backoff.
   int best_j = -1;
   double best_p = cfg_.exploit_min_prob;
+  bool skipped_backoff = false;
   for (std::size_t j = 0; j < n; ++j) {
     if (static_cast<int>(j) == best_row) continue;
     if (e.filled(static_cast<std::size_t>(best_row), j)) continue;
+    if (under_backoff(best_row, static_cast<int>(j))) {
+      skipped_backoff = true;
+      continue;
+    }
     double p = pm_->entry_prob(best_row, static_cast<int>(j));
     if (p > best_p) {
       best_p = p;
@@ -155,8 +207,12 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_exploit(
     }
   }
   if (best_j < 0) {
-    // No measurable entry above the floor: this row cannot be exploited.
-    given_up_[static_cast<std::size_t>(best_row)] = true;
+    // No measurable entry above the floor.  If entries were only skipped
+    // because of backoff the row is not hopeless -- it becomes exploitable
+    // again once the infrastructure recovers -- so only give up when the
+    // row is genuinely unmeasurable.
+    if (!skipped_backoff)
+      given_up_[static_cast<std::size_t>(best_row)] = true;
     return {};
   }
   return {best_row, best_j, false};
@@ -187,6 +243,7 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_explore(
       if (explored_entries_.count(entry_key(static_cast<int>(i),
                                             static_cast<int>(j), n)) != 0)
         continue;
+      if (under_backoff(static_cast<int>(i), static_cast<int>(j))) continue;
       if (pm_->entry_prob(static_cast<int>(i), static_cast<int>(j)) > 0.0)
         return {static_cast<int>(i), static_cast<int>(j), true};
     }
@@ -203,6 +260,7 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_random(
     if (i == j) continue;
     if (e.filled(static_cast<std::size_t>(i), static_cast<std::size_t>(j)))
       continue;
+    if (under_backoff(i, j)) continue;
     auto key = entry_key(i, j, n);
     if (attempted_.count(key) != 0) continue;
     attempted_.insert(key);
@@ -220,6 +278,7 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_greedy(
     int j = static_cast<int>(key % n);
     if (e.filled(static_cast<std::size_t>(i), static_cast<std::size_t>(j)))
       continue;
+    if (under_backoff(i, j)) continue;
     if (attempted_.count(key) != 0) continue;
     attempted_.insert(key);
     return {i, j, false};
@@ -227,7 +286,7 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_greedy(
   return {};
 }
 
-void MeasurementScheduler::execute(const Pick& pick) {
+std::size_t MeasurementScheduler::execute(const Pick& pick) {
   MAC_REQUIRE(pick.i >= 0 && pick.j >= 0 && pick.i != pick.j &&
                   static_cast<std::size_t>(pick.i) < ctx_->size() &&
                   static_cast<std::size_t>(pick.j) < ctx_->size(),
@@ -237,9 +296,11 @@ void MeasurementScheduler::execute(const Pick& pick) {
   rec.i = pick.i;
   rec.j = pick.j;
   rec.estimated_prob = choice.probability;
+  rec.exploration = pick.exploration;
   if (choice.vp_cat < 0) {
+    // No usable strategy: nothing ran, no budget spent.
     history_.push_back(rec);
-    return;
+    return 0;
   }
   AsId as_i = ctx_->as_at(static_cast<std::size_t>(pick.i));
   AsId as_j = ctx_->as_at(static_cast<std::size_t>(pick.j));
@@ -250,7 +311,44 @@ void MeasurementScheduler::execute(const Pick& pick) {
   rec.informative = out.informative;
   rec.found_existence = out.revealed_direct;
   rec.found_nonexistence = out.revealed_transit;
+  rec.infra_failure = out.infra_failure;
+  rec.attempts = out.attempts;
+  rec.launched = out.launched;
+  rec.faulted = out.faulted;
+
+  // Budget: probes that actually left the platform.  A selection collision
+  // (candidates existed but e.g. the drawn VP sits in the target AS) keeps
+  // the legacy one-unit accounting -- it is a scheduling outcome, not an
+  // unspent pick -- so a fault-free run spends exactly what it used to.
+  std::size_t spent = static_cast<std::size_t>(out.launched);
+  if (!out.ran && !out.infra_failure) spent = 1;
+  rec.spent = static_cast<int>(spent);
   history_.push_back(rec);
+
+  degradation_.probes_launched += static_cast<std::size_t>(out.launched);
+  degradation_.probes_faulted += static_cast<std::size_t>(out.faulted);
+  if (out.attempts > 1)
+    degradation_.retries += static_cast<std::size_t>(out.attempts - 1);
+
+  const std::uint64_t key = entry_key(pick.i, pick.j, ctx_->size());
+  if (out.infra_failure && cfg_.resilient) {
+    // The infrastructure, not the strategy, failed: requeue the entry with
+    // exponential backoff and leave fail_streak / P_m untouched.
+    ++degradation_.infra_failures;
+    ++degradation_.requeues;
+    auto& [retry_at, fails] = requeued_[key];
+    int doublings = std::min(fails, 7);
+    ++fails;
+    retry_at = sched_tick_ +
+               std::min<std::uint64_t>(
+                   static_cast<std::uint64_t>(cfg_.requeue_backoff_base)
+                       << doublings,
+                   static_cast<std::uint64_t>(cfg_.requeue_backoff_cap));
+    return spent;
+  }
+  if (out.infra_failure) ++degradation_.infra_failures;
+  if (!requeued_.empty()) requeued_.erase(key);
+
   pm_->record(pick.i, pick.j, choice, out.informative);
 
   auto i = static_cast<std::size_t>(pick.i);
@@ -259,6 +357,7 @@ void MeasurementScheduler::execute(const Pick& pick) {
   } else if (!pick.exploration) {
     if (++fail_streak_[i] >= cfg_.row_fail_limit) given_up_[i] = true;
   }
+  return spent;
 }
 
 }  // namespace metas::core

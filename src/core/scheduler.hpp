@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -32,16 +33,56 @@ struct SchedulerConfig {
   int row_fail_limit = 6;          // successive uninformative tries per row
   SelectionPolicy policy = SelectionPolicy::kMetascritic;
   std::uint64_t seed = 11;
+  /// Infrastructure failures requeue the entry with exponential backoff and
+  /// never count toward fail_streak / give-up.  When false they are treated
+  /// like uninformative results (the pre-resilience behaviour, kept for the
+  /// e8 ablation).
+  bool resilient = true;
+  int requeue_backoff_base = 8;    // scheduler ticks (pick slots)
+  int requeue_backoff_cap = 1024;
 };
 
 /// One issued targeted measurement, kept for the Fig.-4 calibration study.
 struct IssuedRecord {
   int i = -1, j = -1;
   double estimated_prob = 0.0;
-  bool ran = false;
+  bool ran = false;           // at least one probe launched
   bool informative = false;
   bool found_existence = false;
   bool found_nonexistence = false;
+  bool exploration = false;   // picked by the explore arm (Fig.-4 split)
+  bool infra_failure = false; // every attempt eaten by the infrastructure
+  int attempts = 0;           // probe attempts, including failovers
+  int launched = 0;           // attempts that spent measurement budget
+  int faulted = 0;            // attempts that hit an injected fault
+  int spent = 0;              // budget charged for this pick (audit trail)
+};
+
+/// Per-batch accounting: slots that selected a pick vs. probes that actually
+/// spent measurement budget (a pick with no usable strategy, or one blocked
+/// by the infrastructure before launch, selects without spending).
+struct BatchResult {
+  std::size_t selected = 0;
+  std::size_t launched = 0;
+};
+
+/// Graceful-degradation summary of a measurement campaign at one metro:
+/// what fill was achieved against the target, and what the infrastructure
+/// cost along the way.  Counters accumulate over the scheduler's lifetime;
+/// fill statistics describe the most recent fill_rows_to call.
+struct DegradationReport {
+  int fill_target = 0;             // per-row target of the last campaign
+  std::size_t rows = 0;
+  std::size_t rows_at_target = 0;
+  std::size_t rows_given_up = 0;
+  double fill_fraction = 0.0;      // mean over rows of min(filled/target, 1)
+  std::size_t probes_launched = 0; // traceroutes that spent budget
+  std::size_t probes_faulted = 0;  // attempts lost to infrastructure faults
+  std::size_t retries = 0;         // failover attempts past the first
+  std::size_t infra_failures = 0;  // measurements with every attempt faulted
+  std::size_t requeues = 0;        // entries sent back with backoff
+  std::size_t quarantined_vps = 0; // VPs sidelined when the campaign ended
+  std::size_t dead_vps = 0;        // permanently churned VPs
 };
 
 class MeasurementScheduler {
@@ -51,16 +92,19 @@ class MeasurementScheduler {
 
   /// Issues batches until every (non-given-up) row of the current estimated
   /// matrix has at least `target` filled entries, the budget is exhausted, or
-  /// no further progress is possible. Returns measurements issued.
+  /// no further progress is possible. Returns probes launched (budget spent).
   std::size_t fill_rows_to(int target, std::size_t budget);
 
-  /// Runs one batch against the current fill state; returns issued count.
-  std::size_t run_batch(const EstimatedMatrix& current, int target);
+  /// Runs one batch against the current fill state.
+  BatchResult run_batch(const EstimatedMatrix& current, int target);
 
   const std::vector<IssuedRecord>& history() const { return history_; }
 
   /// Rows the scheduler gave up on during the last fill_rows_to call.
   const std::vector<bool>& given_up() const { return given_up_; }
+
+  /// Degradation summary; see DegradationReport for accumulation semantics.
+  const DegradationReport& degradation() const { return degradation_; }
 
  private:
   struct Pick { int i = -1, j = -1; bool exploration = false; };
@@ -71,7 +115,11 @@ class MeasurementScheduler {
                     const std::unordered_set<std::uint64_t>& batch_rows);
   Pick pick_random(const EstimatedMatrix& e);
   Pick pick_greedy(const EstimatedMatrix& e);
-  void execute(const Pick& pick);
+  /// Runs the pick; returns probes launched (0 when no strategy was usable
+  /// or the infrastructure blocked every attempt before launch).
+  std::size_t execute(const Pick& pick);
+  bool under_backoff(int i, int j) const;
+  void finish_campaign(int target);
 
   const MetroContext* ctx_;
   MeasurementSystem* ms_;
@@ -85,6 +133,12 @@ class MeasurementScheduler {
   std::vector<std::pair<double, std::uint64_t>> greedy_order_;  // lazy, desc
   std::size_t greedy_cursor_ = 0;
   std::unordered_set<std::uint64_t> attempted_;  // greedy/random de-dup
+
+  DegradationReport degradation_;
+  std::uint64_t sched_tick_ = 0;  // one per batch slot processed
+  // Infra-failed entries waiting out their backoff:
+  // entry key -> (retry-at tick, consecutive infra failures).
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, int>> requeued_;
 };
 
 }  // namespace metas::core

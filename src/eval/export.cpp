@@ -40,14 +40,17 @@ void export_ratings_csv(std::ostream& os, const core::MetroContext& ctx,
 void export_measurement_log_csv(std::ostream& os,
                                 const core::MetroContext& ctx,
                                 const core::PipelineResult& result) {
-  os << "as_a,as_b,estimated_prob,ran,informative,found_link,found_nonlink\n";
+  os << "as_a,as_b,estimated_prob,ran,informative,found_link,found_nonlink,"
+        "exploration,infra_failure,attempts\n";
   for (const auto& rec : result.measurement_log) {
     if (rec.i < 0 || rec.j < 0) continue;
     os << ctx.as_at(static_cast<std::size_t>(rec.i)) << ','
        << ctx.as_at(static_cast<std::size_t>(rec.j)) << ','
        << rec.estimated_prob << ',' << (rec.ran ? 1 : 0) << ','
        << (rec.informative ? 1 : 0) << ',' << (rec.found_existence ? 1 : 0)
-       << ',' << (rec.found_nonexistence ? 1 : 0) << '\n';
+       << ',' << (rec.found_nonexistence ? 1 : 0) << ','
+       << (rec.exploration ? 1 : 0) << ',' << (rec.infra_failure ? 1 : 0)
+       << ',' << rec.attempts << '\n';
   }
 }
 

@@ -30,8 +30,13 @@ World build_world(const WorldConfig& cfg) {
   w.vps = traceroute::place_vantage_points(w.net, rng, cfg.vps);
   w.targets = traceroute::enumerate_targets(w.net, rng);
   w.engine = std::make_unique<traceroute::TracerouteEngine>(w.net, cfg.trace);
+  if (cfg.faults.enabled()) {
+    w.faults = std::make_unique<traceroute::FaultInjector>(cfg.faults);
+    w.engine->set_fault_injector(w.faults.get());
+  }
   w.ms = std::make_unique<core::MeasurementSystem>(w.net, *w.engine, w.vps,
                                                    w.targets, cfg.seed + 1);
+  w.ms->set_resilience(cfg.resilience);
   w.ms->run_public_archives(cfg.public_archive_traces);
 
   w.collectors = bgp::place_collectors(w.net, rng);

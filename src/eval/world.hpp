@@ -18,6 +18,12 @@ struct WorldConfig {
   topology::GeneratorConfig gen;
   traceroute::TracerouteConfig trace;
   traceroute::VpPlacementConfig vps;
+  /// Infrastructure faults of the measurement substrate.  Default is the
+  /// inert profile: a perfectly reliable plane, bit-identical to builds
+  /// without fault injection.
+  traceroute::FaultProfile faults;
+  /// Failover / backoff / quarantine policy of the measurement plane.
+  core::ResilienceConfig resilience;
   std::size_t public_archive_traces = 25000;
   bool compute_public_view = true;
   std::uint64_t seed = 99;
@@ -29,6 +35,8 @@ struct World {
   std::vector<traceroute::VantagePoint> vps;
   std::vector<traceroute::ProbeTarget> targets;
   std::unique_ptr<traceroute::TracerouteEngine> engine;
+  /// Fault state machine; null when the profile is inert.
+  std::unique_ptr<traceroute::FaultInjector> faults;
   std::unique_ptr<core::MeasurementSystem> ms;
   std::vector<topology::AsId> collectors;
   bgp::LinkSet public_view;

@@ -59,12 +59,26 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
               "tgt.as=", tgt.as);
   MAC_REQUIRE(tgt.responsiveness >= 0.0 && tgt.responsiveness <= 1.0,
               "tgt.responsiveness=", tgt.responsiveness);
-  ++issued_;
   TraceResult res;
   res.vp_id = vp.id;
   res.src_as = vp.as;
   res.src_metro = vp.metro;
   res.dst_as = tgt.as;
+
+  // Infrastructure layer first: an offline or throttled VP never launches
+  // (no budget spent); a lost probe launches and times out (budget spent).
+  // Draws come from the injector's own RNGs, so with no injector -- or an
+  // inert one -- the caller's rng stream is untouched.
+  if (faults_ != nullptr && faults_->enabled()) {
+    ProbeStatus st = faults_->pre_probe(vp.id, vp.metro);
+    if (st != ProbeStatus::kOk) {
+      ++faulted_;
+      if (st == ProbeStatus::kLost) ++issued_;
+      res.status = st;
+      return res;
+    }
+  }
+  ++issued_;
 
   auto path = routing_.path(vp.as, tgt.as);
   if (path.empty()) return res;  // unreachable: no hops at all

@@ -14,6 +14,7 @@
 
 #include "bgp/routing.hpp"
 #include "topology/internet.hpp"
+#include "traceroute/faults.hpp"
 #include "traceroute/vantage_point.hpp"
 
 namespace metas::traceroute {
@@ -36,6 +37,9 @@ struct TraceResult {
   topology::AsId dst_as = topology::kInvalidAs;
   std::vector<Hop> hops;  // hops[0] is the source AS
   bool reached = false;   // final hop responded
+  /// Infrastructure verdict: anything but kOk means the probe produced no
+  /// hops (VP offline, platform throttled, or the probe was lost in flight).
+  ProbeStatus status = ProbeStatus::kOk;
 };
 
 struct TracerouteConfig {
@@ -53,7 +57,16 @@ class TracerouteEngine {
                     util::Rng& rng);
 
   /// Number of traceroutes issued so far (the paper's measurement budget).
+  /// Probes blocked before launch (VP down / rate-limited) do not count;
+  /// probes lost in flight do.
   std::size_t issued() const { return issued_; }
+  /// Probe attempts that hit an injected infrastructure fault.
+  std::size_t faulted() const { return faulted_; }
+
+  /// Attaches a fault injector (not owned; may be null).  An inert injector
+  /// (profile kNone) leaves trace() bit-identical to the detached engine.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* fault_injector() const { return faults_; }
 
   bgp::RoutingEngine& routing() { return routing_; }
   const topology::Internet& internet() const { return *net_; }
@@ -68,7 +81,9 @@ class TracerouteEngine {
   TracerouteConfig cfg_;
   bgp::AsGraph graph_;
   bgp::RoutingEngine routing_;
+  FaultInjector* faults_ = nullptr;  // not owned
   std::size_t issued_ = 0;
+  std::size_t faulted_ = 0;
 };
 
 }  // namespace metas::traceroute

@@ -30,6 +30,8 @@ class ExportTest : public ::testing::Test {
     rec.informative = true;
     rec.found_existence = true;
     rec.estimated_prob = 0.4;
+    rec.exploration = true;
+    rec.attempts = 2;
     result_.measurement_log.push_back(rec);
   }
   std::vector<std::string> lines(const std::string& s) {
@@ -89,8 +91,9 @@ TEST_F(ExportTest, MeasurementLogRoundTrips) {
   auto ls = lines(os.str());
   ASSERT_EQ(ls.size(), 2u);
   EXPECT_EQ(ls[0],
-            "as_a,as_b,estimated_prob,ran,informative,found_link,found_nonlink");
-  EXPECT_NE(ls[1].find("0.4,1,1,1,0"), std::string::npos);
+            "as_a,as_b,estimated_prob,ran,informative,found_link,found_nonlink,"
+            "exploration,infra_failure,attempts");
+  EXPECT_NE(ls[1].find("0.4,1,1,1,0,1,0,2"), std::string::npos);
 }
 
 }  // namespace

@@ -33,9 +33,10 @@ TEST_F(SchedulerTest, BatchIssuesMeasurementsAndLogsHistory) {
                              cfg_with(SelectionPolicy::kMetascritic));
   EstimatedMatrix e = w.ms->build_matrix(*ctx_);
   std::size_t before = w.ms->traceroutes_issued();
-  std::size_t got = sched.run_batch(e, 5);
-  EXPECT_GT(got, 0u);
-  EXPECT_EQ(sched.history().size(), got);
+  BatchResult got = sched.run_batch(e, 5);
+  EXPECT_GT(got.selected, 0u);
+  EXPECT_EQ(sched.history().size(), got.selected);
+  EXPECT_LE(got.launched, got.selected);
   EXPECT_GE(w.ms->traceroutes_issued(), before);
   for (const auto& rec : sched.history()) {
     EXPECT_GE(rec.i, 0);
@@ -74,7 +75,7 @@ TEST_F(SchedulerTest, RandomPolicyRuns) {
   MeasurementScheduler sched(*ctx_, *w.ms, *pm_,
                              cfg_with(SelectionPolicy::kRandom));
   EstimatedMatrix e = w.ms->build_matrix(*ctx_);
-  EXPECT_GT(sched.run_batch(e, 10), 0u);
+  EXPECT_GT(sched.run_batch(e, 10).selected, 0u);
 }
 
 TEST_F(SchedulerTest, GreedyPolicyPicksHighProbabilityEntriesFirst) {
@@ -82,7 +83,7 @@ TEST_F(SchedulerTest, GreedyPolicyPicksHighProbabilityEntriesFirst) {
   MeasurementScheduler sched(*ctx_, *w.ms, *pm_,
                              cfg_with(SelectionPolicy::kGreedy, 30));
   EstimatedMatrix e = w.ms->build_matrix(*ctx_);
-  ASSERT_GT(sched.run_batch(e, 10), 0u);
+  ASSERT_GT(sched.run_batch(e, 10).selected, 0u);
   // Recorded estimated probabilities are non-increasing-ish: check the
   // first pick is at least as probable as the last.
   const auto& h = sched.history();
@@ -95,10 +96,10 @@ TEST_F(SchedulerTest, OnlyExplorePolicyMarksExploration) {
   MeasurementScheduler sched(*ctx_, *w.ms, *pm_,
                              cfg_with(SelectionPolicy::kOnlyExplore, 20));
   EstimatedMatrix e = w.ms->build_matrix(*ctx_);
-  std::size_t got = sched.run_batch(e, 10);
+  BatchResult got = sched.run_batch(e, 10);
   // Exploration is limited to one per row per batch, so the count is
   // bounded by half the universe.
-  EXPECT_LE(got, ctx_->size() / 2 + 1);
+  EXPECT_LE(got.selected, ctx_->size() / 2 + 1);
 }
 
 TEST_F(SchedulerTest, ExplorationNeverRepeatsAnEntry) {

@@ -11,6 +11,9 @@ Enforces the handful of rules the compiler cannot:
   R4  every header starts its include-guarding with `#pragma once`
   R5  no `using namespace` at namespace scope in headers
   R6  no #include of a .cpp file
+  R7  no wall-clock reads (std::chrono::{system,steady,high_resolution}_clock)
+      outside bench/ -- simulation time is the probe clock / scheduler ticks,
+      and wall-clock state would break bit-exact reproducibility
 
 Usage:
   tools/lint.py [--clang-tidy [BUILD_DIR]] [PATHS...]
@@ -75,7 +78,16 @@ LINE_RULES = [
         re.compile(r'#\s*include\s*[<"][^<">]+\.cpp[">]'),
         "#include of a .cpp file",
     ),
+    (
+        "wall-clock",
+        re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"),
+        "wall-clock time outside bench/: use the probe clock / scheduler ticks",
+    ),
 ]
+
+# Rules that only apply outside the listed top-level directories (relative to
+# the repo root).  Benchmarks legitimately time themselves with wall clocks.
+RULE_EXEMPT_DIRS = {"wall-clock": {"bench"}}
 
 HEADER_USING_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
 
@@ -134,6 +146,10 @@ class Linter:
             return
         lines = text.splitlines()
         is_header = path.suffix in HEADER_SUFFIXES
+        try:
+            rel_parts = set(path.resolve().relative_to(REPO_ROOT).parts[:-1])
+        except ValueError:
+            rel_parts = set()
 
         if is_header:
             self._check_pragma_once(path, lines)
@@ -146,6 +162,8 @@ class Linter:
                 continue
             for rule, pattern, message in LINE_RULES:
                 if rule in allowed:
+                    continue
+                if rel_parts & RULE_EXEMPT_DIRS.get(rule, set()):
                     continue
                 if pattern.search(code):
                     self.report(path, lineno, rule, message)

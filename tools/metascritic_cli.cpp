@@ -5,9 +5,12 @@
 // Usage:
 //   metascritic_cli [--seed N] [--metro NAME|--all-metros] [--scale small|paper]
 //                   [--threshold X|auto] [--out DIR] [--quiet]
+//                   [--fault-profile none|flaky|storm] [--no-resilience]
 //
 // Writes per-metro <out>/<metro>_links.csv, <metro>_ratings.csv, and
-// <metro>_measurements.csv, and prints a summary table.
+// <metro>_measurements.csv, and prints a summary table. With a non-trivial
+// fault profile the summary also reports how the measurement plane degraded
+// (row fill achieved, probes lost to faults, retries, quarantined VPs).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -28,13 +31,16 @@ struct CliOptions {
   double threshold = -2.0;  // -2 = auto (pipeline's F-max lambda)
   std::string out_dir = "metascritic_out";
   bool quiet = false;
+  metas::traceroute::FaultProfile faults;  // default: none (inert)
+  bool resilience = true;
 };
 
 void usage() {
   std::cout <<
       "usage: metascritic_cli [--seed N] [--metro NAME | --all-metros]\n"
       "                       [--scale small|paper] [--threshold X|auto]\n"
-      "                       [--out DIR] [--quiet]\n";
+      "                       [--out DIR] [--quiet]\n"
+      "                       [--fault-profile none|flaky|storm] [--no-resilience]\n";
 }
 
 bool parse_args(int argc, char** argv, CliOptions& opt) {
@@ -66,6 +72,12 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.out_dir = v;
+    } else if (arg == "--fault-profile") {
+      const char* v = next();
+      if (v == nullptr || !metas::traceroute::parse_fault_profile(v, opt.faults))
+        return false;
+    } else if (arg == "--no-resilience") {
+      opt.resilience = false;
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else {
@@ -88,6 +100,8 @@ int main(int argc, char** argv) {
   eval::WorldConfig wc = opt.scale == "paper"
                              ? eval::paper_world_config(opt.seed)
                              : eval::small_world_config(opt.seed);
+  wc.faults = opt.faults;
+  wc.resilience.enabled = opt.resilience;
   if (!opt.quiet) std::cout << "building world (seed " << opt.seed << ")...\n";
   eval::World world = eval::build_world(wc);
 
@@ -118,6 +132,8 @@ int main(int argc, char** argv) {
   }
 
   util::Table summary({"metro", "ASes", "rank", "traces", "lambda", "links out"});
+  util::Table degraded({"metro", "row fill", "faulted", "retries", "requeues",
+                        "quarantined", "dead VPs"});
   core::StrategyPriors priors;
   for (auto metro : metros) {
     core::MetroContext ctx(world.net, metro);
@@ -161,8 +177,19 @@ int main(int argc, char** argv) {
                      util::Table::fmt(result.estimated_rank),
                      util::Table::fmt(result.targeted_traceroutes),
                      util::Table::fmt(lambda, 2), util::Table::fmt(links)});
+    const core::DegradationReport& d = result.degradation;
+    degraded.add_row({name, util::Table::fmt(d.fill_fraction, 3),
+                      util::Table::fmt(d.probes_faulted),
+                      util::Table::fmt(d.retries), util::Table::fmt(d.requeues),
+                      util::Table::fmt(d.quarantined_vps),
+                      util::Table::fmt(d.dead_vps)});
   }
   summary.print(std::cout);
+  if (opt.faults.enabled()) {
+    std::cout << "measurement-plane degradation (resilience "
+              << (opt.resilience ? "on" : "off") << "):\n";
+    degraded.print(std::cout);
+  }
   if (!opt.quiet)
     std::cout << "CSV outputs written under " << opt.out_dir << "/\n";
   return 0;
