@@ -17,6 +17,7 @@
 #include "eval/validation.hpp"
 #include "eval/world.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 namespace metas::bench {
 
@@ -51,10 +52,43 @@ inline std::vector<MetroRun> run_all_focus_metros(
     pc.rank.seed = seed + static_cast<std::uint64_t>(m) * 17 + 1;
     pc.seed = seed + static_cast<std::uint64_t>(m) * 19 + 2;
     core::MetascriticPipeline pipeline(*run.ctx, *world.ms, &priors, pc);
-    run.result = pipeline.run();
+    {
+      MAC_SPAN("bench.metro_pipeline");
+      run.result = pipeline.run();
+    }
     runs.push_back(std::move(run));
   }
   return runs;
+}
+
+/// Total recorded time, in seconds, of every span named `name` (any depth)
+/// in the process-wide registry.  Bench timing goes through the telemetry
+/// span tree -- not an ad-hoc stopwatch -- so bench tables and `--telemetry`
+/// snapshots report the same numbers.  Returns 0 with telemetry compiled out.
+inline double span_seconds(std::string_view name) {
+  std::uint64_t total = 0;
+  for (const auto& s : util::telemetry::Registry::instance().spans())
+    if (s.name == name) total += s.total_ns;
+  return static_cast<double>(total) * 1e-9;
+}
+
+/// Prints the aggregated span tree as an aligned table (slash-joined paths,
+/// call counts, milliseconds).  No-op rows when telemetry is compiled out.
+inline void print_span_timings() {
+  auto spans = util::telemetry::Registry::instance().spans();
+  if (spans.empty()) return;
+  std::vector<std::string> paths(spans.size());
+  util::Table t({"span", "count", "total ms"});
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const auto& s = spans[i];
+    paths[i] = s.parent < 0
+                   ? s.name
+                   : paths[static_cast<std::size_t>(s.parent)] + "/" + s.name;
+    t.add_row({paths[i], util::Table::fmt(s.count),
+               util::Table::fmt(static_cast<double>(s.total_ns) * 1e-6, 2)});
+  }
+  std::cout << "-- span timings --\n";
+  t.print(std::cout);
 }
 
 /// Prints a header in the common harness format.

@@ -2,11 +2,21 @@
 // ALS completion, Gao-Rexford route computation, Jacobi eigendecomposition,
 // and traceroute simulation. These guard against performance regressions in
 // the substrate the reproduction harness leans on.
+//
+// With METAS_TELEMETRY_OUT=<path> in the environment, a JSON snapshot of the
+// telemetry registry accumulated across all benchmark iterations is written
+// on exit (the BENCH_telemetry.json baseline and the CI overhead gate both
+// come from this).  BM_TelemetryCounter / BM_TelemetrySpan measure the raw
+// price of one instrumentation call so overhead regressions are attributable.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
 
 #include "core/als.hpp"
 #include "eval/world.hpp"
 #include "linalg/eigen_sym.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -92,6 +102,39 @@ void BM_Traceroute(benchmark::State& state) {
 }
 BENCHMARK(BM_Traceroute);
 
+// Raw instrumentation cost: one counter increment per iteration.
+void BM_TelemetryCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    MAC_COUNT("bench.telemetry_counter_probe");
+  }
+}
+BENCHMARK(BM_TelemetryCounter);
+
+// Raw instrumentation cost: one open/close span pair per iteration.
+void BM_TelemetrySpan(benchmark::State& state) {
+  for (auto _ : state) {
+    MAC_SPAN("bench.telemetry_span_probe");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetrySpan);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus an optional telemetry snapshot on the way out.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* out = std::getenv("METAS_TELEMETRY_OUT");
+  if (out != nullptr && *out != '\0') {
+    if (!metas::util::telemetry::write_snapshot(
+            out, metas::util::telemetry::Format::kJson)) {
+      std::cerr << "perf_micro: cannot write telemetry snapshot to '" << out
+                << "'\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/contracts.hpp"
+#include "util/telemetry.hpp"
 
 namespace metas::bgp {
 
@@ -54,7 +55,12 @@ bool route_preferred(RouteKind ka, int la, RouteKind kb, int lb) {
 
 const RoutingTable& RoutingEngine::table(AsId dst) {
   auto it = cache_.find(dst);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    MAC_COUNT("bgp.table_cache_hits");
+    return it->second;
+  }
+  MAC_COUNT("bgp.tables_computed");
+  MAC_SPAN("bgp.compute_table");
   auto [ins, ok] = cache_.emplace(dst, compute(dst));
   return ins->second;
 }
@@ -77,7 +83,9 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
   cust_len[static_cast<std::size_t>(dst)] = 0;
   cust_nh[static_cast<std::size_t>(dst)] = dst;
   std::vector<AsId> frontier{dst};
+  std::size_t propagation_passes = 0;
   while (!frontier.empty()) {
+    ++propagation_passes;
     // Ascending order makes the lowest-id parent win ties within a level.
     std::sort(frontier.begin(), frontier.end());
     std::vector<AsId> next;
@@ -92,6 +100,8 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
     }
     frontier = std::move(next);
   }
+  // BFS levels of the customer-route flood: the per-table propagation depth.
+  MAC_COUNT_N("bgp.propagation_passes", propagation_passes);
 
   // --- Phase 2: peer routes (one peer hop off a customer route). ---
   std::vector<int> peer_len(n, kNoRoute);
@@ -179,6 +189,7 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
 
 std::vector<AsId> RoutingEngine::path(AsId src, AsId dst) {
   const RoutingTable& t = table(dst);
+  MAC_COUNT("bgp.paths_resolved");
   std::vector<AsId> p;
   if (!t.reachable(src)) return p;
   AsId cur = src;

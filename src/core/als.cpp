@@ -7,6 +7,7 @@
 #include "linalg/solve.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace metas::core {
 
@@ -27,6 +28,9 @@ AlsCompleter::AlsCompleter(std::size_t n, const FeatureMatrix& features,
 }
 
 void AlsCompleter::fit(const std::vector<RatingEntry>& observed) {
+  MAC_SPAN("als.fit");
+  MAC_COUNT("als.fits_started");
+  MAC_COUNT_N("als.observed_entries", observed.size());
   const auto r = static_cast<std::size_t>(cfg_.rank);
   cols_.assign(total_, {});
   vals_.assign(total_, {});
@@ -84,9 +88,14 @@ void AlsCompleter::fit(const std::vector<RatingEntry>& observed) {
 
   MAC_REQUIRE(cfg_.iterations > 0, "iterations=", cfg_.iterations);
   for (int it = 0; it < cfg_.iterations; ++it) {
-    solve_side(cols_, vals_, wts_, q_, p_);
-    solve_side(cols_, vals_, wts_, p_, q_);
+    MAC_SPAN("als.iteration");
+    double delta = solve_side(cols_, vals_, wts_, q_, p_);
+    delta += solve_side(cols_, vals_, wts_, p_, q_);
+    MAC_COUNT("als.iterations_run");
+    // Summed factor-update magnitude: the per-iteration convergence signal.
+    MAC_HISTOGRAM("als.factor_delta", delta);
   }
+  MAC_COUNT("als.fits_completed");
 #if METASCRITIC_CONTRACTS
   // Convergence postcondition: every factor entry must stay finite -- a NaN
   // here would silently poison every downstream rating.
@@ -96,14 +105,17 @@ void AlsCompleter::fit(const std::vector<RatingEntry>& observed) {
   fitted_ = true;
 }
 
-void AlsCompleter::solve_side(
+double AlsCompleter::solve_side(
     const std::vector<std::vector<std::size_t>>& obs_cols,
     const std::vector<std::vector<double>>& obs_vals,
     const std::vector<std::vector<double>>& obs_wts,
     const linalg::Matrix& fixed, linalg::Matrix& solved) {
+  MAC_SPAN("als.solve_side");
   const auto r = static_cast<std::size_t>(cfg_.rank);
   linalg::Matrix gram(r, r);
   linalg::Vector rhs(r);
+  double delta = 0.0;
+  std::size_t rows_solved = 0, rows_degenerate = 0;
   for (std::size_t row = 0; row < total_; ++row) {
     const auto& cols = obs_cols[row];
     if (cols.empty()) continue;
@@ -126,9 +138,19 @@ void AlsCompleter::solve_side(
       for (std::size_t b = 0; b < a; ++b) gram(a, b) = gram(b, a);
     double reg = cfg_.lambda * static_cast<double>(cols.size());
     auto x = linalg::solve_regularized(gram, rhs, reg);
-    if (!x) continue;  // numerically degenerate row: keep previous factors
-    for (std::size_t a = 0; a < r; ++a) solved(row, a) = (*x)[a];
+    if (!x) {  // numerically degenerate row: keep previous factors
+      ++rows_degenerate;
+      continue;
+    }
+    ++rows_solved;
+    for (std::size_t a = 0; a < r; ++a) {
+      delta += std::fabs((*x)[a] - solved(row, a));
+      solved(row, a) = (*x)[a];
+    }
   }
+  MAC_COUNT_N("als.rows_solved", rows_solved);
+  MAC_COUNT_N("als.rows_degenerate", rows_degenerate);
+  return delta;
 }
 
 double AlsCompleter::predict(std::size_t i, std::size_t j) const {

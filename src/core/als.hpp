@@ -63,10 +63,12 @@ class AlsCompleter {
   std::size_t num_ases() const { return n_; }
 
  private:
-  void solve_side(const std::vector<std::vector<std::size_t>>& obs_cols,
-                  const std::vector<std::vector<double>>& obs_vals,
-                  const std::vector<std::vector<double>>& obs_wts,
-                  const linalg::Matrix& fixed, linalg::Matrix& solved);
+  /// Refits one factor side; returns the summed |delta| of updated entries
+  /// (the per-iteration convergence signal surfaced via telemetry).
+  double solve_side(const std::vector<std::vector<std::size_t>>& obs_cols,
+                    const std::vector<std::vector<double>>& obs_vals,
+                    const std::vector<std::vector<double>>& obs_wts,
+                    const linalg::Matrix& fixed, linalg::Matrix& solved);
 
   std::size_t n_ = 0;       // AS count
   std::size_t total_ = 0;   // n + feature count

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/telemetry.hpp"
+
 namespace metas::core {
 
 using traceroute::ProbeTarget;
@@ -36,6 +38,7 @@ void MeasurementSystem::process_trace(const traceroute::TraceResult& trace,
 
 void MeasurementSystem::run_public_archives(std::size_t count) {
   if (vps_.empty() || targets_.empty()) return;
+  MAC_SPAN("measurement.public_archives");
   // Public archives are heavily skewed toward popular destinations (content
   // and eyeball networks): most traceroutes in RIPE Atlas / Ark target a
   // small set of well-known services, leaving edge-AS rows unmeasured --
@@ -59,6 +62,7 @@ void MeasurementSystem::run_public_archives(std::size_t count) {
     // Archives degrade gracefully: a faulted probe simply contributes no
     // observation (the real archives only contain completed traceroutes).
     if (trace.status != traceroute::ProbeStatus::kOk) continue;
+    MAC_COUNT("measurement.public_traces_processed");
     traceroute::TraceObservations obs;
     process_trace(trace, obs);
   }
@@ -91,10 +95,14 @@ void MeasurementSystem::note_vp_fault(int vp_id,
   if (status == traceroute::ProbeStatus::kRateLimited) {
     // Exponential backoff: the platform is telling us to slow down.
     h.blocked_until = backoff(h.strikes - 1, resilience_.backoff_base);
+    MAC_COUNT("measurement.backoffs_applied");
   } else if (h.strikes >= resilience_.quarantine_threshold) {
     // Repeatedly failing VP: quarantine, doubling with every extra strike.
     h.blocked_until = backoff(h.strikes - resilience_.quarantine_threshold,
                               resilience_.backoff_base * 4);
+    // Cumulative quarantine *events*; the DegradationReport's
+    // quarantined_vps is the distinct-VP state at campaign end.
+    MAC_COUNT("measurement.vps_quarantined");
   }
 }
 
@@ -119,6 +127,7 @@ MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
   AsId far = swapped ? i : j;
   MeasurementOutcome out;
   ++health_clock_;
+  MAC_COUNT("measurement.targeted_runs");
 
   // Candidate vantage points in the requested category, weighted by their
   // historical score for detecting links of the near-side AS.  Dead,
@@ -199,8 +208,13 @@ MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
     }
     if (next == cand_vps.size()) break;  // nobody left to fail over to
     pick_idx = next;
+    MAC_COUNT("measurement.failovers");
   }
   out.ran = out.launched > 0;
+  // Spent vs blocked: launched attempts cost budget; attempts the platform
+  // swallowed before launch (VP down, rate-limited at the gate) do not.
+  MAC_COUNT_N("measurement.budget_spent", out.launched);
+  MAC_COUNT_N("measurement.budget_blocked", out.attempts - out.launched);
   if (out.status != traceroute::ProbeStatus::kOk) {
     // Every attempt was eaten by the infrastructure: nothing observed, and
     // nothing learned about the link or the strategy.
@@ -232,6 +246,7 @@ MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
   }
   wp_.ingest(trace);
   out.informative = out.revealed_direct || out.revealed_transit;
+  if (out.informative) MAC_COUNT("measurement.informative_results");
 
   auto key = (static_cast<std::uint64_t>(
                   static_cast<std::uint32_t>(trace.vp_id)) << 32) |

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/curves.hpp"
+#include "util/telemetry.hpp"
 
 namespace metas::core {
 
@@ -47,10 +48,18 @@ double tune_threshold(const AlsCompleter& completer,
 }
 
 PipelineResult MetascriticPipeline::run() {
+  MAC_SPAN("pipeline.run");
+  MAC_COUNT("pipeline.runs_started");
   util::Rng rng(cfg_.seed);
 
+  PipelineResult res;
+  res.estimated = EstimatedMatrix(ctx_->size());
+
   // Feature side-information for the hybrid completer.
-  FeatureMatrix features = encode_features(*ctx_);
+  FeatureMatrix features = [&] {
+    MAC_SPAN("pipeline.encode_features");
+    return encode_features(*ctx_);
+  }();
 
   // Probability matrix seeded from the hierarchical pool; scheduler drives
   // targeted measurement batches inside the rank-estimation loop.
@@ -58,13 +67,15 @@ PipelineResult MetascriticPipeline::run() {
   MeasurementScheduler scheduler(*ctx_, *ms_, pm, cfg_.scheduler);
 
   RankEstimator estimator(*ctx_, features, cfg_.rank);
-  PipelineResult res;
-  res.estimated = EstimatedMatrix(ctx_->size());
-  res.rank_detail = estimator.run(&scheduler, *ms_);
+  {
+    MAC_SPAN("pipeline.rank_estimation");
+    res.rank_detail = estimator.run(&scheduler, *ms_);
+  }
   res.estimated_rank = res.rank_detail.best_rank;
   res.targeted_traceroutes = res.rank_detail.traceroutes_used;
   res.measurement_log = scheduler.history();
   res.degradation = scheduler.degradation();
+  MAC_GAUGE_SET("pipeline.estimated_rank", res.estimated_rank);
 
   // Final completion over the full E_m at the estimated rank.
   res.estimated = ms_->build_matrix(*ctx_);
@@ -81,14 +92,25 @@ PipelineResult MetascriticPipeline::run() {
   AlsConfig als = cfg_.final_als;
   als.rank = res.estimated_rank;
   AlsCompleter completer(ctx_->size(), features, als);
-  completer.fit(train);
-  res.threshold = tune.empty() ? 0.0 : tune_threshold(completer, tune);
+  {
+    MAC_SPAN("pipeline.final_completion");
+    completer.fit(train);
+  }
+  {
+    MAC_SPAN("pipeline.tune_threshold");
+    res.threshold = tune.empty() ? 0.0 : tune_threshold(completer, tune);
+  }
 
-  // Refit on everything for the published ratings.
-  completer.fit(entries);
-  res.ratings = completer.completed();
+  {
+    // Refit on everything for the published ratings.
+    MAC_SPAN("pipeline.publish_ratings");
+    completer.fit(entries);
+    res.ratings = completer.completed();
+  }
 
   if (priors_ != nullptr) pm.export_priors(*priors_);
+  MAC_COUNT("pipeline.runs_completed");
+  MAC_GAUGE_SET("pipeline.threshold", res.threshold);
   return res;
 }
 

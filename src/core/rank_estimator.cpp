@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/telemetry.hpp"
 
 namespace metas::core {
 
@@ -79,11 +80,14 @@ RankEstimateResult RankEstimator::run(MeasurementScheduler* scheduler,
   double best = 1e30;
   int no_improve = 0;
   for (int r = 1; r <= cfg_.max_rank; ++r) {
+    MAC_SPAN("pipeline.rank_iteration");
+    MAC_COUNT("pipeline.rank_candidates_evaluated");
     if (scheduler != nullptr)
       res.traceroutes_used +=
           scheduler->fill_rows_to(r, cfg_.budget_per_iteration);
     EstimatedMatrix e = ms.build_matrix(*ctx_);
     double mse = holdout_mse(e, r, rng);
+    MAC_HISTOGRAM("pipeline.rank_holdout_mse", mse);
     res.history.emplace_back(r, mse);
     double needed = best > 1e29 ? 0.0  // first candidate always accepted
                                 : std::max(cfg_.min_improvement,

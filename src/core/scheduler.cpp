@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/telemetry.hpp"
 
 namespace metas::core {
 
@@ -24,7 +25,22 @@ MeasurementScheduler::MeasurementScheduler(const MetroContext& ctx,
       cfg_(cfg),
       rng_(cfg.seed),
       fail_streak_(ctx.size(), 0),
-      given_up_(ctx.size(), false) {
+      given_up_(ctx.size(), false),
+      ctr_probes_launched_(util::telemetry::Registry::instance().counter(
+          "scheduler.probes_launched")),
+      ctr_probes_faulted_(util::telemetry::Registry::instance().counter(
+          "scheduler.probes_faulted")),
+      ctr_retries_(
+          util::telemetry::Registry::instance().counter("scheduler.retries")),
+      ctr_infra_failures_(util::telemetry::Registry::instance().counter(
+          "scheduler.infra_failures")),
+      ctr_requeues_(
+          util::telemetry::Registry::instance().counter("scheduler.requeues")),
+      base_probes_launched_(ctr_probes_launched_.value()),
+      base_probes_faulted_(ctr_probes_faulted_.value()),
+      base_retries_(ctr_retries_.value()),
+      base_infra_failures_(ctr_infra_failures_.value()),
+      base_requeues_(ctr_requeues_.value()) {
   MAC_REQUIRE(cfg.batch_size > 0, "batch_size=", cfg.batch_size);
   MAC_REQUIRE(cfg.epsilon >= 0.0 && cfg.epsilon <= 1.0,
               "epsilon=", cfg.epsilon);
@@ -45,6 +61,8 @@ MeasurementScheduler::MeasurementScheduler(const MetroContext& ctx,
 
 std::size_t MeasurementScheduler::fill_rows_to(int target, std::size_t budget) {
   MAC_REQUIRE(target >= 1, "target=", target);
+  MAC_SPAN("scheduler.fill_rows_to");
+  MAC_COUNT("scheduler.campaigns_run");
   std::size_t issued = 0;
   std::fill(fail_streak_.begin(), fail_streak_.end(), 0);
   std::fill(given_up_.begin(), given_up_.end(), false);
@@ -108,8 +126,19 @@ void MeasurementScheduler::finish_campaign(int target) {
     if (given_up_[i]) ++degradation_.rows_given_up;
   }
   degradation_.fill_fraction = n == 0 ? 0.0 : fill / static_cast<double>(n);
+  // Counter fields: reads of the registry counters, minus this scheduler's
+  // construction-time baselines.  Exact because schedulers run sequentially.
+  degradation_.probes_launched = ctr_probes_launched_.value() - base_probes_launched_;
+  degradation_.probes_faulted = ctr_probes_faulted_.value() - base_probes_faulted_;
+  degradation_.retries = ctr_retries_.value() - base_retries_;
+  degradation_.infra_failures = ctr_infra_failures_.value() - base_infra_failures_;
+  degradation_.requeues = ctr_requeues_.value() - base_requeues_;
+  // Quarantine/death are current measurement-system state, not cumulative
+  // event counts -- they stay direct reads.
   degradation_.quarantined_vps = ms_->quarantined_vps();
   degradation_.dead_vps = ms_->dead_vps();
+  MAC_COUNT_N("scheduler.rows_given_up", degradation_.rows_given_up);
+  MAC_GAUGE_SET("scheduler.fill_fraction", degradation_.fill_fraction);
 }
 
 BatchResult MeasurementScheduler::run_batch(const EstimatedMatrix& e,
@@ -122,6 +151,7 @@ BatchResult MeasurementScheduler::run_batch(const EstimatedMatrix& e,
 
   std::unordered_set<std::uint64_t> batch_explored_rows;
   BatchResult result;
+  MAC_COUNT("scheduler.batches_run");
 
   if (cfg_.policy == SelectionPolicy::kGreedy && greedy_order_.empty()) {
     for (std::size_t i = 0; i < n; ++i)
@@ -154,7 +184,9 @@ BatchResult MeasurementScheduler::run_batch(const EstimatedMatrix& e,
         break;
     }
     if (pick.i < 0) continue;
+    MAC_COUNT("scheduler.picks_selected");
     if (pick.exploration) {
+      MAC_COUNT("scheduler.picks_exploration");
       batch_explored_rows.insert(static_cast<std::uint64_t>(pick.i));
       batch_explored_rows.insert(static_cast<std::uint64_t>(pick.j));
       explored_entries_.insert(entry_key(pick.i, pick.j, n));
@@ -206,6 +238,7 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_exploit(
       best_j = static_cast<int>(j);
     }
   }
+  if (skipped_backoff) MAC_COUNT("scheduler.backoff_waits");
   if (best_j < 0) {
     // No measurable entry above the floor.  If entries were only skipped
     // because of backoff the row is not hopeless -- it becomes exploitable
@@ -325,17 +358,17 @@ std::size_t MeasurementScheduler::execute(const Pick& pick) {
   rec.spent = static_cast<int>(spent);
   history_.push_back(rec);
 
-  degradation_.probes_launched += static_cast<std::size_t>(out.launched);
-  degradation_.probes_faulted += static_cast<std::size_t>(out.faulted);
+  ctr_probes_launched_.add(static_cast<std::uint64_t>(out.launched));
+  ctr_probes_faulted_.add(static_cast<std::uint64_t>(out.faulted));
   if (out.attempts > 1)
-    degradation_.retries += static_cast<std::size_t>(out.attempts - 1);
+    ctr_retries_.add(static_cast<std::uint64_t>(out.attempts - 1));
 
   const std::uint64_t key = entry_key(pick.i, pick.j, ctx_->size());
   if (out.infra_failure && cfg_.resilient) {
     // The infrastructure, not the strategy, failed: requeue the entry with
     // exponential backoff and leave fail_streak / P_m untouched.
-    ++degradation_.infra_failures;
-    ++degradation_.requeues;
+    ctr_infra_failures_.add();
+    ctr_requeues_.add();
     auto& [retry_at, fails] = requeued_[key];
     int doublings = std::min(fails, 7);
     ++fails;
@@ -346,7 +379,7 @@ std::size_t MeasurementScheduler::execute(const Pick& pick) {
                    static_cast<std::uint64_t>(cfg_.requeue_backoff_cap));
     return spent;
   }
-  if (out.infra_failure) ++degradation_.infra_failures;
+  if (out.infra_failure) ctr_infra_failures_.add();
   if (!requeued_.empty()) requeued_.erase(key);
 
   pm_->record(pick.i, pick.j, choice, out.informative);

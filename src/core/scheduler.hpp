@@ -14,6 +14,7 @@
 
 #include "core/measurement_system.hpp"
 #include "core/probability.hpp"
+#include "util/telemetry.hpp"
 
 namespace metas::core {
 
@@ -69,7 +70,10 @@ struct BatchResult {
 /// Graceful-degradation summary of a measurement campaign at one metro:
 /// what fill was achieved against the target, and what the infrastructure
 /// cost along the way.  Counters accumulate over the scheduler's lifetime;
-/// fill statistics describe the most recent fill_rows_to call.
+/// fill statistics describe the most recent fill_rows_to call.  The counter
+/// fields are materialized from the process-wide telemetry registry
+/// (`scheduler.*` counters) when a campaign finishes -- the registry is the
+/// single source of truth for this accounting (DESIGN.md §8).
 struct DegradationReport {
   int fill_target = 0;             // per-row target of the last campaign
   std::size_t rows = 0;
@@ -133,6 +137,21 @@ class MeasurementScheduler {
   std::vector<std::pair<double, std::uint64_t>> greedy_order_;  // lazy, desc
   std::size_t greedy_cursor_ = 0;
   std::unordered_set<std::uint64_t> attempted_;  // greedy/random de-dup
+
+  // Degradation accounting lives in registry-owned counters (product
+  // behaviour: built in telemetry-disabled configurations too).  Baselines
+  // captured at construction make the per-scheduler report exact when
+  // several schedulers run in one process.
+  util::telemetry::Counter& ctr_probes_launched_;
+  util::telemetry::Counter& ctr_probes_faulted_;
+  util::telemetry::Counter& ctr_retries_;
+  util::telemetry::Counter& ctr_infra_failures_;
+  util::telemetry::Counter& ctr_requeues_;
+  std::uint64_t base_probes_launched_ = 0;
+  std::uint64_t base_probes_faulted_ = 0;
+  std::uint64_t base_retries_ = 0;
+  std::uint64_t base_infra_failures_ = 0;
+  std::uint64_t base_requeues_ = 0;
 
   DegradationReport degradation_;
   std::uint64_t sched_tick_ = 0;  // one per batch slot processed

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/contracts.hpp"
+#include "util/telemetry.hpp"
 
 namespace metas::traceroute {
 
@@ -64,6 +65,7 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
   res.src_as = vp.as;
   res.src_metro = vp.metro;
   res.dst_as = tgt.as;
+  MAC_COUNT("traceroute.probes_attempted");
 
   // Infrastructure layer first: an offline or throttled VP never launches
   // (no budget spent); a lost probe launches and times out (budget spent).
@@ -73,15 +75,26 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
     ProbeStatus st = faults_->pre_probe(vp.id, vp.metro);
     if (st != ProbeStatus::kOk) {
       ++faulted_;
-      if (st == ProbeStatus::kLost) ++issued_;
+      MAC_COUNT("traceroute.probes_faulted");
+      if (st == ProbeStatus::kLost) {
+        ++issued_;
+        MAC_COUNT("traceroute.probes_lost");
+      } else {
+        // kVpDown / kRateLimited: blocked before launch.
+        MAC_COUNT("traceroute.probes_blocked");
+      }
       res.status = st;
       return res;
     }
   }
   ++issued_;
+  MAC_COUNT("traceroute.probes_issued");
 
   auto path = routing_.path(vp.as, tgt.as);
-  if (path.empty()) return res;  // unreachable: no hops at all
+  if (path.empty()) {
+    MAC_COUNT("traceroute.paths_unreachable");
+    return res;  // unreachable: no hops at all
+  }
 
   MetroId current = vp.metro;
   Hop first;
@@ -129,6 +142,13 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
     res.hops.push_back(hop);
   }
   res.reached = res.hops.back().responsive;
+  MAC_HISTOGRAM("traceroute.path_length", res.hops.size());
+  if constexpr (util::telemetry::compiled()) {
+    std::size_t unresponsive = 0;
+    for (const Hop& h : res.hops)
+      if (!h.responsive) ++unresponsive;
+    MAC_COUNT_N("traceroute.hops_unresponsive", unresponsive);
+  }
 #if METASCRITIC_CONTRACTS
   // Hop monotonicity: hops mirror the BGP path one-to-one, starting at the
   // VP and ending at the target, with no repeated AS (paths are loop-free).

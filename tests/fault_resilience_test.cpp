@@ -33,8 +33,9 @@ void expect_bit_identical(const core::PipelineResult& r1,
   for (std::size_t i = 0; i < e1.size(); ++i)
     for (std::size_t j = 0; j < e1.size(); ++j) {
       ASSERT_EQ(e1.filled(i, j), e2.filled(i, j)) << i << "," << j;
-      if (e1.filled(i, j))
+      if (e1.filled(i, j)) {
         ASSERT_EQ(e1.value(i, j), e2.value(i, j)) << i << "," << j;
+      }
     }
   ASSERT_EQ(r1.ratings.rows(), r2.ratings.rows());
   for (std::size_t i = 0; i < r1.ratings.rows(); ++i)
@@ -108,7 +109,9 @@ TEST(FaultResilienceTest, InfraFailuresNeverGiveUpRows) {
   for (const core::IssuedRecord& rec : sched.history()) {
     // Every probe that launched was lost, so any record that attempted
     // anything must be an infra failure; none may claim information.
-    if (rec.attempts > 0) EXPECT_TRUE(rec.infra_failure);
+    if (rec.attempts > 0) {
+      EXPECT_TRUE(rec.infra_failure);
+    }
     EXPECT_FALSE(rec.informative);
     if (rec.infra_failure) ++infra_records;
   }

@@ -1,0 +1,59 @@
+// Compiled with METASCRITIC_TELEMETRY_ENABLED=0 (see tests/CMakeLists.txt):
+// proves the MAC_* telemetry macros compile out completely -- no argument
+// evaluation, no registry traffic -- so the zero-overhead claim is checkable.
+#include <gtest/gtest.h>
+
+#include "util/telemetry.hpp"
+
+#if METASCRITIC_TELEMETRY_ENABLED
+#error "telemetry_disabled_test must be compiled with telemetry off"
+#endif
+
+namespace metas {
+namespace {
+
+namespace tel = util::telemetry;
+
+TEST(TelemetryDisabled, CompiledReportsFalse) {
+  EXPECT_FALSE(tel::compiled());
+}
+
+TEST(TelemetryDisabled, MacrosDoNotEvaluateArguments) {
+  int evaluations = 0;
+  auto probe = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  MAC_COUNT("disabled.count");
+  MAC_COUNT_N("disabled.count_n", probe());
+  MAC_GAUGE_SET("disabled.gauge", probe());
+  MAC_HISTOGRAM("disabled.histo", probe());
+  MAC_SPAN("disabled.span");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(TelemetryDisabled, MacrosRegisterNothing) {
+  tel::Registry& reg = tel::Registry::instance();
+  std::size_t before = reg.metric_count();
+  MAC_COUNT("disabled.never_registered");
+  MAC_GAUGE_SET("disabled.never_registered_g", 1.0);
+  MAC_HISTOGRAM("disabled.never_registered_h", 1.0);
+  { MAC_SPAN("disabled.never_registered_span"); }
+  EXPECT_EQ(reg.metric_count(), before);
+  for (const auto& s : reg.spans())
+    EXPECT_NE(s.name, "disabled.never_registered_span");
+}
+
+TEST(TelemetryDisabled, RegistryCoreStillWorks) {
+  // The library core stays functional in disabled builds: the scheduler's
+  // DegradationReport accounting uses direct Counter handles, and the CLI
+  // --telemetry sink still exports whatever the core recorded.
+  tel::Registry reg;
+  tel::Counter& c = reg.counter("disabled.core");
+  c.add(5);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(reg.metric_count(), 1u);
+}
+
+}  // namespace
+}  // namespace metas

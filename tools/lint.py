@@ -13,7 +13,12 @@ Enforces the handful of rules the compiler cannot:
   R6  no #include of a .cpp file
   R7  no wall-clock reads (std::chrono::{system,steady,high_resolution}_clock)
       outside bench/ -- simulation time is the probe clock / scheduler ticks,
-      and wall-clock state would break bit-exact reproducibility
+      and wall-clock state would break bit-exact reproducibility.  The one
+      carve-out is src/util/telemetry.{hpp,cpp}: the telemetry layer's
+      injectable-clock shim is where the sanctioned steady-clock read lives
+  R8  no direct std::chrono use anywhere else under src/ -- instrumented
+      code must go through the telemetry clock (util/telemetry.hpp), so the
+      deterministic tick clock can stand in for real time in tests
 
 Usage:
   tools/lint.py [--clang-tidy [BUILD_DIR]] [PATHS...]
@@ -83,11 +88,29 @@ LINE_RULES = [
         re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"),
         "wall-clock time outside bench/: use the probe clock / scheduler ticks",
     ),
+    (
+        "chrono-direct",
+        re.compile(r"\bstd::chrono\b"),
+        "direct std::chrono in instrumented code: go through the telemetry "
+        "clock (util/telemetry.hpp), which tests can replace deterministically",
+    ),
 ]
 
 # Rules that only apply outside the listed top-level directories (relative to
 # the repo root).  Benchmarks legitimately time themselves with wall clocks.
 RULE_EXEMPT_DIRS = {"wall-clock": {"bench"}}
+
+# Rules that only apply inside the listed top-level directories.  Tests and
+# benches may use std::chrono freely; first-party src/ must route through the
+# telemetry clock so time stays injectable.
+RULE_ONLY_DIRS = {"chrono-direct": {"src"}}
+
+# Per-file carve-outs (paths relative to the repo root).  The telemetry
+# layer's injectable-clock shim is the one sanctioned wall-clock read in src/.
+RULE_EXEMPT_FILES = {
+    "wall-clock": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
+    "chrono-direct": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
+}
 
 HEADER_USING_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
 
@@ -147,9 +170,12 @@ class Linter:
         lines = text.splitlines()
         is_header = path.suffix in HEADER_SUFFIXES
         try:
-            rel_parts = set(path.resolve().relative_to(REPO_ROOT).parts[:-1])
+            rel = path.resolve().relative_to(REPO_ROOT)
+            rel_parts = set(rel.parts[:-1])
+            rel_str = rel.as_posix()
         except ValueError:
             rel_parts = set()
+            rel_str = path.as_posix()
 
         if is_header:
             self._check_pragma_once(path, lines)
@@ -164,6 +190,11 @@ class Linter:
                 if rule in allowed:
                     continue
                 if rel_parts & RULE_EXEMPT_DIRS.get(rule, set()):
+                    continue
+                only = RULE_ONLY_DIRS.get(rule)
+                if only is not None and not (rel_parts & only):
+                    continue
+                if rel_str in RULE_EXEMPT_FILES.get(rule, set()):
                     continue
                 if pattern.search(code):
                     self.report(path, lineno, rule, message)

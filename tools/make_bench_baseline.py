@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Build BENCH_telemetry.json: the perf-trajectory baseline for this repo.
+
+Usage:
+  tools/make_bench_baseline.py BENCHMARK.json TELEMETRY.json [-o OUT]
+
+BENCHMARK.json is bench/perf_micro's `--benchmark_format=json` output;
+TELEMETRY.json is the snapshot perf_micro writes when METAS_TELEMETRY_OUT is
+set.  The merged baseline keeps, per benchmark, the median cpu_time and the
+items-per-second throughput, plus the telemetry counters accumulated across
+the run -- enough for future PRs to diff against without storing the full
+(machine-dependent) benchmark dump.
+
+The output is deliberately coarse: absolute nanoseconds vary by machine, so
+the baseline records them for trend context only.  The enforced gate is the
+*relative* enabled-vs-disabled overhead (tools/check_overhead.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", help="google-benchmark JSON output")
+    parser.add_argument("telemetry", help="telemetry snapshot JSON")
+    parser.add_argument("-o", "--out", default="BENCH_telemetry.json")
+    args = parser.parse_args(argv)
+
+    with open(args.benchmark, encoding="utf-8") as f:
+        bench = json.load(f)
+    with open(args.telemetry, encoding="utf-8") as f:
+        telemetry = json.load(f)
+
+    samples: dict[str, dict[str, list[float]]] = {}
+    for b in bench.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("run_name", b.get("name", ""))
+        entry = samples.setdefault(name, {"cpu_time": [], "items_per_second": []})
+        entry["cpu_time"].append(float(b["cpu_time"]))
+        if "items_per_second" in b:
+            entry["items_per_second"].append(float(b["items_per_second"]))
+
+    out = {
+        "baseline_version": 1,
+        "context": {
+            k: bench.get("context", {}).get(k)
+            for k in ("host_name", "num_cpus", "mhz_per_cpu", "library_version")
+        },
+        "benchmarks": {
+            name: {
+                "median_cpu_time_ns": statistics.median(v["cpu_time"]),
+                **({"median_items_per_second":
+                        statistics.median(v["items_per_second"])}
+                   if v["items_per_second"] else {}),
+            }
+            for name, v in sorted(samples.items())
+        },
+        "telemetry_counters": telemetry.get("counters", {}),
+        "telemetry_histograms": {
+            name: {"count": h.get("count"), "sum": h.get("sum")}
+            for name, h in telemetry.get("histograms", {}).items()
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out} ({len(out['benchmarks'])} benchmarks, "
+          f"{len(out['telemetry_counters'])} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,6 +11,9 @@
 // <metro>_measurements.csv, and prints a summary table. With a non-trivial
 // fault profile the summary also reports how the measurement plane degraded
 // (row fill achieved, probes lost to faults, retries, quarantined VPs).
+// With --telemetry PATH a snapshot of the process-wide metrics registry
+// (counters, gauges, histograms, span tree; see DESIGN.md §8) is written
+// after the run in JSON (default) or flat CSV.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -20,6 +23,7 @@
 #include "eval/metrics.hpp"
 #include "eval/world.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 
 namespace {
 
@@ -33,6 +37,9 @@ struct CliOptions {
   bool quiet = false;
   metas::traceroute::FaultProfile faults;  // default: none (inert)
   bool resilience = true;
+  std::string telemetry_path;  // empty = no snapshot
+  metas::util::telemetry::Format telemetry_format =
+      metas::util::telemetry::Format::kJson;
 };
 
 void usage() {
@@ -40,7 +47,8 @@ void usage() {
       "usage: metascritic_cli [--seed N] [--metro NAME | --all-metros]\n"
       "                       [--scale small|paper] [--threshold X|auto]\n"
       "                       [--out DIR] [--quiet]\n"
-      "                       [--fault-profile none|flaky|storm] [--no-resilience]\n";
+      "                       [--fault-profile none|flaky|storm] [--no-resilience]\n"
+      "                       [--telemetry PATH] [--telemetry-format json|csv]\n";
 }
 
 bool parse_args(int argc, char** argv, CliOptions& opt) {
@@ -75,6 +83,20 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
     } else if (arg == "--fault-profile") {
       const char* v = next();
       if (v == nullptr || !metas::traceroute::parse_fault_profile(v, opt.faults))
+        return false;
+    } else if (arg == "--telemetry") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.telemetry_path = v;
+    } else if (arg == "--telemetry-format") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::string fmt = v;
+      if (fmt == "json")
+        opt.telemetry_format = metas::util::telemetry::Format::kJson;
+      else if (fmt == "csv")
+        opt.telemetry_format = metas::util::telemetry::Format::kCsv;
+      else
         return false;
     } else if (arg == "--no-resilience") {
       opt.resilience = false;
@@ -192,5 +214,19 @@ int main(int argc, char** argv) {
   }
   if (!opt.quiet)
     std::cout << "CSV outputs written under " << opt.out_dir << "/\n";
+  if (!opt.telemetry_path.empty()) {
+    if (!util::telemetry::write_snapshot(opt.telemetry_path,
+                                         opt.telemetry_format)) {
+      std::cerr << "error: cannot write telemetry snapshot to '"
+                << opt.telemetry_path << "'\n";
+      return 1;
+    }
+    if (!opt.quiet) {
+      std::cout << "telemetry snapshot written to " << opt.telemetry_path;
+      if (!util::telemetry::compiled())
+        std::cout << " (instrumentation compiled out: core counters only)";
+      std::cout << "\n";
+    }
+  }
   return 0;
 }
