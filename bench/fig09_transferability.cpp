@@ -11,7 +11,7 @@ int main() {
   eval::World w = eval::build_world(bench::bench_world_config());
 
   std::vector<double> fractions;
-  for (const auto& [key, li] : w.net.links) {
+  for (const auto& [key, li] : w.net.link_map) {
     auto a = static_cast<topology::AsId>(key & 0xffffffffULL);
     auto b = static_cast<topology::AsId>(key >> 32);
     const auto& fa = w.net.ases[static_cast<std::size_t>(a)].footprint;

@@ -43,8 +43,12 @@ AsGraph AsGraph::from_internet(const topology::Internet& net) {
   AsGraph g(net.num_ases());
   for (std::size_t i = 0; i < net.num_ases(); ++i)
     for (AsId p : net.providers[i]) g.add_c2p(static_cast<AsId>(i), p);
-  for (const auto& [key, li] : net.links) {
-    if (li.rel != topology::Relationship::kPeerToPeer) continue;
+  // Sorted-key traversal (R10): add_peer appends to adjacency lists, and
+  // routing tie-breaks may read them in order -- unordered traversal would
+  // leak hash-map layout into path selection.
+  for (std::uint64_t key : net.sorted_link_keys()) {
+    if (net.link_map.at(key).rel != topology::Relationship::kPeerToPeer)
+      continue;
     AsId a = static_cast<AsId>(key & 0xffffffffULL);
     AsId b = static_cast<AsId>(key >> 32);
     g.add_peer(a, b);

@@ -37,6 +37,15 @@ bool EvidenceStore::transit_at(AsId a, AsId b, MetroId m) const {
   return ev != nullptr && ev->transit.count(m) != 0;
 }
 
+std::vector<std::uint64_t> EvidenceStore::sorted_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(pairs_.size());
+  for (const auto& [key, ev] : pairs_)  // lint: allow(unordered-iter) -- key harvest only; sorted below before any consumer sees it
+    keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 EstimatedMatrix build_estimated_matrix(
     const MetroContext& ctx, const EvidenceStore& evidence,
     const traceroute::ConsistencyTracker& consistency) {
@@ -50,7 +59,10 @@ EstimatedMatrix build_estimated_matrix(
     consistent[static_cast<std::size_t>(g)] =
         consistency.consistent_set(static_cast<GeoScope>(g), ctx.ases());
 
-  for (const auto& [key, ev] : evidence.all()) {
+  // Sorted-key traversal (R10): e.set writes are per-pair independent, but
+  // ordered traversal keeps the fill deterministic by construction.
+  for (std::uint64_t key : evidence.sorted_keys()) {
+    const PairEvidence& ev = evidence.all().at(key);
     AsId a = static_cast<AsId>(key & 0xffffffffULL);
     AsId b = static_cast<AsId>(key >> 32);
     int ia = ctx.local(a), ib = ctx.local(b);

@@ -10,6 +10,7 @@
 
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "core/estimated_matrix.hpp"
 #include "core/metro_context.hpp"
@@ -44,6 +45,11 @@ class EvidenceStore {
   const std::unordered_map<std::uint64_t, PairEvidence>& all() const {
     return pairs_;
   }
+
+  /// Pair keys in ascending order: the sanctioned way to traverse `all()`,
+  /// so no consumer depends on unordered iteration order (tools/lint.py
+  /// R10).  O(P log P); cache the result when looping.
+  std::vector<std::uint64_t> sorted_keys() const;
 
  private:
   std::unordered_map<std::uint64_t, PairEvidence> pairs_;

@@ -110,7 +110,7 @@ std::size_t MeasurementSystem::quarantined_vps() const {
   const traceroute::FaultInjector* inj = engine_->fault_injector();
   if (inj == nullptr || vp_health_.empty()) return 0;
   std::size_t n = 0;
-  for (const auto& [id, h] : vp_health_)
+  for (const auto& [id, h] : vp_health_)  // lint: allow(unordered-iter) -- integer count over disjoint entries; order cannot leak
     if (h.blocked_until > health_clock_ && !inj->dead(id)) ++n;
   return n;
 }

@@ -8,8 +8,11 @@ bgp::AsGraph build_public_graph(const World& w) {
   bgp::AsGraph g(w.net.num_ases());
   for (std::size_t i = 0; i < w.net.num_ases(); ++i)
     for (AsId p : w.net.providers[i]) g.add_c2p(static_cast<AsId>(i), p);
-  for (const auto& [key, li] : w.net.links) {
-    if (li.rel != topology::Relationship::kPeerToPeer) continue;
+  // Sorted-key traversal (R10): adjacency-list order feeds routing
+  // tie-breaks downstream; unordered traversal would leak hash-map layout.
+  for (std::uint64_t key : w.net.sorted_link_keys()) {
+    if (w.net.link_map.at(key).rel != topology::Relationship::kPeerToPeer)
+      continue;
     AsId a = static_cast<AsId>(key & 0xffffffffULL);
     AsId b = static_cast<AsId>(key >> 32);
     if (w.public_view.contains(a, b)) g.add_peer(a, b);
@@ -20,7 +23,8 @@ bgp::AsGraph build_public_graph(const World& w) {
 std::size_t add_measured_links(bgp::AsGraph& g, const World& w,
                                const core::MetroContext& ctx) {
   std::size_t added = 0;
-  for (const auto& [key, ev] : w.ms->evidence().all()) {
+  for (std::uint64_t key : w.ms->evidence().sorted_keys()) {
+    const core::PairEvidence& ev = w.ms->evidence().all().at(key);
     if (ev.direct.empty()) continue;
     AsId a = static_cast<AsId>(key & 0xffffffffULL);
     AsId b = static_cast<AsId>(key >> 32);

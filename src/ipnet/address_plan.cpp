@@ -64,7 +64,7 @@ AddressPlan::AddressPlan(const topology::Internet& net, util::Rng& rng) {
            ".as" + std::to_string(owner.id) + ".example.net";
   };
 
-  for (const auto& [key, li] : net.links) {
+  for (const auto& [key, li] : net.link_map) {  // lint: allow(unordered-iter) -- rng stream is pinned to legacy traversal order; per-link derived seeds land with the parallelism PR
     AsId a = static_cast<AsId>(key & 0xffffffffULL);
     AsId b = static_cast<AsId>(key >> 32);
     // Numbering side: provider for c2p, lower id for peers.

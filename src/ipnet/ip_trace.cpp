@@ -80,9 +80,13 @@ AsId BorderMapper::map(Ip ip) const {
   if (it != votes_.end()) {
     AsId best = kInvalidAs;
     int best_votes = 0, total = 0;
+    // Lowest-AS tie-break keeps the argmax independent of hash-map order.
+    // Behavior-neutral: a tied winner can hold at most half the votes, so
+    // it always fails the strict-majority test below regardless of which
+    // tied AS is picked.
     for (const auto& [as, v] : it->second) {
       total += v;
-      if (v > best_votes) {
+      if (v > best_votes || (v == best_votes && as < best)) {
         best_votes = v;
         best = as;
       }

@@ -253,13 +253,13 @@ Internet generate_internet(const GeneratorConfig& cfg) {
   // During generation, link metros accumulate unsorted; sorted at the end.
   auto add_link = [&](AsId a, AsId b, Relationship rel,
                       std::vector<MetroId> where) {
-    LinkInfo& li = net.links[pair_key(a, b)];
+    LinkInfo& li = net.link_map[pair_key(a, b)];
     li.rel = rel;
     for (MetroId m : where) li.metros.push_back(m);
   };
   auto add_link_metro = [&](AsId a, AsId b, MetroId m) {
-    auto it = net.links.find(pair_key(a, b));
-    if (it == net.links.end()) {
+    auto it = net.link_map.find(pair_key(a, b));
+    if (it == net.link_map.end()) {
       add_link(a, b, Relationship::kPeerToPeer, {m});
       net.peers[a].push_back(b);
       net.peers[b].push_back(a);
@@ -379,7 +379,7 @@ Internet generate_internet(const GeneratorConfig& cfg) {
   for (AsId i = 0; i < N; ++i) {
     for (AsId j = i + 1; j < N; ++j) {
       if ((fmask[i] & fmask[j]) == 0) continue;
-      if (net.links.count(pair_key(i, j)) != 0) continue;
+      if (net.link_map.count(pair_key(i, j)) != 0) continue;
       const AsNode& a = net.ases[i];
       const AsNode& b = net.ases[j];
       double s = pair_score(a, b, cfg.num_continents) +
@@ -440,7 +440,12 @@ Internet generate_internet(const GeneratorConfig& cfg) {
   }
 
   // ---- Normalize links, fill metro membership, build truth ---------------
-  for (auto& [key, li] : net.links) {
+  // Sorted-key traversal (R10): both loops below are per-entry independent,
+  // but ordered traversal keeps them trivially safe to parallelize or to
+  // grow output-affecting logic later.
+  const std::vector<std::uint64_t> link_keys = net.sorted_link_keys();
+  for (std::uint64_t key : link_keys) {
+    LinkInfo& li = net.link_map.at(key);
     std::sort(li.metros.begin(), li.metros.end());
     li.metros.erase(std::unique(li.metros.begin(), li.metros.end()),
                     li.metros.end());
@@ -452,7 +457,8 @@ Internet generate_internet(const GeneratorConfig& cfg) {
   net.truth.reserve(M);
   for (int m = 0; m < M; ++m)
     net.truth.emplace_back(static_cast<MetroId>(m), net.metros[m].ases);
-  for (const auto& [key, li] : net.links) {
+  for (std::uint64_t key : link_keys) {
+    const LinkInfo& li = net.link_map.at(key);
     AsId a = static_cast<AsId>(key & 0xffffffffULL);
     AsId b = static_cast<AsId>(key >> 32);
     for (MetroId m : li.metros) {

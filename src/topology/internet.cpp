@@ -98,8 +98,17 @@ std::size_t MetroTruth::link_count() const {
 }
 
 const LinkInfo* Internet::find_link(AsId a, AsId b) const {
-  auto it = links.find(pair_key(a, b));
-  return it == links.end() ? nullptr : &it->second;
+  auto it = link_map.find(pair_key(a, b));
+  return it == link_map.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint64_t> Internet::sorted_link_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(link_map.size());
+  for (const auto& [key, li] : link_map)  // lint: allow(unordered-iter) -- key harvest only; sorted below before any consumer sees it
+    keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 bool Internet::linked_at(AsId a, AsId b, MetroId m) const {

@@ -83,7 +83,7 @@ struct Internet {
   std::vector<std::vector<AsId>> peers;      // peers[i], union over metros
 
   // All links keyed by unordered pair.
-  std::unordered_map<std::uint64_t, LinkInfo> links;
+  std::unordered_map<std::uint64_t, LinkInfo> link_map;
 
   // Customer cones (sorted AS id lists, including the AS itself).
   std::vector<std::vector<AsId>> cones;
@@ -96,6 +96,11 @@ struct Internet {
   const LinkInfo* find_link(AsId a, AsId b) const;
   bool linked(AsId a, AsId b) const { return find_link(a, b) != nullptr; }
   bool linked_at(AsId a, AsId b, MetroId m) const;
+
+  /// Link-map keys in ascending order: the sanctioned way to traverse
+  /// `link_map`, so no consumer depends on unordered iteration order
+  /// (tools/lint.py R10).  O(E log E); cache the result when looping.
+  std::vector<std::uint64_t> sorted_link_keys() const;
 
   /// True if `member` is in the customer cone of `owner` (cones include self).
   bool in_cone(AsId owner, AsId member) const;

@@ -42,9 +42,19 @@ std::vector<bool> ConsistencyTracker::consistent_set(
   for (std::size_t i = 0; i < universe.size(); ++i)
     pos[universe[i]] = static_cast<int>(i);
 
+  // Sorted-key traversal (R10): the greedy elimination below breaks count
+  // ties by universe index, so it is order-independent today -- ordered
+  // traversal keeps that property structural rather than incidental.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(pair_data_.size());
+  for (const auto& [key, ev] : pair_data_)  // lint: allow(unordered-iter) -- key harvest only; sorted below before any consumer sees it
+    keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
   struct Pair { int a, b; };
   std::vector<Pair> bad;
-  for (const auto& [key, ev] : pair_data_) {
+  for (std::uint64_t key : keys) {
+    const PairEvidence& ev = pair_data_.at(key);
     AsId a = static_cast<AsId>(key & 0xffffffffULL);
     AsId b = static_cast<AsId>(key >> 32);
     auto ia = pos.find(a);

@@ -1,0 +1,72 @@
+// Thread-safety annotation macros: Clang capability analysis, spelled MAC_*.
+//
+// The parallelism roadmap (work-stealing ALS, per-metro pipelines, BGP table
+// fills) hinges on the paper's bit-exact reproducibility claim surviving
+// threads.  TSan finds races dynamically, on the interleavings a test run
+// happens to hit; Clang's `-Wthread-safety` capability analysis proves lock
+// discipline statically, on every path, at compile time.  These macros
+// expand to the Clang thread-safety attributes under Clang and to nothing
+// elsewhere (GCC builds are unaffected), so annotations are free to add and
+// the `thread-safety` CMake preset turns them into hard errors.
+//
+// Annotate with:
+//   MAC_GUARDED_BY(mu)   on a member: reads/writes require holding `mu`
+//   MAC_REQUIRES(mu)     on a method: caller must already hold `mu`
+//   MAC_ACQUIRE(mu)      on a method: acquires `mu` (held on return)
+//   MAC_RELEASE(mu)      on a method: releases `mu`
+//   MAC_EXCLUDES(mu)     on a method: caller must NOT hold `mu` (deadlock
+//                        guard for methods that lock internally)
+//   MAC_NO_THREAD_SAFETY_ANALYSIS  escape hatch; every use must carry a
+//                        comment saying why the analysis cannot see the
+//                        invariant (see DESIGN.md §9)
+//
+// The only sanctioned capability holders are the wrappers in util/sync.hpp
+// (`Mutex`, `LockGuard`, `CondVar`); raw std primitives in src/ are rejected
+// by tools/lint.py rule R9.
+#pragma once
+
+#if defined(__clang__)
+#define MAC_TSA_(x) __attribute__((x))
+#else
+#define MAC_TSA_(x)
+#endif
+
+/// Declares a type to be a capability (lockable).  Usage:
+///   class MAC_CAPABILITY("mutex") Mutex { ... };
+#define MAC_CAPABILITY(x) MAC_TSA_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (LockGuard).
+#define MAC_SCOPED_CAPABILITY MAC_TSA_(scoped_lockable)
+
+/// Data member may only be touched while holding the given capability.
+#define MAC_GUARDED_BY(x) MAC_TSA_(guarded_by(x))
+
+/// Pointer member: the pointed-to data (not the pointer) is guarded.
+#define MAC_PT_GUARDED_BY(x) MAC_TSA_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define MAC_REQUIRES(...) MAC_TSA_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities; they are held on return.
+#define MAC_ACQUIRE(...) MAC_TSA_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define MAC_RELEASE(...) MAC_TSA_(release_capability(__VA_ARGS__))
+
+/// Function may acquire the capability; returns `ret` on success.
+#define MAC_TRY_ACQUIRE(ret, ...) \
+  MAC_TSA_(try_acquire_capability(ret __VA_OPT__(, ) __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (the function acquires them
+/// itself); prevents self-deadlock on non-recursive mutexes.
+#define MAC_EXCLUDES(...) MAC_TSA_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (accessor pattern).
+#define MAC_RETURN_CAPABILITY(x) MAC_TSA_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.  Reserve for code
+/// the analysis cannot model (init/teardown known single-threaded, lock
+/// juggling across call boundaries) and say why at the use site.
+#define MAC_NO_THREAD_SAFETY_ANALYSIS MAC_TSA_(no_thread_safety_analysis)

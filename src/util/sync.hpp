@@ -1,0 +1,87 @@
+// Annotated synchronization primitives: the only sanctioned lock types in
+// src/ (tools/lint.py rule R9 rejects raw std::mutex / std::lock_guard /
+// std::condition_variable / std::thread / std::async elsewhere).
+//
+// Wrapping std primitives buys two things:
+//   1. Clang `-Wthread-safety` capability analysis: `Mutex` is a
+//      MAC_CAPABILITY, so the compiler statically checks that every
+//      MAC_GUARDED_BY member access and MAC_REQUIRES method call happens
+//      under the right lock, on every path (the `thread-safety` preset makes
+//      violations hard errors).
+//   2. One choke point for the coming deterministic thread pool: when
+//      work-stealing lands, blocking primitives gain instrumentation and
+//      deadlock-ordering checks here, not at N call sites.
+//
+// The wrappers are zero-cost: each is exactly its std counterpart plus
+// attributes that compile to nothing under GCC.  See DESIGN.md §9 for the
+// annotation conventions.
+#pragma once
+
+#include <condition_variable>  // lint: allow(raw-sync) -- the sanctioned wrapper
+#include <mutex>               // lint: allow(raw-sync) -- the sanctioned wrapper
+
+#include "util/annotations.hpp"
+
+namespace metas::util {
+
+/// Mutual-exclusion capability.  Prefer `LockGuard` over manual
+/// lock()/unlock(); the manual methods exist for the analysis-visible
+/// acquire/release points and for CondVar's wait protocol.
+class MAC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MAC_ACQUIRE() { mu_.lock(); }  // lint: allow(raw-sync) -- wrapper body
+  void unlock() MAC_RELEASE() { mu_.unlock(); }
+  bool try_lock() MAC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // lint: allow(raw-sync) -- the one wrapped std::mutex
+};
+
+/// RAII scoped lock of a `Mutex` (std::lock_guard analogue).  The analysis
+/// treats the guarded region as the guard's lexical scope.
+class MAC_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) MAC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() MAC_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to `Mutex`.  Callers must hold the mutex across
+/// wait() (enforced by MAC_REQUIRES); spurious wakeups are possible, so
+/// prefer the predicate overload.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks; `mu` is re-held on return.
+  void wait(Mutex& mu) MAC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);  // lint: allow(raw-sync) -- wrapper body
+    cv_.wait(lk);
+    lk.release();  // ownership stays with the caller's LockGuard
+  }
+
+  /// Waits until `pred()` holds (absorbs spurious wakeups).
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) MAC_REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // lint: allow(raw-sync) -- the one wrapped condvar
+};
+
+}  // namespace metas::util

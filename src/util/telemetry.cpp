@@ -149,7 +149,7 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = counter_index_.find(name);
   if (it != counter_index_.end()) return *it->second;
   Counter& c = counters_.emplace_back();
@@ -158,7 +158,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = gauge_index_.find(name);
   if (it != gauge_index_.end()) return *it->second;
   Gauge& g = gauges_.emplace_back();
@@ -167,7 +167,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   auto it = histogram_index_.find(name);
   if (it != histogram_index_.end()) return *it->second;
   Histogram& h = histograms_.emplace_back();
@@ -189,7 +189,7 @@ int Registry::span_begin(std::string_view name) {
     parent = t_span_stack.back().node;
   int node;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     auto key = std::make_pair(parent, std::string(name));
     auto it = span_index_.find(key);
     if (it != span_index_.end()) {
@@ -217,7 +217,7 @@ void Registry::span_end(int node_id) {
              "span_end out of order: node=", node_id, " top=", frame.node);
   std::uint64_t end = now_ns();
   std::uint64_t elapsed = end >= frame.start_ns ? end - frame.start_ns : 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   // The tree may have been reset between begin and end (tests); drop then.
   if (frame.node < 0 || static_cast<std::size_t>(frame.node) >= span_nodes_.size())
     return;
@@ -227,12 +227,12 @@ void Registry::span_end(int node_id) {
 }
 
 std::size_t Registry::metric_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return counter_index_.size() + gauge_index_.size() + histogram_index_.size();
 }
 
 std::vector<std::string> Registry::metric_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<std::string> names;
   names.reserve(counter_index_.size() + gauge_index_.size() +
                 histogram_index_.size());
@@ -244,7 +244,7 @@ std::vector<std::string> Registry::metric_names() const {
 }
 
 std::vector<Registry::SpanSnapshot> Registry::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<SpanSnapshot> out;
   out.reserve(span_nodes_.size());
   for (const SpanNode& n : span_nodes_) {
@@ -259,7 +259,7 @@ std::vector<Registry::SpanSnapshot> Registry::spans() const {
 }
 
 void Registry::reset_values_for_tests() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (Counter& c : counters_) c.v_.store(0, std::memory_order_relaxed);
   for (Gauge& g : gauges_) g.bits_.store(0, std::memory_order_relaxed);
   for (Histogram& h : histograms_) h.reset_values();
@@ -316,7 +316,7 @@ void Registry::write_json(std::ostream& os) const {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, const Histogram*>> histos;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (const auto& [name, c] : counter_index_)
       counters.emplace_back(name, c->value());
     for (const auto& [name, g] : gauge_index_)
@@ -370,7 +370,7 @@ void Registry::write_csv(std::ostream& os) const {
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, const Histogram*>> histos;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     for (const auto& [name, c] : counter_index_)
       counters.emplace_back(name, c->value());
     for (const auto& [name, g] : gauge_index_)

@@ -42,11 +42,13 @@
 #include <deque>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 #ifndef METASCRITIC_TELEMETRY_ENABLED
 #define METASCRITIC_TELEMETRY_ENABLED 1
@@ -151,9 +153,11 @@ class Registry {
   static Registry& instance();
 
   /// Find-or-create by name.  Thread-safe; the returned reference is stable.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  /// (Handles escape the lock deliberately: Counter/Gauge/Histogram values
+  /// are internally atomic, only the name->handle maps are mu_-guarded.)
+  Counter& counter(std::string_view name) MAC_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) MAC_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) MAC_EXCLUDES(mu_);
 
   /// Injects a time source; nullptr restores the real steady clock.
   void set_clock(ClockFn fn);
@@ -162,13 +166,13 @@ class Registry {
   /// Opens a span named `name` under the current thread's innermost open
   /// span (root when none).  Returns the node id; close with span_end.
   /// Prefer the RAII ScopedSpan / MAC_SPAN over calling these directly.
-  int span_begin(std::string_view name);
-  void span_end(int node_id);
+  int span_begin(std::string_view name) MAC_EXCLUDES(mu_);
+  void span_end(int node_id) MAC_EXCLUDES(mu_);
 
   /// Distinct named metrics (counters + gauges + histograms).
-  std::size_t metric_count() const;
+  std::size_t metric_count() const MAC_EXCLUDES(mu_);
   /// Sorted names of all registered metrics.
-  std::vector<std::string> metric_names() const;
+  std::vector<std::string> metric_names() const MAC_EXCLUDES(mu_);
 
   /// Flat copy of the aggregated span tree (parent == -1 for roots), in
   /// creation order.
@@ -178,15 +182,15 @@ class Registry {
     std::uint64_t count = 0;
     std::uint64_t total_ns = 0;
   };
-  std::vector<SpanSnapshot> spans() const;
+  std::vector<SpanSnapshot> spans() const MAC_EXCLUDES(mu_);
 
-  void write_json(std::ostream& os) const;
-  void write_csv(std::ostream& os) const;
+  void write_json(std::ostream& os) const MAC_EXCLUDES(mu_);
+  void write_csv(std::ostream& os) const MAC_EXCLUDES(mu_);
 
   /// Zeroes every metric value and drops the span tree, keeping all metric
   /// names registered: instrumented code caches Counter& handles in static
   /// locals, so named metrics must never be deallocated mid-process.
-  void reset_values_for_tests();
+  void reset_values_for_tests() MAC_EXCLUDES(mu_);
 
  private:
   struct SpanNode {
@@ -196,15 +200,21 @@ class Registry {
     std::atomic<std::uint64_t> total_ns{0};
   };
 
-  mutable std::mutex mu_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::map<std::string, Counter*, std::less<>> counter_index_;
-  std::map<std::string, Gauge*, std::less<>> gauge_index_;
-  std::map<std::string, Histogram*, std::less<>> histogram_index_;
-  std::deque<SpanNode> span_nodes_;
-  std::map<std::pair<int, std::string>, int> span_index_;
+  // mu_ guards the name->handle and (parent,name)->node maps plus the deques
+  // that own metric storage.  Metric *values* (Counter/Gauge/Histogram
+  // internals, SpanNode tallies) are relaxed atomics updated through escaped
+  // references without the lock -- that is the design: registration is rare
+  // and locked, recording is hot and lock-free.
+  mutable Mutex mu_;
+  std::deque<Counter> counters_ MAC_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ MAC_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ MAC_GUARDED_BY(mu_);
+  std::map<std::string, Counter*, std::less<>> counter_index_ MAC_GUARDED_BY(mu_);
+  std::map<std::string, Gauge*, std::less<>> gauge_index_ MAC_GUARDED_BY(mu_);
+  std::map<std::string, Histogram*, std::less<>> histogram_index_
+      MAC_GUARDED_BY(mu_);
+  std::deque<SpanNode> span_nodes_ MAC_GUARDED_BY(mu_);
+  std::map<std::pair<int, std::string>, int> span_index_ MAC_GUARDED_BY(mu_);
   std::atomic<ClockFn> clock_{&steady_now_ns};
 };
 

@@ -110,7 +110,7 @@ TEST(Generator, Tier1CliquePeersGlobally) {
 
 TEST(Generator, LinkMetrosWithinFootprints) {
   Internet net = generate_internet(tiny_config());
-  for (const auto& [key, li] : net.links) {
+  for (const auto& [key, li] : net.link_map) {
     AsId a = static_cast<AsId>(key & 0xffffffffULL);
     AsId b = static_cast<AsId>(key >> 32);
     ASSERT_FALSE(li.metros.empty());
@@ -150,14 +150,14 @@ TEST(Generator, MetroMembershipMatchesFootprints) {
 TEST(Generator, DeterministicUnderSeed) {
   Internet a = generate_internet(tiny_config(5));
   Internet b = generate_internet(tiny_config(5));
-  ASSERT_EQ(a.links.size(), b.links.size());
-  for (const auto& [key, li] : a.links) {
-    auto it = b.links.find(key);
-    ASSERT_NE(it, b.links.end());
+  ASSERT_EQ(a.link_map.size(), b.link_map.size());
+  for (const auto& [key, li] : a.link_map) {
+    auto it = b.link_map.find(key);
+    ASSERT_NE(it, b.link_map.end());
     EXPECT_EQ(li.metros, it->second.metros);
   }
   Internet c = generate_internet(tiny_config(6));
-  EXPECT_NE(a.links.size(), c.links.size());
+  EXPECT_NE(a.link_map.size(), c.link_map.size());
 }
 
 TEST(Generator, FocusMetrosAreLarger) {

@@ -55,7 +55,7 @@ std::unique_ptr<AddressPlan> IpnetWorldTest::plan_;
 
 TEST_F(IpnetWorldTest, EveryLinkSideHasAnInterface) {
   const auto& net = testing::shared_world().net;
-  for (const auto& [key, li] : net.links) {
+  for (const auto& [key, li] : net.link_map) {
     auto a = static_cast<topology::AsId>(key & 0xffffffffULL);
     auto b = static_cast<topology::AsId>(key >> 32);
     for (auto m : li.metros) {
@@ -82,7 +82,7 @@ TEST_F(IpnetWorldTest, AnnouncedSpaceCoversHostsAndP2p) {
   // Point-to-point interfaces resolve to the *numbering* side -- the
   // misattribution bdrmapit corrects.
   std::size_t borders = 0, misattributed = 0;
-  for (const auto& [key, li] : net.links) {
+  for (const auto& [key, li] : net.link_map) {
     auto a = static_cast<topology::AsId>(key & 0xffffffffULL);
     auto b = static_cast<topology::AsId>(key >> 32);
     for (auto m : li.metros) {

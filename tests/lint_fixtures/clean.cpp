@@ -1,0 +1,24 @@
+// Negative fixture for tests/lint_selftest.py: a file every rule must pass
+// even under --pretend-dir src.  The self-test asserts the linter exits 0
+// on this file alone.
+#include <map>
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace fixture {
+
+constexpr int kAnswer = 42;
+
+int sum_sorted(const std::map<int, int>& table) {
+  int total = 0;
+  for (const auto& [k, v] : table) total += v;
+  return total;
+}
+
+void guarded_increment(metas::util::Mutex& mu, int& value) {
+  metas::util::LockGuard hold(mu);
+  value += kAnswer;
+}
+
+}  // namespace fixture

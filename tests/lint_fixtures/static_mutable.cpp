@@ -1,0 +1,24 @@
+// R11 (static-mutable) fixture for tests/lint_selftest.py.  Never compiled;
+// the linter treats it as if it lived under src/ (--pretend-dir src).
+// Lines tagged `// expect-lint: <rule>` must be flagged; untagged lines
+// must not.
+namespace fixture {
+
+static int counter = 0;         // expect-lint: static-mutable
+inline int leaked = 0;          // expect-lint: static-mutable
+thread_local int tls_scratch;   // expect-lint: static-mutable
+
+static const int kLimit = 8;           // const: clean
+static constexpr double kScale = 2.0;  // constexpr: clean
+
+static int pure_helper(int x);                  // function decl: clean
+inline int add(int a, int b) { return a + b; }  // function def: clean
+
+void f() {
+  static int call_count = 0;  // expect-lint: static-mutable
+  (void)call_count;
+}
+
+static int opted_out = 0;  // lint: allow(static-mutable)
+
+}  // namespace fixture

@@ -1,0 +1,70 @@
+// R10 (unordered-iter) fixture for tests/lint_selftest.py.  Never compiled;
+// the linter treats it as if it lived under src/ (--pretend-dir src).
+// Lines tagged `// expect-lint: <rule>` must be flagged; untagged lines
+// must not.
+//
+// The dotted-access and accessor-call cases intentionally reuse names
+// declared with unordered types in real src/ headers (`link_map` from
+// topology/internet.hpp, `all` from core/evidence.hpp): they exercise the
+// linter's repo-wide name index.  If those members are ever renamed, update
+// this fixture alongside.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<int, long> table;
+
+// A trailing attribute macro on the declarator must not hide the
+// declaration from the linter's name index.
+struct Annotated {
+  std::unordered_map<int, long> guarded_table MAC_GUARDED_BY(mu_);
+  long sum() const {
+    long total = 0;
+    for (const auto& [k, v] : guarded_table) total += v;  // expect-lint: unordered-iter
+    return total;
+  }
+};
+
+void bare_name_hits() {
+  std::unordered_set<int> ids;
+  for (int v : ids) (void)v;               // expect-lint: unordered-iter
+  for (const auto& [k, v] : table) (void)v;  // expect-lint: unordered-iter
+  auto it = table.begin();                 // expect-lint: unordered-iter
+  (void)it;
+}
+
+struct Net {
+  std::unordered_map<long, int> link_map;
+};
+struct Store {
+  std::unordered_map<long, int> pairs;
+  const std::unordered_map<long, int>& all() const { return pairs; }
+};
+
+void cross_file_hits(const Net& net, const Store& store) {
+  for (const auto& [k, v] : net.link_map) (void)v;  // expect-lint: unordered-iter
+  for (const auto& [k, v] : store.all()) (void)v;   // expect-lint: unordered-iter
+}
+
+void misses() {
+  std::map<int, long> sorted_table;
+  for (const auto& [k, v] : sorted_table) (void)v;  // ordered container: clean
+  std::vector<int> keys;
+  for (int k : keys) (void)k;                       // vector: clean
+  auto it = sorted_table.begin();                   // ordered begin(): clean
+  (void)it;
+}
+
+void opted_out_with_reason(long* out) {
+  for (const auto& [k, v] : table) *out += v;  // lint: allow(unordered-iter) -- fixture: integer sum is commutative, order cannot leak
+}
+
+void opted_out_without_reason() {
+  // A bare allow() on a justification-required rule is itself a finding.
+  for (const auto& [k, v] : table) (void)v;  // lint: allow(unordered-iter)  // expect-lint: unordered-iter
+}
+
+}  // namespace fixture

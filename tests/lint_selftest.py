@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py against the golden fixtures in
+tests/lint_fixtures/.
+
+Each fixture line tagged `// expect-lint: <rule>[, <rule>...]` must produce
+exactly those findings (at that file:line) when the linter runs with
+`--pretend-dir src`, and no untagged line may produce any.  Also checks:
+
+  * exit codes: 1 on the violating fixtures, 0 on the clean fixture;
+  * --rule selection: a run restricted to R10 reports only unordered-iter,
+    and selection by name (raw-sync) matches selection by number (R9);
+  * the default repo-wide run skips tests/lint_fixtures/ entirely.
+
+Registered in ctest as `lint_selftest` (see tests/CMakeLists.txt).
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "lint_fixtures"
+LINT = REPO / "tools" / "lint.py"
+
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
+FINDING_RE = re.compile(r"^(.*?):(\d+): \[R\d+/([a-z0-9-]+)\]")
+
+Failures = list[str]
+
+
+def run_lint(*args: str) -> tuple[set[tuple[str, int, str]], int, str]:
+    proc = subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.add((m.group(1), int(m.group(2)), m.group(3)))
+    return findings, proc.returncode, proc.stdout + proc.stderr
+
+
+def expected_findings(files: list[pathlib.Path]) -> set[tuple[str, int, str]]:
+    expected = set()
+    for f in files:
+        rel = f.relative_to(REPO).as_posix()
+        for lineno, line in enumerate(
+                f.read_text(encoding="utf-8").splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if m is None:
+                continue
+            for rule in re.split(r"\s*,\s*", m.group(1)):
+                expected.add((rel, lineno, rule))
+    return expected
+
+
+def main() -> int:
+    failures: Failures = []
+    fixtures = sorted(FIXTURES.glob("*.cpp")) + sorted(FIXTURES.glob("*.hpp"))
+    if not fixtures:
+        print(f"lint_selftest: no fixtures under {FIXTURES}", file=sys.stderr)
+        return 1
+    rels = [f.relative_to(REPO).as_posix() for f in fixtures]
+
+    # 1. Full fixture run: findings must match the expect-lint markers exactly.
+    expected = expected_findings(fixtures)
+    actual, rc, output = run_lint("--pretend-dir", "src", *rels)
+    for miss in sorted(expected - actual):
+        failures.append(f"expected finding not produced: {miss}")
+    for extra in sorted(actual - expected):
+        failures.append(f"unexpected finding: {extra}")
+    if rc != 1:
+        failures.append(f"fixture run exit code: got {rc}, want 1\n{output}")
+
+    # 2. The clean fixture alone must pass.
+    clean = "tests/lint_fixtures/clean.cpp"
+    _, rc_clean, out_clean = run_lint("--pretend-dir", "src", clean)
+    if rc_clean != 0:
+        failures.append(f"clean fixture exit code: got {rc_clean}, want 0\n"
+                        f"{out_clean}")
+
+    # 3. --rule R10 restricts to unordered-iter findings only.
+    r10, _, _ = run_lint("--rule", "R10", "--pretend-dir", "src", *rels)
+    if not r10:
+        failures.append("--rule R10 produced no findings on the fixtures")
+    for f in sorted(r10):
+        if f[2] != "unordered-iter":
+            failures.append(f"--rule R10 leaked a non-R10 finding: {f}")
+    want_r10 = {f for f in expected if f[2] == "unordered-iter"}
+    if r10 != want_r10:
+        failures.append(f"--rule R10 findings mismatch: got {sorted(r10)}, "
+                        f"want {sorted(want_r10)}")
+
+    # 4. Selection by name and by number agree.
+    by_name, _, _ = run_lint("--rule", "raw-sync", "--pretend-dir", "src", *rels)
+    by_number, _, _ = run_lint("--rule", "R9", "--pretend-dir", "src", *rels)
+    if by_name != by_number:
+        failures.append(f"--rule raw-sync vs --rule R9 disagree: "
+                        f"{sorted(by_name)} vs {sorted(by_number)}")
+
+    # 5. The default repo-wide run never descends into the fixtures.
+    repo_findings, _, _ = run_lint()
+    leaked = {f for f in repo_findings if "lint_fixtures" in f[0]}
+    for f in sorted(leaked):
+        failures.append(f"default run descended into fixtures: {f}")
+
+    if failures:
+        for f in failures:
+            print(f"lint_selftest: FAIL: {f}", file=sys.stderr)
+        print(f"lint_selftest: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print(f"lint_selftest: OK ({len(fixtures)} fixtures, "
+          f"{len(expected)} expected findings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,7 +69,7 @@ TEST(PublicView, GeneratedInternetMostPeeringHidden) {
   LinkSet visible = compute_public_view(g, collectors);
 
   std::size_t peer_total = 0, peer_visible = 0;
-  for (const auto& [key, li] : net.links) {
+  for (const auto& [key, li] : net.link_map) {
     if (li.rel != topology::Relationship::kPeerToPeer) continue;
     ++peer_total;
     auto a = static_cast<topology::AsId>(key & 0xffffffffULL);

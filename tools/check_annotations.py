@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Thread-safety annotation checker.
+
+Two passes, both rooted at the repository's annotated sync primitives
+(src/util/sync.hpp, src/util/annotations.hpp):
+
+1. Textual pass (always runs, no compiler needed): every `Mutex` member
+   declared in src/ must be *associated* with at least one piece of state --
+   i.e. some member in the same file carries MAC_GUARDED_BY(<mutex>) /
+   MAC_PT_GUARDED_BY(<mutex>), or some function carries
+   MAC_REQUIRES(<mutex>).  A mutex guarding nothing is either dead weight
+   or, worse, a sign that the state it was meant to guard is unannotated
+   and therefore invisible to Clang's -Wthread-safety analysis.
+
+2. Clang pass (runs when a Clang compile database is available): replays
+   every TU from compile_commands.json under `-fsyntax-only -Wthread-safety`
+   and fails on any thread-safety diagnostic.  This is the same analysis
+   the `thread-safety` CMake preset wires into the build; running it from
+   the database lets CI surface every diagnostic in one pass instead of
+   stopping at the first -Werror failure.
+
+Exit codes: 0 = clean (or clang pass skipped without --require-clang),
+1 = findings, 2 = environment error (e.g. --require-clang with no clang).
+
+Usage:
+  tools/check_annotations.py                     # textual + clang if possible
+  tools/check_annotations.py --textual-only
+  tools/check_annotations.py --build-dir build-threadsafety --require-clang
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# src/util/sync.hpp *defines* the primitives; its internal std::mutex is the
+# one sanctioned unannotated handle in the tree.
+TEXTUAL_EXEMPT = {"src/util/sync.hpp"}
+
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:(?:metas::)?util::)?Mutex\s+([A-Za-z_]\w*)\s*;",
+    re.M,
+)
+THREAD_SAFETY_DIAG_RE = re.compile(r"\[-W(?:error,)?-?thread-safety\S*\]")
+
+
+def strip_comments(text: str) -> str:
+    """Removes // and /* */ comments so commented-out code cannot satisfy
+    (or trip) the association check."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def textual_pass() -> list[str]:
+    findings: list[str] = []
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in {".hpp", ".cpp"}:
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        if rel in TEXTUAL_EXEMPT:
+            continue
+        text = strip_comments(path.read_text(encoding="utf-8"))
+        for m in MUTEX_DECL_RE.finditer(text):
+            name = m.group(1)
+            esc = re.escape(name)
+            associated = re.search(
+                r"MAC_(?:PT_)?GUARDED_BY\(\s*" + esc + r"\s*\)", text
+            ) or re.search(
+                r"MAC_(?:REQUIRES|ACQUIRE|RELEASE|EXCLUDES)\([^)]*\b" + esc + r"\b",
+                text,
+            )
+            if not associated:
+                line = text[: m.start()].count("\n") + 1
+                findings.append(
+                    f"{rel}:{line}: Mutex `{name}` guards nothing: no member "
+                    f"carries MAC_GUARDED_BY({name}) and no function carries "
+                    f"MAC_REQUIRES({name})"
+                )
+    return findings
+
+
+def find_clang() -> str | None:
+    for cand in ("clang++", "clang++-19", "clang++-18", "clang++-17",
+                 "clang++-16", "clang++-15", "clang++-14"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def clang_pass(build_dir: pathlib.Path, clang: str) -> list[str]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        return [f"{db_path}: compile database not found; configure with the "
+                f"`thread-safety` CMake preset first"]
+    findings: list[str] = []
+    entries = json.loads(db_path.read_text(encoding="utf-8"))
+    for entry in entries:
+        src = entry["file"]
+        argv = shlex.split(entry["command"])
+        # Replay the TU under clang with syntax-only analysis: keep every
+        # include/define/std flag, drop the output, force the diagnostics on
+        # as warnings so one TU reports all its findings.
+        args = [clang]
+        skip_next = False
+        for a in argv[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            if a in {"-c", "-Werror=thread-safety"}:
+                continue
+            args.append(a)
+        args += ["-fsyntax-only", "-Wthread-safety"]
+        proc = subprocess.run(
+            args, cwd=entry.get("directory", str(build_dir)),
+            capture_output=True, text=True,
+        )
+        for diag in proc.stderr.splitlines():
+            if THREAD_SAFETY_DIAG_RE.search(diag):
+                findings.append(diag.strip())
+        if proc.returncode != 0 and not proc.stderr:
+            findings.append(f"{src}: clang replay failed with no diagnostics")
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build-threadsafety",
+                    help="directory holding compile_commands.json from the "
+                         "thread-safety preset (default: %(default)s)")
+    ap.add_argument("--textual-only", action="store_true",
+                    help="skip the clang replay pass")
+    ap.add_argument("--require-clang", action="store_true",
+                    help="fail (exit 2) instead of skipping when clang or the "
+                         "compile database is unavailable")
+    args = ap.parse_args()
+
+    findings = textual_pass()
+    for f in findings:
+        print(f"check_annotations: {f}", file=sys.stderr)
+
+    if not args.textual_only:
+        clang = find_clang()
+        if clang is None:
+            msg = "check_annotations: no clang++ on PATH; skipping clang pass"
+            if args.require_clang:
+                print(msg.replace("skipping", "cannot run") +
+                      " (--require-clang)", file=sys.stderr)
+                return 2
+            print(msg, file=sys.stderr)
+        else:
+            build_dir = pathlib.Path(args.build_dir)
+            if not build_dir.is_absolute():
+                build_dir = REPO / build_dir
+            clang_findings = clang_pass(build_dir, clang)
+            missing_db = any("compile database not found" in f
+                             for f in clang_findings)
+            if missing_db and not args.require_clang:
+                print(f"check_annotations: {clang_findings[0]}; skipping "
+                      f"clang pass", file=sys.stderr)
+            else:
+                for f in clang_findings:
+                    print(f"check_annotations: {f}", file=sys.stderr)
+                findings += clang_findings
+
+    if findings:
+        print(f"check_annotations: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("check_annotations: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,72 +1,35 @@
 #!/usr/bin/env python3
-"""Gate telemetry overhead: compare two google-benchmark JSON outputs.
+"""Back-compat shim: telemetry-overhead gating moved to check_regression.py.
 
-Usage:
+Delegates to the `telemetry-overhead-als` gate in regression_gates.json,
+preserving the original CLI:
+
   tools/check_overhead.py ENABLED.json DISABLED.json
       [--benchmark-prefix BM_AlsFit] [--max-overhead 0.05]
-
-Both inputs are `--benchmark_format=json` outputs of bench/perf_micro, one
-from a telemetry-enabled build and one from a build configured with
--DMETASCRITIC_TELEMETRY=OFF.  For every benchmark whose name starts with the
-prefix, the median (over repetitions, when present) cpu_time is compared;
-the check fails when enabled exceeds disabled by more than --max-overhead
-(fractional, default 5%).
-
-Exit status: 0 when within budget, 1 when over, 2 on malformed input.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import statistics
 import sys
 
-
-def median_times(path: str, prefix: str) -> dict[str, float]:
-    """name -> median cpu_time (ns) over plain iterations of each benchmark."""
-    with open(path, encoding="utf-8") as f:
-        data = json.load(f)
-    samples: dict[str, list[float]] = {}
-    for b in data.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev) emitted with repetitions;
-        # we aggregate ourselves so both inputs are treated uniformly.
-        if b.get("run_type") == "aggregate":
-            continue
-        name = b.get("run_name", b.get("name", ""))
-        if not name.startswith(prefix):
-            continue
-        samples.setdefault(name, []).append(float(b["cpu_time"]))
-    return {name: statistics.median(v) for name, v in samples.items()}
+import check_regression
 
 
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("enabled", help="benchmark JSON from the telemetry-enabled build")
-    parser.add_argument("disabled", help="benchmark JSON from the compiled-out build")
-    parser.add_argument("--benchmark-prefix", default="BM_AlsFit",
-                        help="benchmarks to compare (name prefix)")
-    parser.add_argument("--max-overhead", type=float, default=0.05,
-                        help="maximum allowed fractional slowdown (default 0.05)")
+    parser.add_argument("enabled")
+    parser.add_argument("disabled")
+    parser.add_argument("--benchmark-prefix")
+    parser.add_argument("--max-overhead", type=float)
     args = parser.parse_args(argv)
 
-    on = median_times(args.enabled, args.benchmark_prefix)
-    off = median_times(args.disabled, args.benchmark_prefix)
-    common = sorted(set(on) & set(off))
-    if not common:
-        print(f"check_overhead: no common '{args.benchmark_prefix}*' benchmarks "
-              f"between {args.enabled} and {args.disabled}", file=sys.stderr)
-        return 2
-
-    status = 0
-    for name in common:
-        overhead = on[name] / off[name] - 1.0
-        verdict = "OK" if overhead <= args.max_overhead else "OVER BUDGET"
-        print(f"{name}: enabled {on[name]:.0f}ns vs disabled {off[name]:.0f}ns "
-              f"-> {overhead:+.2%} (budget {args.max_overhead:.0%}) {verdict}")
-        if overhead > args.max_overhead:
-            status = 1
-    return status
+    fwd = [args.enabled, args.disabled, "--gate", "telemetry-overhead-als"]
+    if args.benchmark_prefix is not None:
+        fwd += ["--benchmark-prefix", args.benchmark_prefix]
+    if args.max_overhead is not None:
+        fwd += ["--max-overhead", str(args.max_overhead)]
+    return check_regression.main(fwd)
 
 
 if __name__ == "__main__":

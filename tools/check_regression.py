@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Gate named benchmark regressions: compare two google-benchmark JSON
+outputs against per-gate thresholds from a JSON config.
+
+Usage:
+  tools/check_regression.py --gate telemetry-overhead-als CANDIDATE.json BASELINE.json
+  tools/check_regression.py --gate NAME --config tools/regression_gates.json ...
+  tools/check_regression.py --benchmark-prefix BM_Foo --max-overhead 0.10 A.json B.json
+
+Both inputs are `--benchmark_format=json` outputs, CANDIDATE being the build
+under test and BASELINE the reference build.  A *gate* names a benchmark
+prefix and a maximum fractional slowdown; gates live in a JSON config
+(default tools/regression_gates.json):
+
+  { "gates": { "<name>": { "benchmark_prefix": "BM_...",
+                           "max_overhead": 0.05,
+                           "description": "..." } } }
+
+For every benchmark whose name starts with the gate's prefix, the median
+(over repetitions, when present) cpu_time is compared; the check fails when
+the candidate exceeds the baseline by more than max_overhead.  Explicit
+--benchmark-prefix/--max-overhead flags override the gate's values, and can
+be used alone to run an ad-hoc unnamed gate.
+
+Exit status: 0 when within budget, 1 when over, 2 on malformed input or an
+unknown gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+DEFAULT_CONFIG = pathlib.Path(__file__).resolve().parent / "regression_gates.json"
+
+
+def median_times(path: str, prefix: str) -> dict[str, float]:
+    """name -> median cpu_time (ns) over plain iterations of each benchmark."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    samples: dict[str, list[float]] = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) emitted with repetitions;
+        # we aggregate ourselves so both inputs are treated uniformly.
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("run_name", b.get("name", ""))
+        if not name.startswith(prefix):
+            continue
+        samples.setdefault(name, []).append(float(b["cpu_time"]))
+    return {name: statistics.median(v) for name, v in samples.items()}
+
+
+def load_gate(config_path: str, gate: str) -> dict:
+    try:
+        with open(config_path, encoding="utf-8") as f:
+            config = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_regression: cannot read config {config_path}: {e}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    gates = config.get("gates", {})
+    if gate not in gates:
+        known = ", ".join(sorted(gates)) or "(none)"
+        print(f"check_regression: unknown gate '{gate}' (known: {known})",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return gates[gate]
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("candidate", help="benchmark JSON from the build under test")
+    parser.add_argument("baseline", help="benchmark JSON from the reference build")
+    parser.add_argument("--gate", help="named gate from the config file")
+    parser.add_argument("--config", default=str(DEFAULT_CONFIG),
+                        help="gate config JSON (default: %(default)s)")
+    parser.add_argument("--benchmark-prefix",
+                        help="benchmarks to compare (name prefix); overrides the gate")
+    parser.add_argument("--max-overhead", type=float,
+                        help="maximum allowed fractional slowdown; overrides the gate")
+    args = parser.parse_args(argv)
+
+    prefix = args.benchmark_prefix
+    budget = args.max_overhead
+    label = args.gate or "(ad-hoc)"
+    if args.gate:
+        g = load_gate(args.config, args.gate)
+        prefix = prefix if prefix is not None else g.get("benchmark_prefix")
+        budget = budget if budget is not None else g.get("max_overhead")
+    if prefix is None or budget is None:
+        print("check_regression: need --gate or both --benchmark-prefix and "
+              "--max-overhead", file=sys.stderr)
+        return 2
+
+    cand = median_times(args.candidate, prefix)
+    base = median_times(args.baseline, prefix)
+    common = sorted(set(cand) & set(base))
+    if not common:
+        print(f"check_regression: no common '{prefix}*' benchmarks between "
+              f"{args.candidate} and {args.baseline}", file=sys.stderr)
+        return 2
+
+    status = 0
+    for name in common:
+        overhead = cand[name] / base[name] - 1.0
+        verdict = "OK" if overhead <= budget else "OVER BUDGET"
+        print(f"[{label}] {name}: candidate {cand[name]:.0f}ns vs baseline "
+              f"{base[name]:.0f}ns -> {overhead:+.2%} (budget {budget:.0%}) "
+              f"{verdict}")
+        if overhead > budget:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,7 +6,7 @@ using namespace metas;
 int main() {
   auto wc = eval::small_world_config(99);
   auto w = eval::build_world(wc);
-  std::cout << "ASes=" << w.net.num_ases() << " links=" << w.net.links.size() << " VPs=" << w.vps.size() << " collectors=" << w.collectors.size() << " publicview=" << w.public_view.size() << "\n";
+  std::cout << "ASes=" << w.net.num_ases() << " links=" << w.net.link_map.size() << " VPs=" << w.vps.size() << " collectors=" << w.collectors.size() << " publicview=" << w.public_view.size() << "\n";
   for (auto m : w.focus_metros) {
     core::MetroContext ctx(w.net, m);
     const auto& t = w.truth_at(m);

@@ -19,20 +19,43 @@ Enforces the handful of rules the compiler cannot:
   R8  no direct std::chrono use anywhere else under src/ -- instrumented
       code must go through the telemetry clock (util/telemetry.hpp), so the
       deterministic tick clock can stand in for real time in tests
+  R9  no raw std sync/threading primitives (std::mutex, std::lock_guard,
+      std::condition_variable, std::thread, std::async, ...) in src/ outside
+      util/sync.hpp -- all concurrency flows through the MAC_CAPABILITY-
+      annotated wrappers so clang -Wthread-safety can prove lock discipline
+  R10 no iteration over std::unordered_map / std::unordered_set in src/ --
+      iteration order is unspecified, so it must never feed exports,
+      floating-point accumulation, adjacency construction, or an Rng stream.
+      Traverse a sorted key copy (or use std::map / a vector) instead.  A
+      site where order provably cannot leak may opt out with
+      `// lint: allow(unordered-iter) -- <why order cannot leak>`;
+      the justification is mandatory
+  R11 no mutable namespace-scope / static-local / static-member state in
+      src/ outside the telemetry registry singleton
+      (src/util/telemetry.{hpp,cpp}) -- hidden shared state breaks both
+      determinism and the thread-safety story
 
 Usage:
-  tools/lint.py [--clang-tidy [BUILD_DIR]] [PATHS...]
+  tools/lint.py [--clang-tidy [BUILD_DIR]] [--rule RULE] [--pretend-dir DIR]
+                [PATHS...]
 
-With no PATHS, lints src/ tests/ bench/ tools/ examples/.  With
---clang-tidy, additionally runs clang-tidy (using the checked-in
-.clang-tidy) over src/**/*.cpp against BUILD_DIR's compile commands when
-the binary is available; if clang-tidy is not installed the step is
-skipped with a notice (the CI image has it, the dev container may not).
+With no PATHS, lints src/ tests/ bench/ tools/ examples/ (skipping
+tests/lint_fixtures/, which intentionally contains violations for the lint
+self-test).  --rule restricts checking to one rule, by number (R10) or name
+(unordered-iter) -- handy while burning down findings.  --pretend-dir makes
+explicitly-passed files behave as if they lived under the given top-level
+directory (the self-test uses `--pretend-dir src` so fixtures exercise the
+src/-scoped rules).  With --clang-tidy, additionally runs clang-tidy (using
+the checked-in .clang-tidy) over src/**/*.cpp against BUILD_DIR's compile
+commands when the binary is available; if clang-tidy is not installed the
+step is skipped with a notice (the CI image has it, the dev container may
+not).
 
 Exits non-zero if any finding is produced.
 
 A line can opt out with a trailing `// lint: allow(<rule>)` marker, e.g.
-`// lint: allow(naked-new)`.
+`// lint: allow(naked-new)`.  The unordered-iter rule additionally requires
+a justification after the marker: `// lint: allow(unordered-iter) -- reason`.
 """
 
 from __future__ import annotations
@@ -42,14 +65,40 @@ import re
 import shutil
 import subprocess
 import sys
+from collections import Counter
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_DIRS = ["src", "tests", "bench", "tools", "examples"]
 HEADER_SUFFIXES = {".hpp", ".h"}
 SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx"} | HEADER_SUFFIXES
+# Directories (path parts) never linted: build trees and the intentionally
+# violating lint fixtures.
+SKIP_PARTS = {"build", "lint_fixtures"}
 
-ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)")
+ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([a-z0-9-]+)\)(?:\s*(?:--|:)\s*(\S.*))?")
+
+# Rule-name -> Rn display number.  Multiple names may share a number when the
+# docstring groups them (rand-family = R1, new/delete = R3).
+RULE_NUMBERS = {
+    "libc-rand": "R1",
+    "random-device": "R1",
+    "unseeded-engine": "R2",
+    "naked-new": "R3",
+    "naked-delete": "R3",
+    "pragma-once": "R4",
+    "header-using-namespace": "R5",
+    "include-cpp": "R6",
+    "wall-clock": "R7",
+    "chrono-direct": "R8",
+    "raw-sync": "R9",
+    "unordered-iter": "R10",
+    "static-mutable": "R11",
+}
+
+# Rules whose allow() opt-out must carry a justification ("-- reason" or
+# ": reason" after the marker).
+JUSTIFY_RULES = {"unordered-iter"}
 
 # (rule-id, regex, message).  Applied per line with comments/strings stripped.
 LINE_RULES = [
@@ -94,6 +143,19 @@ LINE_RULES = [
         "direct std::chrono in instrumented code: go through the telemetry "
         "clock (util/telemetry.hpp), which tests can replace deterministically",
     ),
+    (
+        "raw-sync",
+        re.compile(
+            r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+            r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+            r"shared_lock|condition_variable|condition_variable_any|thread|jthread|"
+            r"async|future|shared_future|promise|packaged_task|call_once|once_flag|"
+            r"counting_semaphore|binary_semaphore|latch|barrier)\b"
+        ),
+        "raw std sync/threading primitive in src/: use the MAC_CAPABILITY-"
+        "annotated wrappers in util/sync.hpp (Mutex, LockGuard, CondVar) so "
+        "-Wthread-safety can prove the lock protocol",
+    ),
 ]
 
 # Rules that only apply outside the listed top-level directories (relative to
@@ -101,18 +163,39 @@ LINE_RULES = [
 RULE_EXEMPT_DIRS = {"wall-clock": {"bench"}}
 
 # Rules that only apply inside the listed top-level directories.  Tests and
-# benches may use std::chrono freely; first-party src/ must route through the
-# telemetry clock so time stays injectable.
-RULE_ONLY_DIRS = {"chrono-direct": {"src"}}
+# benches may use std::chrono / raw threads / unordered iteration freely;
+# first-party src/ is held to the determinism and capability-analysis bar.
+RULE_ONLY_DIRS = {
+    "chrono-direct": {"src"},
+    "raw-sync": {"src"},
+    "unordered-iter": {"src"},
+    "static-mutable": {"src"},
+}
 
 # Per-file carve-outs (paths relative to the repo root).  The telemetry
-# layer's injectable-clock shim is the one sanctioned wall-clock read in src/.
+# layer's injectable-clock shim is the one sanctioned wall-clock read in
+# src/; util/sync.hpp is the one sanctioned home of raw std primitives; the
+# telemetry registry singleton (+ tick clock, per-thread span stack) is the
+# one sanctioned static mutable state.
 RULE_EXEMPT_FILES = {
     "wall-clock": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
     "chrono-direct": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
+    "raw-sync": {"src/util/sync.hpp"},
+    "static-mutable": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
 }
 
 HEADER_USING_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
+
+# --- R10 (unordered-iter) machinery -----------------------------------------
+UNORDERED_OPEN_RE = re.compile(r"\bstd::unordered_(?:map|set)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+BEGIN_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(\s*\)")
+LAST_COMPONENT_RE = re.compile(r"(?:\.|->)?([A-Za-z_]\w*)\s*(\(\s*\))?\s*$")
+
+# --- R11 (static-mutable) machinery ------------------------------------------
+STATIC_DECL_RE = re.compile(r"^\s*(?:static|thread_local|inline)\b")
+STATIC_CONST_RE = re.compile(
+    r"^\s*(?:(?:static|thread_local|inline)\s+)+(?:const\b|constexpr\b|constinit\b)")
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, bool]:
@@ -153,13 +236,193 @@ def strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, 
     return "".join(out), in_block_comment
 
 
+def unordered_decls_in_text(text: str) -> tuple[set[str], set[str]]:
+    """(variable/member names, ref-returning method names) declared with an
+    unordered container type in `text`.  Line-local heuristic: declarations
+    and signatures that fit on one line (house style keeps them there)."""
+    variables: set[str] = set()
+    methods: set[str] = set()
+    in_block = False
+    for raw in text.splitlines():
+        code, in_block = strip_comments_and_strings(raw, in_block)
+        for m in UNORDERED_OPEN_RE.finditer(code):
+            # Bracket-match the template argument list.
+            depth, i = 1, m.end()
+            while i < len(code) and depth > 0:
+                if code[i] == "<":
+                    depth += 1
+                elif code[i] == ">":
+                    depth -= 1
+                i += 1
+            if depth != 0:
+                continue  # declaration spans lines; out of heuristic scope
+            rest = code[i:].lstrip()
+            ref = rest.startswith("&")
+            if ref:
+                rest = rest[1:].lstrip()
+            # Declarator may carry trailing attribute-macro suffixes, e.g.
+            # `std::unordered_map<...> counter_index_ MAC_GUARDED_BY(mu_);`.
+            nm = re.match(
+                r"([A-Za-z_]\w*)\s*(?:MAC_\w+\s*\([^)]*\)\s*)*([;={(]|$)", rest)
+            if nm is None:
+                continue
+            name, tail = nm.group(1), nm.group(2)
+            if tail == "(":
+                methods.add(name)
+            elif not ref and tail in {";", "=", "{"}:
+                variables.add(name)
+    return variables, methods
+
+
+def range_for_exprs(code: str) -> list[str]:
+    """Range expressions of single-line range-for statements in `code`."""
+    out = []
+    for m in RANGE_FOR_RE.finditer(code):
+        depth, i = 1, m.end()
+        colon = -1
+        while i < len(code) and depth > 0:
+            c = code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0 and colon >= 0:
+                    out.append(code[colon + 1:i].strip())
+            elif c == ":" and depth == 1 and colon < 0:
+                # Skip '::' qualifiers.
+                if i + 1 < len(code) and code[i + 1] == ":":
+                    i += 2
+                    continue
+                if i > 0 and code[i - 1] == ":":
+                    i += 1
+                    continue
+                colon = i
+            i += 1
+    return out
+
+
+class UnorderedIndex:
+    """Repo-wide table of names declared with unordered container types,
+    used by R10 to resolve dotted accesses (`net.links`) and ref-returning
+    accessors (`evidence().all()`) across files."""
+
+    def __init__(self, root: Path) -> None:
+        self.members: set[str] = set()
+        self.methods: set[str] = set()
+        src = root / "src"
+        if not src.is_dir():
+            return
+        for f in sorted(src.rglob("*")):
+            if f.suffix not in SOURCE_SUFFIXES or set(f.parts) & SKIP_PARTS:
+                continue
+            try:
+                text = f.read_text(encoding="utf-8")
+            except (UnicodeDecodeError, OSError):
+                continue
+            variables, methods = unordered_decls_in_text(text)
+            self.members |= variables
+            self.methods |= methods
+
+
 class Linter:
-    def __init__(self) -> None:
+    def __init__(self, rules: set[str] | None = None,
+                 pretend_dir: str | None = None) -> None:
         self.findings: list[str] = []
+        self.rule_counts: Counter[str] = Counter()
+        self.rules = rules  # None = all
+        self.pretend_dir = pretend_dir
+        self._unordered_index: UnorderedIndex | None = None
+
+    @property
+    def unordered_index(self) -> UnorderedIndex:
+        if self._unordered_index is None:
+            self._unordered_index = UnorderedIndex(REPO_ROOT)
+        return self._unordered_index
+
+    def rule_active(self, rule: str) -> bool:
+        return self.rules is None or rule in self.rules
 
     def report(self, path: Path, lineno: int, rule: str, message: str) -> None:
         rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
-        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+        num = RULE_NUMBERS.get(rule, "R?")
+        self.rule_counts[f"{num}/{rule}"] += 1
+        self.findings.append(f"{rel}:{lineno}: [{num}/{rule}] {message}")
+
+    def _local_unordered_names(self, path: Path) -> set[str]:
+        """Unordered variable/member names visible to bare-name iteration in
+        `path`: declarations in the file itself plus its same-stem sibling
+        (foo.cpp sees foo.hpp's members and vice versa)."""
+        names: set[str] = set()
+        candidates = [path]
+        for suffix in SOURCE_SUFFIXES:
+            sib = path.with_suffix(suffix)
+            if sib != path and sib.exists():
+                candidates.append(sib)
+        for f in candidates:
+            try:
+                text = f.read_text(encoding="utf-8")
+            except (UnicodeDecodeError, OSError):
+                continue
+            variables, _ = unordered_decls_in_text(text)
+            names |= variables
+        return names
+
+    def _check_unordered_iter(self, path: Path, lineno: int, code: str,
+                              local_names: set[str]) -> None:
+        idx = self.unordered_index
+        flagged_exprs = []
+        for expr in range_for_exprs(code):
+            m = LAST_COMPONENT_RE.search(expr)
+            if m is None:
+                continue
+            name, is_call = m.group(1), m.group(2) is not None
+            dotted = bool(re.search(r"(?:\.|->)\s*[A-Za-z_]\w*\s*(\(\s*\))?\s*$", expr)) \
+                and m.start() > 0
+            if is_call:
+                if name in idx.methods:
+                    flagged_exprs.append(expr)
+            elif dotted:
+                if name in idx.members:
+                    flagged_exprs.append(expr)
+            else:
+                if name in local_names:
+                    flagged_exprs.append(expr)
+        for m in BEGIN_CALL_RE.finditer(code):
+            if m.group(1) in local_names or m.group(1) in idx.members:
+                flagged_exprs.append(m.group(0))
+        for expr in flagged_exprs:
+            self.report(
+                path, lineno, "unordered-iter",
+                f"iteration over unordered container `{expr}`: order is "
+                "unspecified and must not reach exports, FP accumulation, "
+                "adjacency lists, or an Rng stream -- traverse a sorted key "
+                "copy, or opt out with "
+                "`// lint: allow(unordered-iter) -- <why order cannot leak>`",
+            )
+
+    def _check_static_mutable(self, path: Path, lineno: int, code: str) -> None:
+        if not STATIC_DECL_RE.match(code):
+            return
+        if STATIC_CONST_RE.match(code):
+            return
+        # Function declarations/definitions are fine -- only data is state.
+        # Heuristic: a '(' before any '=' marks a function signature.
+        paren = code.find("(")
+        eq = code.find("=")
+        if paren >= 0 and (eq < 0 or paren < eq):
+            return
+        # `inline namespace` / `static_assert`-style lines never reach here
+        # (word-boundary keywords + paren test), but `inline` without a
+        # variable (rare multi-line signatures) would: require a terminator.
+        if not code.rstrip().endswith((";", "{", "=")) and "=" not in code:
+            return
+        self.report(
+            path, lineno, "static-mutable",
+            "mutable static/namespace-scope state in src/: hidden shared "
+            "state breaks determinism under threads; pass state explicitly "
+            "or register it in the telemetry registry (the one sanctioned "
+            "singleton)",
+        )
 
     def lint_file(self, path: Path) -> None:
         try:
@@ -176,29 +439,52 @@ class Linter:
         except ValueError:
             rel_parts = set()
             rel_str = path.as_posix()
+        if self.pretend_dir is not None:
+            rel_parts = rel_parts | {self.pretend_dir}
 
-        if is_header:
+        if is_header and self.rule_active("pragma-once"):
             self._check_pragma_once(path, lines)
+
+        def applies(rule: str) -> bool:
+            if not self.rule_active(rule):
+                return False
+            if rel_parts & RULE_EXEMPT_DIRS.get(rule, set()):
+                return False
+            only = RULE_ONLY_DIRS.get(rule)
+            if only is not None and not (rel_parts & only):
+                return False
+            return rel_str not in RULE_EXEMPT_FILES.get(rule, set())
+
+        run_unordered = applies("unordered-iter")
+        local_unordered = self._local_unordered_names(path) if run_unordered else set()
 
         in_block = False
         for lineno, raw in enumerate(lines, start=1):
-            allowed = set(ALLOW_RE.findall(raw))
+            allow_m = {m.group(1): m.group(2) for m in ALLOW_RE.finditer(raw)}
+            allowed = set(allow_m)
+            # A justification-required rule with a bare allow() is itself a
+            # finding: the marker must say why the opt-out is sound.
+            for rule in allowed & JUSTIFY_RULES:
+                if self.rule_active(rule) and allow_m[rule] is None:
+                    self.report(
+                        path, lineno, rule,
+                        f"allow({rule}) needs a justification: "
+                        f"`// lint: allow({rule}) -- <why order cannot leak>`",
+                    )
             code, in_block = strip_comments_and_strings(raw, in_block)
             if not code.strip():
                 continue
             for rule, pattern, message in LINE_RULES:
-                if rule in allowed:
-                    continue
-                if rel_parts & RULE_EXEMPT_DIRS.get(rule, set()):
-                    continue
-                only = RULE_ONLY_DIRS.get(rule)
-                if only is not None and not (rel_parts & only):
-                    continue
-                if rel_str in RULE_EXEMPT_FILES.get(rule, set()):
+                if rule in allowed or not applies(rule):
                     continue
                 if pattern.search(code):
                     self.report(path, lineno, rule, message)
-            if is_header and "header-using-namespace" not in allowed:
+            if run_unordered and "unordered-iter" not in allowed:
+                self._check_unordered_iter(path, lineno, code, local_unordered)
+            if applies("static-mutable") and "static-mutable" not in allowed:
+                self._check_static_mutable(path, lineno, code)
+            if is_header and self.rule_active("header-using-namespace") \
+                    and "header-using-namespace" not in allowed:
                 if HEADER_USING_RE.match(code):
                     self.report(
                         path, lineno, "header-using-namespace",
@@ -224,9 +510,24 @@ def collect_files(paths: list[str]) -> list[Path]:
             files.append(root)
             continue
         for f in sorted(root.rglob("*")):
-            if f.suffix in SOURCE_SUFFIXES and "build" not in f.parts:
+            if f.suffix in SOURCE_SUFFIXES and not (set(f.parts) & SKIP_PARTS):
                 files.append(f)
     return files
+
+
+def resolve_rule(spec: str) -> set[str]:
+    """Rule names selected by `spec`: an Rn number or a rule name."""
+    spec = spec.strip()
+    if re.fullmatch(r"[Rr]\d+", spec):
+        num = spec.upper()
+        names = {name for name, n in RULE_NUMBERS.items() if n == num}
+        if not names:
+            raise SystemExit(f"lint: unknown rule number {spec}")
+        return names
+    if spec in RULE_NUMBERS:
+        return {spec}
+    raise SystemExit(f"lint: unknown rule {spec!r} "
+                     f"(known: {', '.join(sorted(RULE_NUMBERS))})")
 
 
 def run_clang_tidy(build_dir: str) -> int:
@@ -248,9 +549,16 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--clang-tidy", nargs="?", const="build", default=None,
                         metavar="BUILD_DIR",
                         help="also run clang-tidy against BUILD_DIR (default: build)")
+    parser.add_argument("--rule", default=None, metavar="RULE",
+                        help="run a single rule, by number (R10) or name "
+                             "(unordered-iter)")
+    parser.add_argument("--pretend-dir", default=None, metavar="DIR",
+                        help="treat the given files as if under this top-level "
+                             "directory (lint self-test fixture support)")
     args = parser.parse_args(argv)
 
-    linter = Linter()
+    rules = resolve_rule(args.rule) if args.rule else None
+    linter = Linter(rules=rules, pretend_dir=args.pretend_dir)
     files = collect_files(args.paths)
     for f in files:
         linter.lint_file(f)
@@ -259,8 +567,13 @@ def main(argv: list[str]) -> int:
         print(finding)
     status = 0
     if linter.findings:
-        print(f"lint: {len(linter.findings)} finding(s) in {len(files)} files",
-              file=sys.stderr)
+        def sort_key(item: tuple[str, int]) -> tuple[int, str]:
+            num = int(item[0].split("/")[0][1:])
+            return (num, item[0])
+        summary = ", ".join(f"{rule}: {count}" for rule, count in
+                            sorted(linter.rule_counts.items(), key=sort_key))
+        print(f"lint: {len(linter.findings)} finding(s) in {len(files)} files "
+              f"({summary})", file=sys.stderr)
         status = 1
     else:
         print(f"lint: OK ({len(files)} files)", file=sys.stderr)

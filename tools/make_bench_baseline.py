@@ -13,7 +13,8 @@ the run -- enough for future PRs to diff against without storing the full
 
 The output is deliberately coarse: absolute nanoseconds vary by machine, so
 the baseline records them for trend context only.  The enforced gate is the
-*relative* enabled-vs-disabled overhead (tools/check_overhead.py).
+*relative* enabled-vs-disabled overhead (tools/check_regression.py,
+gate telemetry-overhead-als).
 """
 
 from __future__ import annotations
