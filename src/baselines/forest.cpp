@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::baselines {
 
 namespace {
@@ -24,7 +26,7 @@ int RegressionTree::build(const std::vector<std::vector<double>>& x,
                           double feature_subsample, util::Rng& rng) {
   Node node;
   node.value = subset_mean(y, rows);
-  int idx = static_cast<int>(nodes_.size());
+  int idx = mac::checked_cast<int>(nodes_.size());
   nodes_.push_back(node);
 
   if (depth >= max_depth || rows.size() < 2 * min_leaf) return idx;
@@ -60,7 +62,7 @@ int RegressionTree::build(const std::vector<std::vector<double>>& x,
       double v = y[rows[order[k]]];
       left_sum += v;
       left_sq += v * v;
-      if (column[order[k]] == column[order[k + 1]]) continue;  // no cut here
+      if (mac::exact_eq(column[order[k]], column[order[k + 1]])) continue;  // no cut here
       std::size_t nl = k + 1, nr = rows.size() - nl;
       if (nl < min_leaf || nr < min_leaf) continue;
       double right_sum = total - left_sum, right_sq = total_sq - left_sq;
@@ -68,7 +70,7 @@ int RegressionTree::build(const std::vector<std::vector<double>>& x,
                    (right_sq - right_sum * right_sum / static_cast<double>(nr));
       if (sse < best_sse) {
         best_sse = sse;
-        best_feature = static_cast<int>(f);
+        best_feature = mac::checked_cast<int>(f);
         best_threshold = 0.5 * (column[order[k]] + column[order[k + 1]]);
       }
     }
@@ -77,20 +79,20 @@ int RegressionTree::build(const std::vector<std::vector<double>>& x,
 
   std::vector<std::size_t> left, right;
   for (std::size_t r : rows) {
-    (x[r][static_cast<std::size_t>(best_feature)] <= best_threshold ? left
+    (x[r][mac::checked_cast<std::size_t>(best_feature)] <= best_threshold ? left
                                                                     : right)
         .push_back(r);
   }
   if (left.empty() || right.empty()) return idx;
 
-  nodes_[static_cast<std::size_t>(idx)].feature = best_feature;
-  nodes_[static_cast<std::size_t>(idx)].threshold = best_threshold;
+  nodes_[mac::checked_cast<std::size_t>(idx)].feature = best_feature;
+  nodes_[mac::checked_cast<std::size_t>(idx)].threshold = best_threshold;
   int l = build(x, y, left, depth + 1, max_depth, min_leaf, feature_subsample,
                 rng);
   int r = build(x, y, right, depth + 1, max_depth, min_leaf, feature_subsample,
                 rng);
-  nodes_[static_cast<std::size_t>(idx)].left = l;
-  nodes_[static_cast<std::size_t>(idx)].right = r;
+  nodes_[mac::checked_cast<std::size_t>(idx)].left = l;
+  nodes_[mac::checked_cast<std::size_t>(idx)].right = r;
   return idx;
 }
 
@@ -108,9 +110,9 @@ double RegressionTree::predict(const std::vector<double>& x) const {
   if (nodes_.empty()) return 0.0;
   int cur = 0;
   while (true) {
-    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    const Node& n = nodes_[mac::checked_cast<std::size_t>(cur)];
     if (n.feature < 0 || n.left < 0 || n.right < 0) return n.value;
-    cur = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+    cur = x[mac::checked_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
                                                                 : n.right;
   }
 }
@@ -125,10 +127,10 @@ void RandomForest::fit(const std::vector<std::vector<double>>& x,
       throw std::invalid_argument("RandomForest::fit: ragged features");
 
   util::Rng rng(cfg_.seed);
-  trees_.assign(static_cast<std::size_t>(cfg_.trees), {});
+  trees_.assign(mac::checked_cast<std::size_t>(cfg_.trees), {});
   for (auto& tree : trees_) {
     // Bootstrap sample of row indices.
-    auto want = static_cast<std::size_t>(
+    auto want = mac::trunc_cast<std::size_t>(
         std::max(1.0, cfg_.row_subsample * static_cast<double>(x.size())));
     std::vector<std::size_t> rows(want);
     for (std::size_t k = 0; k < want; ++k) rows[k] = rng.index(x.size());

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::baselines {
 
 namespace {
@@ -15,9 +17,9 @@ NeuralCollabFilter::NeuralCollabFilter(int num_items, NcfConfig cfg)
   if (num_items <= 0)
     throw std::invalid_argument("NeuralCollabFilter: num_items <= 0");
   util::Rng rng(cfg.seed);
-  auto d = static_cast<std::size_t>(cfg.embedding_dim);
-  auto h = static_cast<std::size_t>(cfg.hidden_units);
-  emb_.assign(static_cast<std::size_t>(n_), std::vector<double>(d));
+  auto d = mac::checked_cast<std::size_t>(cfg.embedding_dim);
+  auto h = mac::checked_cast<std::size_t>(cfg.hidden_units);
+  emb_.assign(mac::checked_cast<std::size_t>(n_), std::vector<double>(d));
   for (auto& row : emb_)
     for (double& v : row) v = rng.normal(0.0, 0.1);
   w1_.assign(h, std::vector<double>(2 * d));
@@ -30,10 +32,10 @@ NeuralCollabFilter::NeuralCollabFilter(int num_items, NcfConfig cfg)
 
 double NeuralCollabFilter::forward(int i, int j,
                                    std::vector<double>* hidden_out) const {
-  auto d = static_cast<std::size_t>(cfg_.embedding_dim);
-  auto h = static_cast<std::size_t>(cfg_.hidden_units);
-  const auto& ei = emb_[static_cast<std::size_t>(i)];
-  const auto& ej = emb_[static_cast<std::size_t>(j)];
+  auto d = mac::checked_cast<std::size_t>(cfg_.embedding_dim);
+  auto h = mac::checked_cast<std::size_t>(cfg_.hidden_units);
+  const auto& ei = emb_[mac::checked_cast<std::size_t>(i)];
+  const auto& ej = emb_[mac::checked_cast<std::size_t>(j)];
   double z = b2_;
   if (hidden_out != nullptr) hidden_out->assign(h, 0.0);
   for (std::size_t k = 0; k < h; ++k) {
@@ -49,8 +51,8 @@ double NeuralCollabFilter::forward(int i, int j,
 
 void NeuralCollabFilter::fit(const std::vector<NcfEntry>& observed) {
   util::Rng rng(cfg_.seed + 1);
-  auto d = static_cast<std::size_t>(cfg_.embedding_dim);
-  auto h = static_cast<std::size_t>(cfg_.hidden_units);
+  auto d = mac::checked_cast<std::size_t>(cfg_.embedding_dim);
+  auto h = mac::checked_cast<std::size_t>(cfg_.hidden_units);
 
   std::vector<std::size_t> order(observed.size() * 2);
   for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
@@ -71,15 +73,15 @@ void NeuralCollabFilter::fit(const std::vector<NcfEntry>& observed) {
       // d loss / d z through the tanh output.
       double gz = err * (1.0 - pred * pred);
 
-      auto& ei = emb_[static_cast<std::size_t>(i)];
-      auto& ej = emb_[static_cast<std::size_t>(j)];
+      auto& ei = emb_[mac::checked_cast<std::size_t>(i)];
+      auto& ej = emb_[mac::checked_cast<std::size_t>(j)];
       std::vector<double> gei(d, 0.0), gej(d, 0.0);
       for (std::size_t k = 0; k < h; ++k) {
         double act = relu(hidden[k]);
         double gw2 = gz * act;
         double ga = hidden[k] > 0.0 ? gz * w2_[k] : 0.0;
         w2_[k] -= lr * (gw2 + cfg_.l2 * w2_[k]);
-        if (ga != 0.0) {
+        if (!mac::exact_zero(ga)) {
           auto& w = w1_[k];
           for (std::size_t t = 0; t < d; ++t) {
             gei[t] += ga * w[t];

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::bgp {
 
 using topology::pair_key;
@@ -10,7 +12,7 @@ AsGraph::AsGraph(std::size_t n)
     : n_(n), providers_(n), customers_(n), peers_(n) {}
 
 std::size_t AsGraph::idx(AsId a) const {
-  auto i = static_cast<std::size_t>(a);
+  auto i = mac::checked_cast<std::size_t>(a);
   if (a < 0 || i >= n_) throw std::out_of_range("AsGraph: AS id out of range");
   return i;
 }
@@ -42,15 +44,15 @@ AsGraph AsGraph::from_internet(const topology::Internet& net) {
   // authoritative provider lists; only peer links are read off the link map.
   AsGraph g(net.num_ases());
   for (std::size_t i = 0; i < net.num_ases(); ++i)
-    for (AsId p : net.providers[i]) g.add_c2p(static_cast<AsId>(i), p);
+    for (AsId p : net.providers[i]) g.add_c2p(mac::checked_cast<AsId>(i), p);
   // Sorted-key traversal (R10): add_peer appends to adjacency lists, and
   // routing tie-breaks may read them in order -- unordered traversal would
   // leak hash-map layout into path selection.
   for (std::uint64_t key : net.sorted_link_keys()) {
     if (net.link_map.at(key).rel != topology::Relationship::kPeerToPeer)
       continue;
-    AsId a = static_cast<AsId>(key & 0xffffffffULL);
-    AsId b = static_cast<AsId>(key >> 32);
+    AsId a = mac::checked_cast<AsId>(key & 0xffffffffULL);
+    AsId b = mac::checked_cast<AsId>(key >> 32);
     g.add_peer(a, b);
   }
   return g;

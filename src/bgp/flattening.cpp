@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::bgp {
 
 PathStats path_stats(RoutingEngine& engine, const std::vector<AsId>& sources,
@@ -14,7 +16,7 @@ PathStats path_stats(RoutingEngine& engine, const std::vector<AsId>& sources,
     const RoutingTable& t = engine.table(dst);
     for (AsId src : sources) {
       if (src == dst) continue;
-      auto si = static_cast<std::size_t>(src);
+      auto si = mac::checked_cast<std::size_t>(src);
       if (!t.reachable(src)) {
         stats.lengths.push_back(kNoRoute);
         continue;

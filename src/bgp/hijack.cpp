@@ -1,5 +1,7 @@
 #include "bgp/hijack.hpp"
 
+#include "util/numeric.hpp"
+
 namespace metas::bgp {
 
 std::vector<Catchment> hijack_catchment(RoutingEngine& engine, AsId legit,
@@ -17,8 +19,8 @@ std::vector<Catchment> hijack_catchment(RoutingEngine& engine, AsId legit,
     else out[u] = Catchment::kTied;
   }
   // The origins always keep their own announcement.
-  out[static_cast<std::size_t>(legit)] = Catchment::kLegit;
-  out[static_cast<std::size_t>(hijacker)] = Catchment::kHijacked;
+  out[mac::checked_cast<std::size_t>(legit)] = Catchment::kLegit;
+  out[mac::checked_cast<std::size_t>(hijacker)] = Catchment::kHijacked;
   return out;
 }
 

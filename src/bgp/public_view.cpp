@@ -1,6 +1,7 @@
 #include "bgp/public_view.hpp"
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::bgp {
 
@@ -9,13 +10,13 @@ LinkSet compute_public_view(const AsGraph& graph,
   LinkSet visible;
   RoutingEngine engine(graph);
   const std::size_t n = graph.size();
-  for (AsId dst = 0; dst < static_cast<AsId>(n); ++dst) {
+  for (AsId dst = 0; dst < mac::checked_cast<AsId>(n); ++dst) {
     const RoutingTable& t = engine.table(dst);
     for (AsId c : collectors) {
       if (!t.reachable(c)) continue;
       AsId cur = c;
       while (cur != dst) {
-        AsId nh = t.next_hop[static_cast<std::size_t>(cur)];
+        AsId nh = t.next_hop[mac::checked_cast<std::size_t>(cur)];
         // Export-policy consistency: a selected route's next hop must itself
         // hold a route to the destination (otherwise the walk would derail).
         MAC_ASSERT(nh != topology::kInvalidAs && t.reachable(nh),

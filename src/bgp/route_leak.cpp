@@ -3,6 +3,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::bgp {
 
 namespace {
@@ -28,8 +30,8 @@ bool better(const Candidate& a, const Candidate& b) {
 LeakResult simulate_route_leak(const AsGraph& graph, AsId victim,
                                AsId leaker) {
   const std::size_t n = graph.size();
-  if (victim < 0 || static_cast<std::size_t>(victim) >= n || leaker < 0 ||
-      static_cast<std::size_t>(leaker) >= n)
+  if (victim < 0 || mac::checked_cast<std::size_t>(victim) >= n || leaker < 0 ||
+      mac::checked_cast<std::size_t>(leaker) >= n)
     throw std::out_of_range("simulate_route_leak: bad AS id");
 
   RoutingEngine pre_engine(graph);
@@ -41,27 +43,27 @@ LeakResult simulate_route_leak(const AsGraph& graph, AsId victim,
   // Nothing to leak if the leaker has no route to the victim.
   const bool leak_active = pre.reachable(leaker) && leaker != victim;
   const int leak_len =
-      leak_active ? pre.length[static_cast<std::size_t>(leaker)] + 1 : kNoRoute;
+      leak_active ? pre.length[mac::checked_cast<std::size_t>(leaker)] + 1 : kNoRoute;
 
   // BGP loop detection: an AS on the leaker's own path toward the victim
   // would see its ASN in the leaked AS path and reject the announcement.
   std::vector<char> on_leak_path(n, 0);
   if (leak_active)
     for (AsId hop : pre_engine.path(leaker, victim))
-      on_leak_path[static_cast<std::size_t>(hop)] = 1;
+      on_leak_path[mac::checked_cast<std::size_t>(hop)] = 1;
 
   // --- Phase 1: customer routes (Dijkstra up provider edges), with the
   // leaked route injected at the leaker's providers as a customer route. ---
   std::vector<Candidate> cust(n);
   using Item = std::pair<int, AsId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-  cust[static_cast<std::size_t>(victim)] = {0, false, victim};
+  cust[mac::checked_cast<std::size_t>(victim)] = {0, false, victim};
   pq.emplace(0, victim);
   if (leak_active) {
     for (AsId p : graph.providers(leaker)) {
-      if (on_leak_path[static_cast<std::size_t>(p)]) continue;
+      if (on_leak_path[mac::checked_cast<std::size_t>(p)]) continue;
       Candidate cand{leak_len, true, leaker};
-      auto pi = static_cast<std::size_t>(p);
+      auto pi = mac::checked_cast<std::size_t>(p);
       if (better(cand, cust[pi])) {
         cust[pi] = cand;
         pq.emplace(cand.len, p);
@@ -71,11 +73,11 @@ LeakResult simulate_route_leak(const AsGraph& graph, AsId victim,
   while (!pq.empty()) {
     auto [len, u] = pq.top();
     pq.pop();
-    auto ui = static_cast<std::size_t>(u);
+    auto ui = mac::checked_cast<std::size_t>(u);
     if (len > cust[ui].len) continue;  // stale entry
     for (AsId p : graph.providers(u)) {
       Candidate cand{cust[ui].len + 1, cust[ui].via_leak, u};
-      auto pi = static_cast<std::size_t>(p);
+      auto pi = mac::checked_cast<std::size_t>(p);
       if (better(cand, cust[pi])) {
         cust[pi] = cand;
         pq.emplace(cand.len, p);
@@ -86,8 +88,8 @@ LeakResult simulate_route_leak(const AsGraph& graph, AsId victim,
   // --- Phase 2: peer routes, with the leak injected at the leaker's peers. ---
   std::vector<Candidate> peer(n);
   for (std::size_t u = 0; u < n; ++u) {
-    for (AsId v : graph.peers(static_cast<AsId>(u))) {
-      auto vi = static_cast<std::size_t>(v);
+    for (AsId v : graph.peers(mac::checked_cast<AsId>(u))) {
+      auto vi = mac::checked_cast<std::size_t>(v);
       if (cust[vi].len == kNoRoute) continue;
       Candidate cand{cust[vi].len + 1, cust[vi].via_leak, v};
       if (better(cand, peer[u])) peer[u] = cand;
@@ -95,9 +97,9 @@ LeakResult simulate_route_leak(const AsGraph& graph, AsId victim,
   }
   if (leak_active) {
     for (AsId q : graph.peers(leaker)) {
-      if (on_leak_path[static_cast<std::size_t>(q)]) continue;
+      if (on_leak_path[mac::checked_cast<std::size_t>(q)]) continue;
       Candidate cand{leak_len, true, leaker};
-      auto qi = static_cast<std::size_t>(q);
+      auto qi = mac::checked_cast<std::size_t>(q);
       if (better(cand, peer[qi])) peer[qi] = cand;
     }
   }
@@ -112,17 +114,17 @@ LeakResult simulate_route_leak(const AsGraph& graph, AsId victim,
   std::priority_queue<Item, std::vector<Item>, std::greater<>> pq3;
   std::vector<char> settled(n, 0);
   for (std::size_t u = 0; u < n; ++u)
-    if (const Candidate* s = seed(u)) pq3.emplace(s->len, static_cast<AsId>(u));
+    if (const Candidate* s = seed(u)) pq3.emplace(s->len, mac::checked_cast<AsId>(u));
   while (!pq3.empty()) {
     auto [len, u] = pq3.top();
     pq3.pop();
-    auto ui = static_cast<std::size_t>(u);
+    auto ui = mac::checked_cast<std::size_t>(u);
     if (settled[ui]) continue;
     settled[ui] = 1;
     const Candidate* exported = seed(ui);
     const Candidate* src = exported != nullptr ? exported : &prov[ui];
     for (AsId w : graph.customers(u)) {
-      auto wi = static_cast<std::size_t>(w);
+      auto wi = mac::checked_cast<std::size_t>(w);
       Candidate cand{src->len + 1, src->via_leak, u};
       if (better(cand, prov[wi])) {
         prov[wi] = cand;
@@ -141,8 +143,8 @@ LeakResult simulate_route_leak(const AsGraph& graph, AsId victim,
       continue;
     }
     ++routed;
-    bool had_route = pre.reachable(static_cast<AsId>(u));
-    if (static_cast<AsId>(u) == victim || static_cast<AsId>(u) == leaker) {
+    bool had_route = pre.reachable(mac::checked_cast<AsId>(u));
+    if (mac::checked_cast<AsId>(u) == victim || mac::checked_cast<AsId>(u) == leaker) {
       res.impact[u] = LeakImpact::kUnaffected;
     } else if (!had_route) {
       res.impact[u] = LeakImpact::kNewlyRouted;

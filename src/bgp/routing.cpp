@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 #include "util/telemetry.hpp"
 
 namespace metas::bgp {
@@ -49,7 +50,7 @@ namespace {
 bool route_preferred(RouteKind ka, int la, RouteKind kb, int lb) {
   if (ka == RouteKind::kNone) return false;
   if (kb == RouteKind::kNone) return true;
-  if (ka != kb) return static_cast<int>(ka) < static_cast<int>(kb);
+  if (ka != kb) return mac::enum_cast<int>(ka) < mac::enum_cast<int>(kb);
   return la < lb;
 }
 
@@ -68,7 +69,7 @@ const RoutingTable& RoutingEngine::table(AsId dst) {
 RoutingTable RoutingEngine::compute(AsId dst) const {
   const AsGraph& g = *graph_;
   const std::size_t n = g.size();
-  if (dst < 0 || static_cast<std::size_t>(dst) >= n)
+  if (dst < 0 || mac::checked_cast<std::size_t>(dst) >= n)
     throw std::out_of_range("RoutingEngine::compute: bad destination");
 
   RoutingTable t;
@@ -80,8 +81,8 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
   // --- Phase 1: customer routes (BFS up customer->provider edges). ---
   std::vector<int> cust_len(n, kNoRoute);
   std::vector<AsId> cust_nh(n, topology::kInvalidAs);
-  cust_len[static_cast<std::size_t>(dst)] = 0;
-  cust_nh[static_cast<std::size_t>(dst)] = dst;
+  cust_len[mac::checked_cast<std::size_t>(dst)] = 0;
+  cust_nh[mac::checked_cast<std::size_t>(dst)] = dst;
   std::vector<AsId> frontier{dst};
   std::size_t propagation_passes = 0;
   while (!frontier.empty()) {
@@ -91,9 +92,9 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
     std::vector<AsId> next;
     for (AsId u : frontier) {
       for (AsId p : g.providers(u)) {
-        auto pi = static_cast<std::size_t>(p);
+        auto pi = mac::checked_cast<std::size_t>(p);
         if (cust_len[pi] != kNoRoute) continue;
-        cust_len[pi] = cust_len[static_cast<std::size_t>(u)] + 1;
+        cust_len[pi] = cust_len[mac::checked_cast<std::size_t>(u)] + 1;
         cust_nh[pi] = u;
         next.push_back(p);
       }
@@ -107,8 +108,8 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
   std::vector<int> peer_len(n, kNoRoute);
   std::vector<AsId> peer_nh(n, topology::kInvalidAs);
   for (std::size_t u = 0; u < n; ++u) {
-    for (AsId v : g.peers(static_cast<AsId>(u))) {
-      auto vi = static_cast<std::size_t>(v);
+    for (AsId v : g.peers(mac::checked_cast<AsId>(u))) {
+      auto vi = mac::checked_cast<std::size_t>(v);
       if (cust_len[vi] == kNoRoute) continue;
       int cand = cust_len[vi] + 1;
       if (cand < peer_len[u] || (cand == peer_len[u] && v < peer_nh[u])) {
@@ -136,7 +137,7 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
   std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
   for (std::size_t u = 0; u < n; ++u)
     if (seed_kind(u) != RouteKind::kNone)
-      pq.emplace(seed_len(u), static_cast<AsId>(u));
+      pq.emplace(seed_len(u), mac::checked_cast<AsId>(u));
 
   // An AS exports its *selected* route to customers; selected length is the
   // seed length when a customer/peer route exists, otherwise the provider
@@ -145,11 +146,11 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
   while (!pq.empty()) {
     auto [len, u] = pq.top();
     pq.pop();
-    auto ui = static_cast<std::size_t>(u);
+    auto ui = mac::checked_cast<std::size_t>(u);
     if (settled[ui]) continue;
     settled[ui] = 1;
     for (AsId w : g.customers(u)) {
-      auto wi = static_cast<std::size_t>(w);
+      auto wi = mac::checked_cast<std::size_t>(w);
       int cand = len + 1;
       if (cand < prov_len[wi] ||
           (cand == prov_len[wi] && u < prov_nh[wi])) {
@@ -182,8 +183,8 @@ RoutingTable RoutingEngine::compute(AsId dst) const {
                    t.next_hop[u] != topology::kInvalidAs,
                "routed AS without next hop: u=", u);
   }
-  MAC_ENSURE(t.length[static_cast<std::size_t>(dst)] == 0,
-             "dst=", dst, " self-length=", t.length[static_cast<std::size_t>(dst)]);
+  MAC_ENSURE(t.length[mac::checked_cast<std::size_t>(dst)] == 0,
+             "dst=", dst, " self-length=", t.length[mac::checked_cast<std::size_t>(dst)]);
   return t;
 }
 
@@ -198,12 +199,12 @@ std::vector<AsId> RoutingEngine::path(AsId src, AsId dst) {
   while (cur != dst) {
     if (p.size() > guard)
       throw std::logic_error("RoutingEngine::path: next-hop loop");
-    cur = t.next_hop[static_cast<std::size_t>(cur)];
+    cur = t.next_hop[mac::checked_cast<std::size_t>(cur)];
     p.push_back(cur);
   }
-  MAC_ENSURE(static_cast<std::size_t>(t.length[static_cast<std::size_t>(src)]) + 1 ==
+  MAC_ENSURE(mac::checked_cast<std::size_t>(t.length[mac::checked_cast<std::size_t>(src)]) + 1 ==
                  p.size(),
-             "table length=", t.length[static_cast<std::size_t>(src)],
+             "table length=", t.length[mac::checked_cast<std::size_t>(src)],
              " path hops=", p.size());
   MAC_ENSURE(is_valley_free(*graph_, p), "src=", src, " dst=", dst,
              " hops=", p.size());

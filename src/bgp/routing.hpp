@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bgp/as_graph.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::bgp {
 
@@ -33,7 +34,7 @@ struct RoutingTable {
   std::vector<AsId> next_hop;    // deterministic best next hop toward dst
 
   bool reachable(AsId src) const {
-    return kind[static_cast<std::size_t>(src)] != RouteKind::kNone;
+    return kind[mac::checked_cast<std::size_t>(src)] != RouteKind::kNone;
   }
 };
 

@@ -6,6 +6,7 @@
 
 #include "linalg/solve.hpp"
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 #include "util/rng.hpp"
 #include "util/telemetry.hpp"
 
@@ -31,7 +32,7 @@ void AlsCompleter::fit(const std::vector<RatingEntry>& observed) {
   MAC_SPAN("als.fit");
   MAC_COUNT("als.fits_started");
   MAC_COUNT_N("als.observed_entries", observed.size());
-  const auto r = static_cast<std::size_t>(cfg_.rank);
+  const auto r = mac::checked_cast<std::size_t>(cfg_.rank);
   cols_.assign(total_, {});
   vals_.assign(total_, {});
   wts_.assign(total_, {});
@@ -111,7 +112,7 @@ double AlsCompleter::solve_side(
     const std::vector<std::vector<double>>& obs_wts,
     const linalg::Matrix& fixed, linalg::Matrix& solved) {
   MAC_SPAN("als.solve_side");
-  const auto r = static_cast<std::size_t>(cfg_.rank);
+  const auto r = mac::checked_cast<std::size_t>(cfg_.rank);
   linalg::Matrix gram(r, r);
   linalg::Vector rhs(r);
   double delta = 0.0;
@@ -157,7 +158,7 @@ double AlsCompleter::predict(std::size_t i, std::size_t j) const {
   if (!fitted_) throw std::logic_error("AlsCompleter::predict before fit");
   if (i >= n_ || j >= n_)
     throw std::out_of_range("AlsCompleter::predict: index out of range");
-  const auto r = static_cast<std::size_t>(cfg_.rank);
+  const auto r = mac::checked_cast<std::size_t>(cfg_.rank);
   double s = 0.0;
   for (std::size_t k = 0; k < r; ++k)
     s += p_(i, k) * q_(j, k) + p_(j, k) * q_(i, k);

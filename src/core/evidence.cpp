@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/numeric.hpp"
+
 namespace metas::core {
 
 using topology::GeoScope;
@@ -56,15 +58,15 @@ EstimatedMatrix build_estimated_matrix(
   // Per-granularity consistent-AS sets, computed once over the universe.
   std::vector<std::vector<bool>> consistent(topology::kNumGeoScopes);
   for (int g = 0; g < topology::kNumGeoScopes; ++g)
-    consistent[static_cast<std::size_t>(g)] =
+    consistent[mac::checked_cast<std::size_t>(g)] =
         consistency.consistent_set(static_cast<GeoScope>(g), ctx.ases());
 
   // Sorted-key traversal (R10): e.set writes are per-pair independent, but
   // ordered traversal keeps the fill deterministic by construction.
   for (std::uint64_t key : evidence.sorted_keys()) {
     const PairEvidence& ev = evidence.all().at(key);
-    AsId a = static_cast<AsId>(key & 0xffffffffULL);
-    AsId b = static_cast<AsId>(key >> 32);
+    AsId a = mac::checked_cast<AsId>(key & 0xffffffffULL);
+    AsId b = mac::checked_cast<AsId>(key >> 32);
     int ia = ctx.local(a), ib = ctx.local(b);
     if (ia < 0 || ib < 0 || ia == ib) continue;
 
@@ -73,7 +75,7 @@ EstimatedMatrix build_estimated_matrix(
       GeoScope best = GeoScope::kElsewhere;
       for (MetroId dm : ev.direct)
         best = std::min(best, net.metro_scope(m, dm));
-      e.set(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib),
+      e.set(mac::checked_cast<std::size_t>(ia), mac::checked_cast<std::size_t>(ib),
             positive_rating(best));
     }
 
@@ -85,10 +87,10 @@ EstimatedMatrix build_estimated_matrix(
       for (MetroId tm : ev.transit) scopes.push_back(net.metro_scope(m, tm));
       std::sort(scopes.begin(), scopes.end());
       for (GeoScope g : scopes) {
-        auto gi = static_cast<std::size_t>(g);
-        if (consistent[gi][static_cast<std::size_t>(ia)] &&
-            consistent[gi][static_cast<std::size_t>(ib)]) {
-          e.set(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib),
+        auto gi = mac::enum_cast<std::size_t>(g);
+        if (consistent[gi][mac::checked_cast<std::size_t>(ia)] &&
+            consistent[gi][mac::checked_cast<std::size_t>(ib)]) {
+          e.set(mac::checked_cast<std::size_t>(ia), mac::checked_cast<std::size_t>(ib),
                 negative_rating(g));
           break;
         }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/numeric.hpp"
 #include "util/stats.hpp"
 
 namespace metas::core {
@@ -32,7 +33,7 @@ FeatureMatrix encode_features(const MetroContext& ctx,
     for (int c = 0; c < cardinality; ++c) {
       std::vector<double> row(n, cfg.one_hot_absent);
       for (std::size_t i = 0; i < n; ++i)
-        if (category_of(net.ases[static_cast<std::size_t>(ctx.as_at(i))]) == c)
+        if (category_of(net.ases[mac::checked_cast<std::size_t>(ctx.as_at(i))]) == c)
           row[i] = 1.0;
       fm.names.push_back(prefix + std::to_string(c));
       fm.rows.push_back(std::move(row));
@@ -42,16 +43,16 @@ FeatureMatrix encode_features(const MetroContext& ctx,
   add_one_hot_group("policy_", topology::kNumPeeringPolicies,
                     [](const topology::AsNode& a) {
                       // Unknown PeeringDB records fall into the kNone bucket.
-                      return static_cast<int>(a.features.policy);
+                      return mac::enum_cast<int>(a.features.policy);
                     });
   add_one_hot_group("traffic_", topology::kNumTrafficProfiles,
                     [](const topology::AsNode& a) {
-                      return static_cast<int>(a.features.traffic);
+                      return mac::enum_cast<int>(a.features.traffic);
                     });
   if (cfg.include_class)
     add_one_hot_group("class_", topology::kNumAsClasses,
                       [](const topology::AsNode& a) {
-                        return static_cast<int>(a.cls);
+                        return mac::enum_cast<int>(a.cls);
                       });
   if (cfg.include_country)
     add_one_hot_group("country_", net.num_countries,
@@ -62,7 +63,7 @@ FeatureMatrix encode_features(const MetroContext& ctx,
   auto add_numeric = [&](const std::string& name, auto&& value_of) {
     std::vector<double> raw(n);
     for (std::size_t i = 0; i < n; ++i)
-      raw[i] = value_of(net.ases[static_cast<std::size_t>(ctx.as_at(i))]);
+      raw[i] = value_of(net.ases[mac::checked_cast<std::size_t>(ctx.as_at(i))]);
     fm.names.push_back(name);
     fm.rows.push_back(squash_numeric(std::move(raw)));
   };

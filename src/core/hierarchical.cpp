@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::core {
 
 namespace {
@@ -17,7 +19,7 @@ void HierarchicalStrategyModel::add_metro(
     const std::array<double, traceroute::kNumStrategies>& fail) {
   metro_ids_.push_back(metro);
   for (int s = 0; s < traceroute::kNumStrategies; ++s) {
-    auto si = static_cast<std::size_t>(s);
+    auto si = mac::checked_cast<std::size_t>(s);
     obs_[si].push_back({metro, succ[si], fail[si]});
   }
   fitted_ = false;
@@ -25,7 +27,7 @@ void HierarchicalStrategyModel::add_metro(
 
 void HierarchicalStrategyModel::fit() {
   for (int s = 0; s < traceroute::kNumStrategies; ++s) {
-    auto si = static_cast<std::size_t>(s);
+    auto si = mac::checked_cast<std::size_t>(s);
     // Collect per-metro empirical rates with enough trials to be meaningful.
     std::vector<double> rates, weights;
     for (const auto& o : obs_[si]) {
@@ -72,12 +74,12 @@ void HierarchicalStrategyModel::fit() {
 
 double HierarchicalStrategyModel::predict_new_metro(int strategy) const {
   if (!fitted_) throw std::logic_error("HierarchicalStrategyModel: fit first");
-  return mu_[static_cast<std::size_t>(strategy)];
+  return mu_[mac::checked_cast<std::size_t>(strategy)];
 }
 
 double HierarchicalStrategyModel::posterior(int strategy, int metro) const {
   if (!fitted_) throw std::logic_error("HierarchicalStrategyModel: fit first");
-  auto si = static_cast<std::size_t>(strategy);
+  auto si = mac::checked_cast<std::size_t>(strategy);
   double a = mu_[si] * kappa_[si];
   double b = (1.0 - mu_[si]) * kappa_[si];
   for (const auto& o : obs_[si]) {
@@ -91,12 +93,12 @@ double HierarchicalStrategyModel::posterior(int strategy, int metro) const {
 
 double HierarchicalStrategyModel::kappa(int strategy) const {
   if (!fitted_) throw std::logic_error("HierarchicalStrategyModel: fit first");
-  return kappa_[static_cast<std::size_t>(strategy)];
+  return kappa_[mac::checked_cast<std::size_t>(strategy)];
 }
 
 double HierarchicalStrategyModel::no_pooling_estimate(int strategy,
                                                       int metro) const {
-  auto si = static_cast<std::size_t>(strategy);
+  auto si = mac::checked_cast<std::size_t>(strategy);
   for (const auto& o : obs_[si]) {
     if (o.metro != metro) continue;
     double n = o.successes + o.failures;
@@ -106,7 +108,7 @@ double HierarchicalStrategyModel::no_pooling_estimate(int strategy,
 }
 
 double HierarchicalStrategyModel::complete_pooling_estimate(int strategy) const {
-  auto si = static_cast<std::size_t>(strategy);
+  auto si = mac::checked_cast<std::size_t>(strategy);
   double s = 0.0, n = 0.0;
   for (const auto& o : obs_[si]) {
     s += o.successes;

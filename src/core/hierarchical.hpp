@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "traceroute/strategy.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::core {
 
@@ -59,7 +60,7 @@ class HierarchicalStrategyModel {
   double no_pooling_estimate(int strategy, int metro) const;
   double complete_pooling_estimate(int strategy) const;
 
-  int metros_observed() const { return static_cast<int>(metro_ids_.size()); }
+  int metros_observed() const { return mac::checked_cast<int>(metro_ids_.size()); }
 
  private:
   std::vector<int> metro_ids_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/numeric.hpp"
 #include "util/telemetry.hpp"
 
 namespace metas::core {
@@ -24,7 +25,7 @@ MeasurementSystem::MeasurementSystem(const topology::Internet& net,
   rels_.providers_of = &net.providers;
   targets_by_as_.assign(net.num_ases(), {});
   for (std::size_t t = 0; t < targets_.size(); ++t)
-    targets_by_as_[static_cast<std::size_t>(targets_[t].as)].push_back(t);
+    targets_by_as_[mac::checked_cast<std::size_t>(targets_[t].as)].push_back(t);
 }
 
 void MeasurementSystem::process_trace(const traceroute::TraceResult& trace,
@@ -45,7 +46,7 @@ void MeasurementSystem::run_public_archives(std::size_t count) {
   // the bias the targeted-measurement scheduler exists to correct (§3.3).
   std::vector<double> weights(targets_.size());
   for (std::size_t t = 0; t < targets_.size(); ++t) {
-    const auto& node = net_->ases[static_cast<std::size_t>(targets_[t].as)];
+    const auto& node = net_->ases[mac::checked_cast<std::size_t>(targets_[t].as)];
     double popularity = std::log1p(node.features.eyeballs) +
                         3.0 * std::log1p(node.features.customer_cone) +
                         (node.cls == topology::AsClass::kHypergiant ||
@@ -155,9 +156,9 @@ MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
 
   // Candidate targets: far AS itself plus its customer cone.
   std::vector<std::size_t> cand_tgts;
-  const auto& cone = net_->cones[static_cast<std::size_t>(far)];
+  const auto& cone = net_->cones[mac::checked_cast<std::size_t>(far)];
   for (AsId member : cone) {
-    for (std::size_t t : targets_by_as_[static_cast<std::size_t>(member)]) {
+    for (std::size_t t : targets_by_as_[mac::checked_cast<std::size_t>(member)]) {
       if (traceroute::categorize_target(*net_, targets_[t], far, m) != tgt_cat)
         continue;
       cand_tgts.push_back(t);
@@ -248,9 +249,9 @@ MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
   out.informative = out.revealed_direct || out.revealed_transit;
   if (out.informative) MAC_COUNT("measurement.informative_results");
 
-  auto key = (static_cast<std::uint64_t>(
-                  static_cast<std::uint32_t>(trace.vp_id)) << 32) |
-             static_cast<std::uint32_t>(near);
+  auto key = (mac::checked_cast<std::uint64_t>(
+                  mac::checked_cast<std::uint32_t>(trace.vp_id)) << 32) |
+             mac::checked_cast<std::uint32_t>(near);
   auto& st = vp_stats_[key];
   ++st.first;
   if (out.informative) ++st.second;
@@ -260,18 +261,18 @@ MeasurementOutcome MeasurementSystem::run_targeted(AsId i, AsId j, MetroId m,
 std::vector<int> MeasurementSystem::vp_category_counts(AsId i, MetroId m) const {
   std::vector<int> counts(traceroute::kVpCategories, 0);
   for (const auto& vp : vps_)
-    ++counts[static_cast<std::size_t>(traceroute::categorize_vp(*net_, vp, i, m))];
+    ++counts[mac::checked_cast<std::size_t>(traceroute::categorize_vp(*net_, vp, i, m))];
   return counts;
 }
 
 std::vector<int> MeasurementSystem::target_category_counts(AsId j,
                                                            MetroId m) const {
   std::vector<int> counts(traceroute::kTargetCategories, 0);
-  const auto& cone = net_->cones[static_cast<std::size_t>(j)];
+  const auto& cone = net_->cones[mac::checked_cast<std::size_t>(j)];
   for (AsId member : cone) {
-    for (std::size_t t : targets_by_as_[static_cast<std::size_t>(member)]) {
+    for (std::size_t t : targets_by_as_[mac::checked_cast<std::size_t>(member)]) {
       int c = traceroute::categorize_target(*net_, targets_[t], j, m);
-      if (c >= 0) ++counts[static_cast<std::size_t>(c)];
+      if (c >= 0) ++counts[mac::checked_cast<std::size_t>(c)];
     }
   }
   return counts;
@@ -282,8 +283,8 @@ EstimatedMatrix MeasurementSystem::build_matrix(const MetroContext& ctx) const {
 }
 
 double MeasurementSystem::vp_score(int vp_id, AsId i) const {
-  auto key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(vp_id)) << 32) |
-             static_cast<std::uint32_t>(i);
+  auto key = (mac::checked_cast<std::uint64_t>(mac::checked_cast<std::uint32_t>(vp_id)) << 32) |
+             mac::checked_cast<std::uint32_t>(i);
   auto it = vp_stats_.find(key);
   if (it == vp_stats_.end()) return 0.5;  // unseen VPs get a neutral score
   return (it->second.second + 1.0) / (it->second.first + 2.0);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "topology/internet.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::core {
 
@@ -18,10 +19,10 @@ class MetroContext {
  public:
   MetroContext(const topology::Internet& net, MetroId metro)
       : net_(&net), metro_(metro) {
-    const auto& m = net.metros.at(static_cast<std::size_t>(metro));
+    const auto& m = net.metros.at(mac::checked_cast<std::size_t>(metro));
     ases_ = m.ases;
     for (std::size_t i = 0; i < ases_.size(); ++i)
-      index_[ases_[i]] = static_cast<int>(i);
+      index_[ases_[i]] = mac::checked_cast<int>(i);
   }
 
   const topology::Internet& net() const { return *net_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/numeric.hpp"
+
 namespace metas::core {
 
 namespace {
@@ -11,9 +13,9 @@ namespace {
 std::pair<double, double> row_counts(const EstimatedMatrix& e, int i) {
   double pos = 0.0, neg = 0.0;
   for (std::size_t j = 0; j < e.size(); ++j) {
-    if (static_cast<int>(j) == i || !e.filled(static_cast<std::size_t>(i), j))
+    if (mac::checked_cast<int>(j) == i || !e.filled(mac::checked_cast<std::size_t>(i), j))
       continue;
-    if (e.value(static_cast<std::size_t>(i), j) > 0.0) pos += 1.0;
+    if (e.value(mac::checked_cast<std::size_t>(i), j) > 0.0) pos += 1.0;
     else neg += 1.0;
   }
   return {pos, neg};
@@ -59,10 +61,10 @@ std::vector<std::string> pair_feature_names() {
 std::vector<double> pair_features(const MetroContext& ctx,
                                   const EstimatedMatrix& e, int i, int j) {
   const auto& net = ctx.net();
-  const auto& a = net.ases[static_cast<std::size_t>(ctx.as_at(
-      static_cast<std::size_t>(i)))];
-  const auto& b = net.ases[static_cast<std::size_t>(ctx.as_at(
-      static_cast<std::size_t>(j)))];
+  const auto& a = net.ases[mac::checked_cast<std::size_t>(ctx.as_at(
+      mac::checked_cast<std::size_t>(i)))];
+  const auto& b = net.ases[mac::checked_cast<std::size_t>(ctx.as_at(
+      mac::checked_cast<std::size_t>(j)))];
   auto [pos_i, neg_i] = row_counts(e, i);
   auto [pos_j, neg_j] = row_counts(e, j);
   std::vector<double> f;

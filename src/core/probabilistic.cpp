@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::core {
 
 double view_threshold(const PipelineResult& result, TopologyView view) {
@@ -24,10 +26,10 @@ double view_threshold(const PipelineResult& result, TopologyView view) {
 std::vector<std::pair<int, int>> links_at_threshold(const linalg::Matrix& ratings,
                                                     double threshold) {
   std::vector<std::pair<int, int>> links;
-  const int n = static_cast<int>(ratings.rows());
+  const int n = mac::checked_cast<int>(ratings.rows());
   for (int i = 0; i < n; ++i)
     for (int j = i + 1; j < n; ++j)
-      if (ratings(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) >=
+      if (ratings(mac::checked_cast<std::size_t>(i), mac::checked_cast<std::size_t>(j)) >=
           threshold)
         links.emplace_back(i, j);
   return links;
@@ -42,7 +44,8 @@ void RatingCalibrator::fit(std::vector<Sample> samples, int bins) {
 
   // Equal-count binning, then pool-adjacent-violators to enforce that the
   // existence probability is non-decreasing in the rating.
-  std::size_t per_bin = std::max<std::size_t>(1, samples.size() / bins);
+  std::size_t per_bin =
+      std::max<std::size_t>(1, samples.size() / mac::checked_cast<std::size_t>(bins));
   struct Block {
     double prob;
     double weight;
@@ -85,7 +88,7 @@ double RatingCalibrator::probability(double rating) const {
   if (bin_upper_.empty())
     throw std::logic_error("RatingCalibrator::probability before fit");
   auto it = std::lower_bound(bin_upper_.begin(), bin_upper_.end(), rating);
-  std::size_t idx = static_cast<std::size_t>(it - bin_upper_.begin());
+  std::size_t idx = mac::checked_cast<std::size_t>(it - bin_upper_.begin());
   if (idx >= bin_prob_.size()) idx = bin_prob_.size() - 1;
   return bin_prob_[idx];
 }
@@ -104,17 +107,17 @@ ProbabilisticTopology::ProbabilisticTopology(const linalg::Matrix& ratings,
 }
 
 double ProbabilisticTopology::link_probability(int i, int j) const {
-  if (i < 0 || j < 0 || static_cast<std::size_t>(i) >= n_ ||
-      static_cast<std::size_t>(j) >= n_)
+  if (i < 0 || j < 0 || mac::checked_cast<std::size_t>(i) >= n_ ||
+      mac::checked_cast<std::size_t>(j) >= n_)
     throw std::out_of_range("ProbabilisticTopology::link_probability");
-  return prob_[static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j)];
+  return prob_[mac::checked_cast<std::size_t>(i) * n_ + mac::checked_cast<std::size_t>(j)];
 }
 
 double ProbabilisticTopology::expected_degree(int i) const {
   double s = 0.0;
   for (std::size_t j = 0; j < n_; ++j)
-    if (j != static_cast<std::size_t>(i))
-      s += prob_[static_cast<std::size_t>(i) * n_ + j];
+    if (j != mac::checked_cast<std::size_t>(i))
+      s += prob_[mac::checked_cast<std::size_t>(i) * n_ + j];
   return s;
 }
 
@@ -124,7 +127,7 @@ std::vector<std::pair<int, int>> ProbabilisticTopology::sample(
   for (std::size_t i = 0; i < n_; ++i)
     for (std::size_t j = i + 1; j < n_; ++j)
       if (rng.bernoulli(prob_[i * n_ + j]))
-        links.emplace_back(static_cast<int>(i), static_cast<int>(j));
+        links.emplace_back(mac::checked_cast<int>(i), mac::checked_cast<int>(j));
   return links;
 }
 
@@ -139,21 +142,21 @@ double ProbabilisticTopology::path_existence_probability(int i, int j,
   for (int s = 0; s < samples; ++s) {
     for (auto& a : adj) a.clear();
     for (auto [a, b] : sample(rng)) {
-      adj[static_cast<std::size_t>(a)].push_back(b);
-      adj[static_cast<std::size_t>(b)].push_back(a);
+      adj[mac::checked_cast<std::size_t>(a)].push_back(b);
+      adj[mac::checked_cast<std::size_t>(b)].push_back(a);
     }
     std::fill(seen.begin(), seen.end(), 0);
     std::queue<int> q;
     q.push(i);
-    seen[static_cast<std::size_t>(i)] = 1;
+    seen[mac::checked_cast<std::size_t>(i)] = 1;
     bool found = false;
     while (!q.empty() && !found) {
       int u = q.front();
       q.pop();
-      for (int v : adj[static_cast<std::size_t>(u)]) {
+      for (int v : adj[mac::checked_cast<std::size_t>(u)]) {
         if (v == j) { found = true; break; }
-        if (!seen[static_cast<std::size_t>(v)]) {
-          seen[static_cast<std::size_t>(v)] = 1;
+        if (!seen[mac::checked_cast<std::size_t>(v)]) {
+          seen[mac::checked_cast<std::size_t>(v)] = 1;
           q.push(v);
         }
       }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::core {
 
@@ -17,8 +18,8 @@ void StrategyPriors::absorb(
     const std::array<double, kNumStrategies>& a,
     const std::array<double, kNumStrategies>& b) {
   for (int s = 0; s < kNumStrategies; ++s) {
-    alpha[static_cast<std::size_t>(s)] += a[static_cast<std::size_t>(s)];
-    beta[static_cast<std::size_t>(s)] += b[static_cast<std::size_t>(s)];
+    alpha[mac::checked_cast<std::size_t>(s)] += a[mac::checked_cast<std::size_t>(s)];
+    beta[mac::checked_cast<std::size_t>(s)] += b[mac::checked_cast<std::size_t>(s)];
   }
   ++metros_observed;
 }
@@ -43,7 +44,7 @@ ProbabilityMatrix::ProbabilityMatrix(const MetroContext& ctx,
   allowed_.fill(true);
 
   for (int s = 0; s < kNumStrategies; ++s) {
-    auto si = static_cast<std::size_t>(s);
+    auto si = mac::checked_cast<std::size_t>(s);
     alpha_[si] = cfg.prior_alpha;
     beta_[si] = cfg.prior_beta;
     if (priors != nullptr && priors->metros_observed > 0) {
@@ -62,7 +63,7 @@ ProbabilityMatrix::ProbabilityMatrix(const MetroContext& ctx,
 double ProbabilityMatrix::strategy_prob(int strategy) const {
   MAC_REQUIRE(strategy >= 0 && strategy < kNumStrategies,
               "strategy=", strategy);
-  auto si = static_cast<std::size_t>(strategy);
+  auto si = mac::checked_cast<std::size_t>(strategy);
   double p = alpha_[si] / (alpha_[si] + beta_[si]);
   MAC_ENSURE(p >= 0.0 && p <= 1.0, "p=", p, " alpha=", alpha_[si],
              " beta=", beta_[si]);
@@ -71,27 +72,27 @@ double ProbabilityMatrix::strategy_prob(int strategy) const {
 
 std::uint64_t ProbabilityMatrix::penalty_key(int i, int j, int s) const {
   // Ordered (i, j): the near/far orientation matters for the penalty.
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) * n_ +
-          static_cast<std::uint32_t>(j)) *
+  return (mac::checked_cast<std::uint64_t>(mac::checked_cast<std::uint32_t>(i)) * n_ +
+          mac::checked_cast<std::uint32_t>(j)) *
              kNumStrategies +
-         static_cast<std::uint64_t>(s);
+         mac::checked_cast<std::uint64_t>(s);
 }
 
 double ProbabilityMatrix::dir_prob(int near, int far, int* best_vp,
                                    int* best_tgt) const {
-  const auto& vc = vp_counts_[static_cast<std::size_t>(near)];
-  const auto& tc = tgt_counts_[static_cast<std::size_t>(far)];
+  const auto& vc = vp_counts_[mac::checked_cast<std::size_t>(near)];
+  const auto& tc = tgt_counts_[mac::checked_cast<std::size_t>(far)];
   double best = 0.0;
   for (int v = 0; v < kVpCategories; ++v) {
-    if (vc[static_cast<std::size_t>(v)] == 0) continue;
+    if (vc[mac::checked_cast<std::size_t>(v)] == 0) continue;
     for (int t = 0; t < kTargetCategories; ++t) {
-      if (tc[static_cast<std::size_t>(t)] == 0) continue;
+      if (tc[mac::checked_cast<std::size_t>(t)] == 0) continue;
       int s = traceroute::strategy_index(v, t);
-      if (!allowed_[static_cast<std::size_t>(s)]) continue;
+      if (!allowed_[mac::checked_cast<std::size_t>(s)]) continue;
       double p = strategy_prob(s);
       // Larger candidate pools make a strategy more likely to pan out.
-      double pool = static_cast<double>(vc[static_cast<std::size_t>(v)]) *
-                    static_cast<double>(tc[static_cast<std::size_t>(t)]);
+      double pool = static_cast<double>(vc[mac::checked_cast<std::size_t>(v)]) *
+                    static_cast<double>(tc[mac::checked_cast<std::size_t>(t)]);
       p *= 1.0 + 0.08 * std::min(3.0, std::log10(pool + 1.0));
       auto pen = penalties_.find(penalty_key(near, far, s));
       if (pen != penalties_.end()) p *= pen->second;
@@ -107,8 +108,8 @@ double ProbabilityMatrix::dir_prob(int near, int far, int* best_vp,
 }
 
 StrategyChoice ProbabilityMatrix::choose(int i, int j) const {
-  MAC_REQUIRE(i >= 0 && j >= 0 && static_cast<std::size_t>(i) < n_ &&
-                  static_cast<std::size_t>(j) < n_ && i != j,
+  MAC_REQUIRE(i >= 0 && j >= 0 && mac::checked_cast<std::size_t>(i) < n_ &&
+                  mac::checked_cast<std::size_t>(j) < n_ && i != j,
               "i=", i, " j=", j, " n=", n_);
   StrategyChoice c;
   int vp_a = -1, tgt_a = -1, vp_b = -1, tgt_b = -1;
@@ -134,7 +135,7 @@ void ProbabilityMatrix::record(int i, int j, const StrategyChoice& choice,
               "probability=", choice.probability);
   if (choice.vp_cat < 0 || choice.tgt_cat < 0) return;
   int s = traceroute::strategy_index(choice.vp_cat, choice.tgt_cat);
-  auto si = static_cast<std::size_t>(s);
+  auto si = mac::checked_cast<std::size_t>(s);
   if (informative) {
     alpha_[si] += 1.0;
   } else {
@@ -149,7 +150,7 @@ void ProbabilityMatrix::record(int i, int j, const StrategyChoice& choice,
 void ProbabilityMatrix::export_priors(StrategyPriors& pool) const {
   std::array<double, kNumStrategies> da{}, db{};
   for (int s = 0; s < kNumStrategies; ++s) {
-    auto si = static_cast<std::size_t>(s);
+    auto si = mac::checked_cast<std::size_t>(s);
     da[si] = std::max(0.0, alpha_[si] - cfg_.prior_alpha);
     db[si] = std::max(0.0, beta_[si] - cfg_.prior_beta);
   }
@@ -167,7 +168,7 @@ void ProbabilityMatrix::restrict_to_ixp_mapped() {
               (st.vp_geo == GeoScope::kSameMetro ||
                st.vp_geo == GeoScope::kSameCountry) &&
               st.tgt_topo != TargetTopo::kInCone;
-    allowed_[static_cast<std::size_t>(s)] = ok;
+    allowed_[mac::checked_cast<std::size_t>(s)] = ok;
   }
 }
 

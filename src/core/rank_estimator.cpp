@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 #include "util/telemetry.hpp"
 
 namespace metas::core {
@@ -24,8 +25,8 @@ void holdout_split(const EstimatedMatrix& e, int per_row, util::Rng& rng,
     auto [i, j] = entries[k];
     if (removed[i] >= per_row || removed[j] >= per_row) continue;
     // Keep at least one entry per touched row in the training set.
-    if (e.row_filled(i) - static_cast<std::size_t>(removed[i]) <= 1) continue;
-    if (e.row_filled(j) - static_cast<std::size_t>(removed[j]) <= 1) continue;
+    if (e.row_filled(i) - mac::checked_cast<std::size_t>(removed[i]) <= 1) continue;
+    if (e.row_filled(j) - mac::checked_cast<std::size_t>(removed[j]) <= 1) continue;
     held[k] = 1;
     ++removed[i];
     ++removed[j];
@@ -54,8 +55,8 @@ double RankEstimator::holdout_mse_once(const EstimatedMatrix& e, int rank,
   // sparser rows are set aside for this iteration.
   std::vector<RatingEntry> scored;
   for (const RatingEntry& h : holdout) {
-    if (e.row_filled(h.i) > static_cast<std::size_t>(rank) &&
-        e.row_filled(h.j) > static_cast<std::size_t>(rank))
+    if (e.row_filled(h.i) > mac::checked_cast<std::size_t>(rank) &&
+        e.row_filled(h.j) > mac::checked_cast<std::size_t>(rank))
       scored.push_back(h);
   }
   if (scored.empty()) scored = holdout;

@@ -1,16 +1,18 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 #include "util/telemetry.hpp"
 
 namespace metas::core {
 
 namespace {
 std::uint64_t entry_key(int i, int j, std::size_t n) {
-  auto lo = static_cast<std::uint64_t>(std::min(i, j));
-  auto hi = static_cast<std::uint64_t>(std::max(i, j));
+  auto lo = mac::checked_cast<std::uint64_t>(std::min(i, j));
+  auto hi = mac::checked_cast<std::uint64_t>(std::max(i, j));
   return lo * n + hi;
 }
 }  // namespace
@@ -77,7 +79,7 @@ std::size_t MeasurementScheduler::fill_rows_to(int target, std::size_t budget) {
     bool any_deficient = false;
     for (std::size_t i = 0; i < ctx_->size(); ++i) {
       if (given_up_[i]) continue;
-      if (e.row_filled(i) < static_cast<std::size_t>(target)) {
+      if (e.row_filled(i) < mac::checked_cast<std::size_t>(target)) {
         any_deficient = true;
         break;
       }
@@ -96,8 +98,8 @@ std::size_t MeasurementScheduler::fill_rows_to(int target, std::size_t budget) {
   // Budget accounting: overshoot is bounded by one batch worth of picks,
   // each of which may fail over a bounded number of times (the batch that
   // crosses the budget line is not truncated mid-flight).
-  MAC_ENSURE(issued < budget + static_cast<std::size_t>(cfg_.batch_size) *
-                                   static_cast<std::size_t>(std::max(
+  MAC_ENSURE(issued < budget + mac::checked_cast<std::size_t>(cfg_.batch_size) *
+                                   mac::checked_cast<std::size_t>(std::max(
                                        1, ms_->resilience().max_attempts)),
              "issued=", issued, " budget=", budget,
              " batch_size=", cfg_.batch_size);
@@ -121,7 +123,7 @@ void MeasurementScheduler::finish_campaign(int target) {
   for (std::size_t i = 0; i < n; ++i) {
     auto filled = static_cast<double>(e.row_filled(i));
     fill += std::min(1.0, filled / static_cast<double>(target));
-    if (e.row_filled(i) >= static_cast<std::size_t>(target))
+    if (e.row_filled(i) >= mac::checked_cast<std::size_t>(target))
       ++degradation_.rows_at_target;
     if (given_up_[i]) ++degradation_.rows_given_up;
   }
@@ -157,8 +159,8 @@ BatchResult MeasurementScheduler::run_batch(const EstimatedMatrix& e,
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t j = i + 1; j < n; ++j)
         greedy_order_.emplace_back(
-            pm_->entry_prob(static_cast<int>(i), static_cast<int>(j)),
-            entry_key(static_cast<int>(i), static_cast<int>(j), n));
+            pm_->entry_prob(mac::checked_cast<int>(i), mac::checked_cast<int>(j)),
+            entry_key(mac::checked_cast<int>(i), mac::checked_cast<int>(j), n));
     std::sort(greedy_order_.begin(), greedy_order_.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
   }
@@ -187,12 +189,12 @@ BatchResult MeasurementScheduler::run_batch(const EstimatedMatrix& e,
     MAC_COUNT("scheduler.picks_selected");
     if (pick.exploration) {
       MAC_COUNT("scheduler.picks_exploration");
-      batch_explored_rows.insert(static_cast<std::uint64_t>(pick.i));
-      batch_explored_rows.insert(static_cast<std::uint64_t>(pick.j));
+      batch_explored_rows.insert(mac::checked_cast<std::uint64_t>(pick.i));
+      batch_explored_rows.insert(mac::checked_cast<std::uint64_t>(pick.j));
       explored_entries_.insert(entry_key(pick.i, pick.j, n));
     }
-    sim_filled[static_cast<std::size_t>(pick.i)]++;
-    sim_filled[static_cast<std::size_t>(pick.j)]++;
+    sim_filled[mac::checked_cast<std::size_t>(pick.i)]++;
+    sim_filled[mac::checked_cast<std::size_t>(pick.j)]++;
     result.launched += execute(pick);
     ++result.selected;
   }
@@ -206,17 +208,17 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_exploit(
   // Deficient row with the fewest filled entries but at least one entry with
   // P above the threshold; ties broken at random.
   int best_row = -1;
-  std::size_t best_fill = static_cast<std::size_t>(-1);
+  std::size_t best_fill = std::numeric_limits<std::size_t>::max();
   int ties = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (given_up_[i]) continue;
-    if (sim_filled[i] >= static_cast<std::size_t>(target)) continue;
+    if (sim_filled[i] >= mac::checked_cast<std::size_t>(target)) continue;
     if (sim_filled[i] < best_fill) {
       best_fill = sim_filled[i];
-      best_row = static_cast<int>(i);
+      best_row = mac::checked_cast<int>(i);
       ties = 1;
     } else if (sim_filled[i] == best_fill && rng_.bernoulli(1.0 / ++ties)) {
-      best_row = static_cast<int>(i);
+      best_row = mac::checked_cast<int>(i);
     }
   }
   if (best_row < 0) return {};
@@ -226,16 +228,16 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_exploit(
   double best_p = cfg_.exploit_min_prob;
   bool skipped_backoff = false;
   for (std::size_t j = 0; j < n; ++j) {
-    if (static_cast<int>(j) == best_row) continue;
-    if (e.filled(static_cast<std::size_t>(best_row), j)) continue;
-    if (under_backoff(best_row, static_cast<int>(j))) {
+    if (mac::checked_cast<int>(j) == best_row) continue;
+    if (e.filled(mac::checked_cast<std::size_t>(best_row), j)) continue;
+    if (under_backoff(best_row, mac::checked_cast<int>(j))) {
       skipped_backoff = true;
       continue;
     }
-    double p = pm_->entry_prob(best_row, static_cast<int>(j));
+    double p = pm_->entry_prob(best_row, mac::checked_cast<int>(j));
     if (p > best_p) {
       best_p = p;
-      best_j = static_cast<int>(j);
+      best_j = mac::checked_cast<int>(j);
     }
   }
   if (skipped_backoff) MAC_COUNT("scheduler.backoff_waits");
@@ -245,7 +247,7 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_exploit(
     // again once the infrastructure recovers -- so only give up when the
     // row is genuinely unmeasurable.
     if (!skipped_backoff)
-      given_up_[static_cast<std::size_t>(best_row)] = true;
+      given_up_[mac::checked_cast<std::size_t>(best_row)] = true;
     return {};
   }
   return {best_row, best_j, false};
@@ -273,12 +275,12 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_explore(
       if (batch_rows.count(i) != 0 || batch_rows.count(j) != 0) continue;
       if (i > j) std::swap(i, j);
       if (i == j || e.filled(i, j)) continue;
-      if (explored_entries_.count(entry_key(static_cast<int>(i),
-                                            static_cast<int>(j), n)) != 0)
+      if (explored_entries_.count(entry_key(mac::checked_cast<int>(i),
+                                            mac::checked_cast<int>(j), n)) != 0)
         continue;
-      if (under_backoff(static_cast<int>(i), static_cast<int>(j))) continue;
-      if (pm_->entry_prob(static_cast<int>(i), static_cast<int>(j)) > 0.0)
-        return {static_cast<int>(i), static_cast<int>(j), true};
+      if (under_backoff(mac::checked_cast<int>(i), mac::checked_cast<int>(j))) continue;
+      if (pm_->entry_prob(mac::checked_cast<int>(i), mac::checked_cast<int>(j)) > 0.0)
+        return {mac::checked_cast<int>(i), mac::checked_cast<int>(j), true};
     }
   }
   return {};
@@ -288,10 +290,10 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_random(
     const EstimatedMatrix& e) {
   const std::size_t n = ctx_->size();
   for (int tries = 0; tries < 64; ++tries) {
-    int i = static_cast<int>(rng_.index(n));
-    int j = static_cast<int>(rng_.index(n));
+    int i = mac::checked_cast<int>(rng_.index(n));
+    int j = mac::checked_cast<int>(rng_.index(n));
     if (i == j) continue;
-    if (e.filled(static_cast<std::size_t>(i), static_cast<std::size_t>(j)))
+    if (e.filled(mac::checked_cast<std::size_t>(i), mac::checked_cast<std::size_t>(j)))
       continue;
     if (under_backoff(i, j)) continue;
     auto key = entry_key(i, j, n);
@@ -307,9 +309,9 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_greedy(
   const std::size_t n = ctx_->size();
   while (greedy_cursor_ < greedy_order_.size()) {
     auto [p, key] = greedy_order_[greedy_cursor_++];
-    int i = static_cast<int>(key / n);
-    int j = static_cast<int>(key % n);
-    if (e.filled(static_cast<std::size_t>(i), static_cast<std::size_t>(j)))
+    int i = mac::checked_cast<int>(key / n);
+    int j = mac::checked_cast<int>(key % n);
+    if (e.filled(mac::checked_cast<std::size_t>(i), mac::checked_cast<std::size_t>(j)))
       continue;
     if (under_backoff(i, j)) continue;
     if (attempted_.count(key) != 0) continue;
@@ -321,8 +323,8 @@ MeasurementScheduler::Pick MeasurementScheduler::pick_greedy(
 
 std::size_t MeasurementScheduler::execute(const Pick& pick) {
   MAC_REQUIRE(pick.i >= 0 && pick.j >= 0 && pick.i != pick.j &&
-                  static_cast<std::size_t>(pick.i) < ctx_->size() &&
-                  static_cast<std::size_t>(pick.j) < ctx_->size(),
+                  mac::checked_cast<std::size_t>(pick.i) < ctx_->size() &&
+                  mac::checked_cast<std::size_t>(pick.j) < ctx_->size(),
               "i=", pick.i, " j=", pick.j, " n=", ctx_->size());
   StrategyChoice choice = pm_->choose(pick.i, pick.j);
   IssuedRecord rec;
@@ -335,8 +337,8 @@ std::size_t MeasurementScheduler::execute(const Pick& pick) {
     history_.push_back(rec);
     return 0;
   }
-  AsId as_i = ctx_->as_at(static_cast<std::size_t>(pick.i));
-  AsId as_j = ctx_->as_at(static_cast<std::size_t>(pick.j));
+  AsId as_i = ctx_->as_at(mac::checked_cast<std::size_t>(pick.i));
+  AsId as_j = ctx_->as_at(mac::checked_cast<std::size_t>(pick.j));
   MeasurementOutcome out = ms_->run_targeted(as_i, as_j, ctx_->metro(),
                                              choice.vp_cat, choice.tgt_cat,
                                              choice.swapped);
@@ -353,15 +355,15 @@ std::size_t MeasurementScheduler::execute(const Pick& pick) {
   // (candidates existed but e.g. the drawn VP sits in the target AS) keeps
   // the legacy one-unit accounting -- it is a scheduling outcome, not an
   // unspent pick -- so a fault-free run spends exactly what it used to.
-  std::size_t spent = static_cast<std::size_t>(out.launched);
+  std::size_t spent = mac::checked_cast<std::size_t>(out.launched);
   if (!out.ran && !out.infra_failure) spent = 1;
-  rec.spent = static_cast<int>(spent);
+  rec.spent = mac::checked_cast<int>(spent);
   history_.push_back(rec);
 
-  ctr_probes_launched_.add(static_cast<std::uint64_t>(out.launched));
-  ctr_probes_faulted_.add(static_cast<std::uint64_t>(out.faulted));
+  ctr_probes_launched_.add(mac::checked_cast<std::uint64_t>(out.launched));
+  ctr_probes_faulted_.add(mac::checked_cast<std::uint64_t>(out.faulted));
   if (out.attempts > 1)
-    ctr_retries_.add(static_cast<std::uint64_t>(out.attempts - 1));
+    ctr_retries_.add(mac::checked_cast<std::uint64_t>(out.attempts - 1));
 
   const std::uint64_t key = entry_key(pick.i, pick.j, ctx_->size());
   if (out.infra_failure && cfg_.resilient) {
@@ -374,9 +376,9 @@ std::size_t MeasurementScheduler::execute(const Pick& pick) {
     ++fails;
     retry_at = sched_tick_ +
                std::min<std::uint64_t>(
-                   static_cast<std::uint64_t>(cfg_.requeue_backoff_base)
+                   mac::checked_cast<std::uint64_t>(cfg_.requeue_backoff_base)
                        << doublings,
-                   static_cast<std::uint64_t>(cfg_.requeue_backoff_cap));
+                   mac::checked_cast<std::uint64_t>(cfg_.requeue_backoff_cap));
     return spent;
   }
   if (out.infra_failure) ctr_infra_failures_.add();
@@ -384,7 +386,7 @@ std::size_t MeasurementScheduler::execute(const Pick& pick) {
 
   pm_->record(pick.i, pick.j, choice, out.informative);
 
-  auto i = static_cast<std::size_t>(pick.i);
+  auto i = mac::checked_cast<std::size_t>(pick.i);
   if (out.informative) {
     fail_streak_[i] = 0;
   } else if (!pick.exploration) {

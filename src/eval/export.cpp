@@ -2,16 +2,18 @@
 
 #include <ostream>
 
+#include "util/numeric.hpp"
+
 namespace metas::eval {
 
 void export_links_csv(std::ostream& os, const core::MetroContext& ctx,
                       const core::PipelineResult& result, double threshold) {
   os << "as_a,as_b,rating,measured,inferred\n";
-  const int n = static_cast<int>(ctx.size());
+  const int n = mac::checked_cast<int>(ctx.size());
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      auto ii = static_cast<std::size_t>(i);
-      auto jj = static_cast<std::size_t>(j);
+      auto ii = mac::checked_cast<std::size_t>(i);
+      auto jj = mac::checked_cast<std::size_t>(j);
       double rating = result.ratings(ii, jj);
       bool measured =
           result.estimated.filled(ii, jj) && result.estimated.value(ii, jj) > 0;
@@ -44,8 +46,8 @@ void export_measurement_log_csv(std::ostream& os,
         "exploration,infra_failure,attempts\n";
   for (const auto& rec : result.measurement_log) {
     if (rec.i < 0 || rec.j < 0) continue;
-    os << ctx.as_at(static_cast<std::size_t>(rec.i)) << ','
-       << ctx.as_at(static_cast<std::size_t>(rec.j)) << ','
+    os << ctx.as_at(mac::checked_cast<std::size_t>(rec.i)) << ','
+       << ctx.as_at(mac::checked_cast<std::size_t>(rec.j)) << ','
        << rec.estimated_prob << ',' << (rec.ran ? 1 : 0) << ','
        << (rec.informative ? 1 : 0) << ',' << (rec.found_existence ? 1 : 0)
        << ',' << (rec.found_nonexistence ? 1 : 0) << ','

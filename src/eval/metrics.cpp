@@ -1,6 +1,7 @@
 #include "eval/metrics.hpp"
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::eval {
 
@@ -8,22 +9,22 @@ std::vector<EvaluatedPair> score_pairs(
     const core::MetroContext& ctx, const linalg::Matrix& ratings,
     const std::vector<std::pair<int, int>>& pairs) {
   const auto& truth =
-      ctx.net().truth.at(static_cast<std::size_t>(ctx.metro()));
+      ctx.net().truth.at(mac::checked_cast<std::size_t>(ctx.metro()));
   std::vector<EvaluatedPair> out;
   auto push = [&](int i, int j) {
     EvaluatedPair p;
     p.i = i;
     p.j = j;
-    p.rating = ratings(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
-    p.truth = truth.link(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    p.rating = ratings(mac::checked_cast<std::size_t>(i), mac::checked_cast<std::size_t>(j));
+    p.truth = truth.link(mac::checked_cast<std::size_t>(i), mac::checked_cast<std::size_t>(j));
     out.push_back(p);
   };
   if (!pairs.empty()) {
     for (auto [i, j] : pairs) push(i, j);
     return out;
   }
-  const int n = static_cast<int>(ctx.size());
-  out.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  const int n = mac::checked_cast<int>(ctx.size());
+  out.reserve(mac::checked_cast<std::size_t>(n) * mac::checked_cast<std::size_t>(n - 1) / 2);
   for (int i = 0; i < n; ++i)
     for (int j = i + 1; j < n; ++j) push(i, j);
   return out;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::eval {
 
@@ -24,7 +25,7 @@ Split make_split(const core::EstimatedMatrix& e, SplitKind kind,
   Split out;
   if (entries.empty()) return out;
   const auto target =
-      static_cast<std::size_t>(test_fraction * static_cast<double>(entries.size()));
+      mac::trunc_cast<std::size_t>(test_fraction * static_cast<double>(entries.size()));
 
   std::vector<char> held(entries.size(), 0);
   switch (kind) {
@@ -38,8 +39,8 @@ Split make_split(const core::EstimatedMatrix& e, SplitKind kind,
       const std::size_t n = e.size();
       std::vector<int> quota(n), removed(n, 0);
       for (std::size_t i = 0; i < n; ++i)
-        quota[i] = static_cast<int>(test_fraction *
-                                    static_cast<double>(e.row_filled(i)));
+        quota[i] = mac::trunc_cast<int>(test_fraction *
+                                   static_cast<double>(e.row_filled(i)));
       auto order = rng.sample_indices(entries.size(), entries.size());
       for (std::size_t k : order) {
         auto [i, j] = entries[k];

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::eval {
 
@@ -13,12 +14,12 @@ namespace {
 
 // True links of the metro as local pairs.
 std::vector<std::pair<int, int>> true_links(const core::MetroContext& ctx) {
-  const auto& truth = ctx.net().truth.at(static_cast<std::size_t>(ctx.metro()));
+  const auto& truth = ctx.net().truth.at(mac::checked_cast<std::size_t>(ctx.metro()));
   std::vector<std::pair<int, int>> out;
-  const int n = static_cast<int>(ctx.size());
+  const int n = mac::checked_cast<int>(ctx.size());
   for (int i = 0; i < n; ++i)
     for (int j = i + 1; j < n; ++j)
-      if (truth.link(static_cast<std::size_t>(i), static_cast<std::size_t>(j)))
+      if (truth.link(mac::checked_cast<std::size_t>(i), mac::checked_cast<std::size_t>(j)))
         out.emplace_back(i, j);
   return out;
 }
@@ -38,8 +39,8 @@ ValidationSet recall_sample(std::string name,
 std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
                                                 util::Rng& rng) {
   const auto& net = ctx.net();
-  const auto& truth = net.truth.at(static_cast<std::size_t>(ctx.metro()));
-  const int n = static_cast<int>(ctx.size());
+  const auto& truth = net.truth.at(mac::checked_cast<std::size_t>(ctx.metro()));
+  const int n = mac::checked_cast<int>(ctx.size());
   auto links = true_links(ctx);
   std::vector<ValidationSet> sets;
 
@@ -48,8 +49,8 @@ std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
   {
     std::vector<int> clouds;
     for (int i = 0; i < n; ++i) {
-      AsId as = ctx.as_at(static_cast<std::size_t>(i));
-      if (net.ases[static_cast<std::size_t>(as)].cls == AsClass::kHypergiant)
+      AsId as = ctx.as_at(mac::checked_cast<std::size_t>(i));
+      if (net.ases[mac::checked_cast<std::size_t>(as)].cls == AsClass::kHypergiant)
         clouds.push_back(i);
     }
     rng.shuffle(clouds);
@@ -62,8 +63,8 @@ std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
         if (j == c) continue;
         int a = std::min(c, j), b = std::max(c, j);
         v.pairs.emplace_back(a, b);
-        v.labels.push_back(truth.link(static_cast<std::size_t>(a),
-                                      static_cast<std::size_t>(b)));
+        v.labels.push_back(truth.link(mac::checked_cast<std::size_t>(a),
+                                      mac::checked_cast<std::size_t>(b)));
       }
     }
     sets.push_back(std::move(v));
@@ -72,11 +73,11 @@ std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
   // --- BGP communities: links touching community-tagging ASes (a random 30%
   // of the universe), sampled at 40%.
   {
-    std::vector<bool> tags(static_cast<std::size_t>(n), false);
-    for (int i = 0; i < n; ++i) tags[static_cast<std::size_t>(i)] = rng.bernoulli(0.30);
+    std::vector<bool> tags(mac::checked_cast<std::size_t>(n), false);
+    for (int i = 0; i < n; ++i) tags[mac::checked_cast<std::size_t>(i)] = rng.bernoulli(0.30);
     std::vector<std::pair<int, int>> pairs;
     for (auto [i, j] : links)
-      if ((tags[static_cast<std::size_t>(i)] || tags[static_cast<std::size_t>(j)]) &&
+      if ((tags[mac::checked_cast<std::size_t>(i)] || tags[mac::checked_cast<std::size_t>(j)]) &&
           rng.bernoulli(0.4))
         pairs.emplace_back(i, j);
     sets.push_back(recall_sample("BGPCommunity", std::move(pairs)));
@@ -87,10 +88,10 @@ std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
   {
     std::vector<std::pair<int, int>> pairs;
     for (auto [i, j] : links) {
-      const auto& a = net.ases[static_cast<std::size_t>(
-          ctx.as_at(static_cast<std::size_t>(i)))];
-      const auto& b = net.ases[static_cast<std::size_t>(
-          ctx.as_at(static_cast<std::size_t>(j)))];
+      const auto& a = net.ases[mac::checked_cast<std::size_t>(
+          ctx.as_at(mac::checked_cast<std::size_t>(i)))];
+      const auto& b = net.ases[mac::checked_cast<std::size_t>(
+          ctx.as_at(mac::checked_cast<std::size_t>(j)))];
       int shared = 0;
       for (auto m : a.footprint)
         if (std::binary_search(b.footprint.begin(), b.footprint.end(), m))
@@ -104,17 +105,17 @@ std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
   {
     std::vector<int> lg;
     for (int i = 0; i < n; ++i) {
-      AsId as = ctx.as_at(static_cast<std::size_t>(i));
-      AsClass c = net.ases[static_cast<std::size_t>(as)].cls;
+      AsId as = ctx.as_at(mac::checked_cast<std::size_t>(i));
+      AsClass c = net.ases[mac::checked_cast<std::size_t>(as)].cls;
       if (c == AsClass::kTransit || c == AsClass::kTier2) lg.push_back(i);
     }
     rng.shuffle(lg);
     if (lg.size() > 12) lg.resize(12);
-    std::vector<bool> is_lg(static_cast<std::size_t>(n), false);
-    for (int i : lg) is_lg[static_cast<std::size_t>(i)] = true;
+    std::vector<bool> is_lg(mac::checked_cast<std::size_t>(n), false);
+    for (int i : lg) is_lg[mac::checked_cast<std::size_t>(i)] = true;
     std::vector<std::pair<int, int>> pairs;
     for (auto [i, j] : links)
-      if (is_lg[static_cast<std::size_t>(i)] || is_lg[static_cast<std::size_t>(j)])
+      if (is_lg[mac::checked_cast<std::size_t>(i)] || is_lg[mac::checked_cast<std::size_t>(j)])
         pairs.emplace_back(i, j);
     sets.push_back(recall_sample("LookingGlass", std::move(pairs)));
   }
@@ -123,22 +124,22 @@ std::vector<ValidationSet> make_validation_sets(const core::MetroContext& ctx,
   // server) and multilateral (both route-server users) links at this metro.
   {
     std::vector<std::pair<int, int>> bilateral, multilateral;
-    const auto& metro = net.metros.at(static_cast<std::size_t>(ctx.metro()));
+    const auto& metro = net.metros.at(mac::checked_cast<std::size_t>(ctx.metro()));
     for (int ixp_idx : metro.ixps) {
-      const auto& ixp = net.ixps.at(static_cast<std::size_t>(ixp_idx));
-      std::vector<bool> member(static_cast<std::size_t>(n), false);
-      std::vector<bool> rs(static_cast<std::size_t>(n), false);
+      const auto& ixp = net.ixps.at(mac::checked_cast<std::size_t>(ixp_idx));
+      std::vector<bool> member(mac::checked_cast<std::size_t>(n), false);
+      std::vector<bool> rs(mac::checked_cast<std::size_t>(n), false);
       for (AsId m : ixp.members) {
         int l = ctx.local(m);
-        if (l >= 0) member[static_cast<std::size_t>(l)] = true;
+        if (l >= 0) member[mac::checked_cast<std::size_t>(l)] = true;
       }
       for (AsId m : ixp.route_server_users) {
         int l = ctx.local(m);
-        if (l >= 0) rs[static_cast<std::size_t>(l)] = true;
+        if (l >= 0) rs[mac::checked_cast<std::size_t>(l)] = true;
       }
       for (auto [i, j] : links) {
-        auto ii = static_cast<std::size_t>(i);
-        auto jj = static_cast<std::size_t>(j);
+        auto ii = mac::checked_cast<std::size_t>(i);
+        auto jj = mac::checked_cast<std::size_t>(j);
         if (!member[ii] || !member[jj]) continue;
         if (rs[ii] && rs[jj]) multilateral.emplace_back(i, j);
         else bilateral.emplace_back(i, j);

@@ -1,6 +1,7 @@
 #include "eval/world.hpp"
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::eval {
 
@@ -11,7 +12,7 @@ std::vector<topology::MetroId> focus_metro_ids(
               "num_focus_metros=", g.num_focus_metros, " total_metros=", M);
   std::vector<topology::MetroId> ids;
   for (int f = 0; f < g.num_focus_metros; ++f)
-    ids.push_back(static_cast<topology::MetroId>(f * M / g.num_focus_metros));
+    ids.push_back(mac::checked_cast<topology::MetroId>(f * M / g.num_focus_metros));
 #if METASCRITIC_CONTRACTS
   // Focus metros are distinct and strictly increasing by construction.
   for (std::size_t k = 1; k < ids.size(); ++k)

@@ -11,6 +11,7 @@
 #include "core/pipeline.hpp"
 #include "topology/generator.hpp"
 #include "traceroute/engine.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::eval {
 
@@ -43,7 +44,7 @@ struct World {
   std::vector<topology::MetroId> focus_metros;
 
   const topology::MetroTruth& truth_at(topology::MetroId m) const {
-    return net.truth.at(static_cast<std::size_t>(m));
+    return net.truth.at(mac::checked_cast<std::size_t>(m));
   }
 };
 

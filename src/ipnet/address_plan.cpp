@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::ipnet {
 
 using topology::AsId;
@@ -12,11 +14,11 @@ namespace {
 
 // AS i owns 16.0.0.0/4-rooted space: base(i) = 0x10000000 + (i << 16).
 Ip as_base(AsId i) {
-  return 0x10000000u + (static_cast<Ip>(static_cast<std::uint32_t>(i)) << 16);
+  return 0x10000000u + (mac::checked_cast<Ip>(mac::checked_cast<std::uint32_t>(i)) << 16);
 }
 // IXP k owns a /20 peering LAN under 0xF0000000 (room for one stable slot
 // per member AS id).
-Ip ixp_base(int k) { return 0xF0000000u + (static_cast<Ip>(k) << 12); }
+Ip ixp_base(int k) { return 0xF0000000u + (mac::checked_cast<Ip>(k) << 12); }
 
 }  // namespace
 
@@ -24,9 +26,9 @@ std::uint64_t AddressPlan::side_key(AsId side, AsId a, AsId b, MetroId m) {
   AsId lo = std::min(a, b), hi = std::max(a, b);
   // side is one of {lo, hi}; encode side as a bit.
   std::uint64_t side_bit = side == lo ? 0 : 1;
-  return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(lo)) << 40) |
-         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(hi)) << 24) |
-         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(m)) << 8) |
+  return (mac::checked_cast<std::uint64_t>(mac::checked_cast<std::uint16_t>(lo)) << 40) |
+         (mac::checked_cast<std::uint64_t>(mac::checked_cast<std::uint16_t>(hi)) << 24) |
+         (mac::checked_cast<std::uint64_t>(mac::checked_cast<std::uint16_t>(m)) << 8) |
          side_bit;
 }
 
@@ -65,12 +67,12 @@ AddressPlan::AddressPlan(const topology::Internet& net, util::Rng& rng) {
   };
 
   for (const auto& [key, li] : net.link_map) {  // lint: allow(unordered-iter) -- rng stream is pinned to legacy traversal order; per-link derived seeds land with the parallelism PR
-    AsId a = static_cast<AsId>(key & 0xffffffffULL);
-    AsId b = static_cast<AsId>(key >> 32);
+    AsId a = mac::checked_cast<AsId>(key & 0xffffffffULL);
+    AsId b = mac::checked_cast<AsId>(key >> 32);
     // Numbering side: provider for c2p, lower id for peers.
     AsId owner_side;
     if (li.rel == topology::Relationship::kCustomerToProvider) {
-      const auto& provs = net.providers[static_cast<std::size_t>(a)];
+      const auto& provs = net.providers[mac::checked_cast<std::size_t>(a)];
       bool b_is_provider =
           std::find(provs.begin(), provs.end(), b) != provs.end();
       owner_side = b_is_provider ? b : a;
@@ -81,8 +83,8 @@ AddressPlan::AddressPlan(const topology::Internet& net, util::Rng& rng) {
     for (MetroId m : li.metros) {
       // IXP-mediated if an IXP at m has both ASes as members.
       int at_ixp = -1;
-      for (int ixp_idx : net.metros[static_cast<std::size_t>(m)].ixps) {
-        const auto& ixp = net.ixps[static_cast<std::size_t>(ixp_idx)];
+      for (int ixp_idx : net.metros[mac::checked_cast<std::size_t>(m)].ixps) {
+        const auto& ixp = net.ixps[mac::checked_cast<std::size_t>(ixp_idx)];
         bool ha = std::find(ixp.members.begin(), ixp.members.end(), a) !=
                   ixp.members.end();
         bool hb = std::find(ixp.members.begin(), ixp.members.end(), b) !=
@@ -100,8 +102,8 @@ AddressPlan::AddressPlan(const topology::Internet& net, util::Rng& rng) {
         // Stable member slot per AS id inside the peering LAN (AS ids are
         // bounded well below the /20's 4094 usable addresses).
         Ip lan = ixp_base(at_ixp);
-        ip_a = lan + 2 + (static_cast<Ip>(a) & 0xfffu) % 4000u;
-        ip_b = lan + 2 + (static_cast<Ip>(b) & 0xfffu) % 4000u;
+        ip_a = lan + 2 + (mac::checked_cast<Ip>(a) & 0xfffu) % 4000u;
+        ip_b = lan + 2 + (mac::checked_cast<Ip>(b) & 0xfffu) % 4000u;
         numbered_from = topology::kInvalidAs;  // IXP space
       } else {
         Ip& cursor = p2p_cursor[owner_side];
@@ -122,7 +124,7 @@ AddressPlan::AddressPlan(const topology::Internet& net, util::Rng& rng) {
         if (interfaces_.insert({ip, info}).second && ixp_lan)
           ixp_directory_.emplace_back(ip, side);
         auto name =
-            rdns_name(net.ases[static_cast<std::size_t>(side)], m, ip);
+            rdns_name(net.ases[mac::checked_cast<std::size_t>(side)], m, ip);
         if (!name.empty()) rdns_[ip] = name;
       };
       record(a, ip_a);
@@ -133,7 +135,7 @@ AddressPlan::AddressPlan(const topology::Internet& net, util::Rng& rng) {
   // --- Host (target) addresses: low half of each AS's /16, per metro. ---
   for (const auto& node : net.ases) {
     for (MetroId m : node.footprint) {
-      Ip ip = as_base(node.id) + 0x100u * static_cast<Ip>(m) + 10;
+      Ip ip = as_base(node.id) + 0x100u * mac::checked_cast<Ip>(m) + 10;
       InterfaceInfo info;
       info.owner = node.id;
       info.numbered_from = node.id;
@@ -151,7 +153,7 @@ Ip AddressPlan::interface_ip(AsId side, AsId a, AsId b, MetroId m) const {
 }
 
 Ip AddressPlan::host_address(AsId as, MetroId m) const {
-  return as_base(as) + 0x100u * static_cast<Ip>(m) + 10;
+  return as_base(as) + 0x100u * mac::checked_cast<Ip>(m) + 10;
 }
 
 std::string AddressPlan::rdns(Ip ip) const {

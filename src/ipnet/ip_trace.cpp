@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "util/numeric.hpp"
+
 namespace metas::ipnet {
 
 using topology::AsId;
@@ -70,7 +72,7 @@ void BorderMapper::ingest(const IpTraceResult& trace) {
 
 AsId BorderMapper::naive_map(Ip ip) const {
   auto owner = announced_->lookup(ip);
-  return owner ? static_cast<AsId>(*owner) : kInvalidAs;
+  return owner ? mac::checked_cast<AsId>(*owner) : kInvalidAs;
 }
 
 AsId BorderMapper::map(Ip ip) const {
@@ -119,10 +121,10 @@ MetroId InterfaceGeolocator::locate(Ip ip, const std::string& rdns) const {
   if (pos != std::string::npos) {
     std::size_t start = pos + 2;
     std::size_t end = start;
-    while (end < rdns.size() && std::isdigit(static_cast<unsigned char>(rdns[end])))
+    while (end < rdns.size() && std::isdigit(mac::checked_cast<unsigned char>(rdns[end])))
       ++end;
     if (end > start)
-      return static_cast<MetroId>(std::stoi(rdns.substr(start, end - start)));
+      return mac::checked_cast<MetroId>(std::stoi(rdns.substr(start, end - start)));
   }
   return -1;
 }

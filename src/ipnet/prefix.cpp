@@ -2,11 +2,13 @@
 
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::ipnet {
 
 namespace {
 std::uint64_t key_of(Ip addr, int len) {
-  return (static_cast<std::uint64_t>(addr) << 6) | static_cast<std::uint64_t>(len);
+  return (mac::checked_cast<std::uint64_t>(addr) << 6) | mac::checked_cast<std::uint64_t>(len);
 }
 }  // namespace
 
@@ -17,7 +19,7 @@ Prefix::Prefix(Ip address, int length) : len(length) {
 }
 
 Ip Prefix::mask() const {
-  return len == 0 ? 0 : static_cast<Ip>(~0u << (32 - len));
+  return len == 0 ? 0 : mac::checked_cast<Ip>(~0u << (32 - len));
 }
 
 bool Prefix::contains(Ip ip) const { return (ip & mask()) == addr; }
@@ -41,13 +43,13 @@ std::string Prefix::to_string() const {
 void PrefixTable::insert(const Prefix& p, int owner) {
   auto [it, inserted] = entries_.insert_or_assign(key_of(p.addr, p.len), owner);
   if (inserted) ++count_;
-  lens_present_[static_cast<std::size_t>(p.len)] = true;
+  lens_present_[mac::checked_cast<std::size_t>(p.len)] = true;
 }
 
 std::optional<int> PrefixTable::lookup(Ip ip) const {
   for (int len = 32; len >= 0; --len) {
-    if (!lens_present_[static_cast<std::size_t>(len)]) continue;
-    Ip masked = len == 0 ? 0 : (ip & static_cast<Ip>(~0u << (32 - len)));
+    if (!lens_present_[mac::checked_cast<std::size_t>(len)]) continue;
+    Ip masked = len == 0 ? 0 : (ip & mac::checked_cast<Ip>(~0u << (32 - len)));
     auto it = entries_.find(key_of(masked, len));
     if (it != entries_.end()) return it->second;
   }
@@ -56,8 +58,8 @@ std::optional<int> PrefixTable::lookup(Ip ip) const {
 
 std::optional<Prefix> PrefixTable::lookup_prefix(Ip ip) const {
   for (int len = 32; len >= 0; --len) {
-    if (!lens_present_[static_cast<std::size_t>(len)]) continue;
-    Ip masked = len == 0 ? 0 : (ip & static_cast<Ip>(~0u << (32 - len)));
+    if (!lens_present_[mac::checked_cast<std::size_t>(len)]) continue;
+    Ip masked = len == 0 ? 0 : (ip & mac::checked_cast<Ip>(~0u << (32 - len)));
     if (entries_.count(key_of(masked, len)) != 0) return Prefix(masked, len);
   }
   return std::nullopt;

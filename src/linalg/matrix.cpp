@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/numeric.hpp"
+
 namespace metas::linalg {
 
 Matrix Matrix::identity(std::size_t n) {
@@ -54,7 +56,7 @@ Matrix Matrix::operator*(const Matrix& other) const {
   for (std::size_t i = 0; i < rows_; ++i) {
     for (std::size_t k = 0; k < cols_; ++k) {
       double a = (*this)(i, k);
-      if (a == 0.0) continue;
+      if (mac::exact_zero(a)) continue;
       for (std::size_t j = 0; j < other.cols_; ++j)
         out(i, j) += a * other(k, j);
     }

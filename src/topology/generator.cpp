@@ -5,11 +5,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::topology {
 
 namespace {
 
 using util::Rng;
+
+// The generator works in int ids end to end (metro ids, AS ids, config
+// counts); every container subscript and size crosses to std::size_t
+// through the checked boundary.
+inline std::size_t uz(std::int64_t i) { return mac::checked_cast<std::size_t>(i); }
 
 // Footprint bitmask helpers (metros are limited to 64 so a pair's shared
 // footprint test is a single AND).
@@ -72,9 +79,9 @@ double pair_score(const AsNode& a, const AsNode& b, int num_continents) {
   double s = 0.8 * ca * cb + 1.2 * (ca * eb + ea * cb) + 0.25 * ea * eb;
   s += x[kIdioOffset0] * y[kIdioOffset0];
   for (std::size_t d = kContinentOffset;
-       d < static_cast<std::size_t>(kContinentOffset + num_continents); ++d)
+       d < mac::checked_cast<std::size_t>(kContinentOffset + num_continents); ++d)
     s += x[d] * y[d];
-  for (std::size_t d = static_cast<std::size_t>(kContinentOffset + num_continents);
+  for (std::size_t d = mac::checked_cast<std::size_t>(kContinentOffset + num_continents);
        d < x.size(); ++d)
     s += x[d] * y[d];
   s += a.latent_bias + b.latent_bias;
@@ -103,22 +110,22 @@ Internet generate_internet(const GeneratorConfig& cfg) {
   for (int f = 0; f < cfg.num_focus_metros; ++f)
     focus_ids.push_back(f * M / cfg.num_focus_metros);
 
-  std::vector<double> gravity(M, 1.0);
-  net.metros.resize(M);
+  std::vector<double> gravity(uz(M), 1.0);
+  net.metros.resize(uz(M));
   for (int m = 0; m < M; ++m) {
-    Metro& metro = net.metros[m];
+    Metro& metro = net.metros[uz(m)];
     metro.id = m;
     metro.country = m / cfg.metros_per_country;
     metro.continent = metro.country / cfg.countries_per_continent;
     auto it = std::find(focus_ids.begin(), focus_ids.end(), m);
     if (it != focus_ids.end()) {
-      std::size_t fi = static_cast<std::size_t>(it - focus_ids.begin());
+      std::size_t fi = mac::checked_cast<std::size_t>(it - focus_ids.begin());
       metro.name = fi < std::size(kFocusNames) ? kFocusNames[fi]
                                                : "Focus" + std::to_string(fi);
-      gravity[m] = 7.0;
+      gravity[uz(m)] = 7.0;
     } else {
       metro.name = "Metro" + std::to_string(m);
-      gravity[m] = 0.7 + rng.uniform() * 0.8;
+      gravity[uz(m)] = 0.7 + rng.uniform() * 0.8;
     }
   }
 
@@ -133,13 +140,13 @@ Internet generate_internet(const GeneratorConfig& cfg) {
   };
 
   const int N = cfg.total_ases();
-  net.ases.reserve(N);
-  std::vector<std::uint64_t> fmask(N, 0);
+  net.ases.reserve(uz(N));
+  std::vector<std::uint64_t> fmask(uz(N), 0);
 
   for (const Band& band : bands) {
     for (int k = 0; k < band.count; ++k) {
       AsNode node;
-      node.id = static_cast<AsId>(net.ases.size());
+      node.id = mac::checked_cast<AsId>(net.ases.size());
       node.cls = band.cls;
       const ClassParams p = params_for(band.cls);
 
@@ -148,45 +155,45 @@ Internet generate_internet(const GeneratorConfig& cfg) {
       node.home_country =
           country_lo + rng.uniform_int(0, cfg.countries_per_continent - 1);
       int metro_lo = node.home_country * cfg.metros_per_country;
-      MetroId home_metro = static_cast<MetroId>(
+      MetroId home_metro = mac::checked_cast<MetroId>(
           metro_lo + rng.uniform_int(0, cfg.metros_per_country - 1));
 
       // Footprint: home metro plus weighted draws favouring focus metros and
       // home geography.
       int want = std::max(
-          1, static_cast<int>(std::lround(
+          1, mac::checked_cast<int>(std::lround(
                  M * rng.uniform(p.frac_lo, p.frac_hi))));
-      std::vector<double> w(M);
+      std::vector<double> w(uz(M));
       for (int m = 0; m < M; ++m) {
-        double wt = gravity[m];
-        if (net.metros[m].country == node.home_country)
+        double wt = gravity[uz(m)];
+        if (net.metros[uz(m)].country == node.home_country)
           wt *= p.home_country_bias;
-        else if (net.metros[m].continent == node.home_continent)
+        else if (net.metros[uz(m)].continent == node.home_continent)
           wt *= p.home_continent_bias;
-        w[m] = wt;
+        w[uz(m)] = wt;
       }
       node.footprint.push_back(home_metro);
-      w[home_metro] = 0.0;
-      while (static_cast<int>(node.footprint.size()) < want) {
+      w[uz(home_metro)] = 0.0;
+      while (mac::checked_cast<int>(node.footprint.size()) < want) {
         double total = 0.0;
         for (double x : w) total += x;
         if (total <= 0.0) break;
         std::size_t m = rng.weighted_index(w);
-        node.footprint.push_back(static_cast<MetroId>(m));
+        node.footprint.push_back(mac::checked_cast<MetroId>(m));
         w[m] = 0.0;
       }
       std::sort(node.footprint.begin(), node.footprint.end());
 
       // Latent peering-strategy vector.
-      node.latent.assign(cfg.latent_dim, 0.0);
-      node.latent[kIdioOffset0] = rng.normal(0.0, 0.35);
-      node.latent[kContentDim] =
+      node.latent.assign(uz(cfg.latent_dim), 0.0);
+      node.latent[uz(kIdioOffset0)] = rng.normal(0.0, 0.35);
+      node.latent[uz(kContentDim)] =
           std::max(0.0, p.contentness + rng.normal(0.0, 0.20));
-      node.latent[kEyeballDim] =
+      node.latent[uz(kEyeballDim)] =
           std::max(0.0, p.eyeballness + rng.normal(0.0, 0.20));
-      node.latent[kContinentOffset + node.home_continent] = 1.05;
+      node.latent[uz(kContinentOffset + node.home_continent)] = 1.05;
       for (int d = kContinentOffset + cfg.num_continents; d < cfg.latent_dim; ++d)
-        node.latent[d] = rng.normal(0.0, 0.32);
+        node.latent[uz(d)] = rng.normal(0.0, 0.32);
       node.latent_bias = p.bias + rng.normal(0.0, 0.30);
 
       // Observable features derived (noisily) from latent state.
@@ -199,7 +206,7 @@ Internet generate_internet(const GeneratorConfig& cfg) {
       if (!node.features.policy_known)
         node.features.policy = PeeringPolicy::kNone;
 
-      double tdir = node.latent[kContentDim] - node.latent[kEyeballDim] +
+      double tdir = node.latent[uz(kContentDim)] - node.latent[uz(kEyeballDim)] +
                     rng.normal(0.0, cfg.feature_noise);
       if (tdir > 0.55) node.features.traffic = TrafficProfile::kHeavyOutbound;
       else if (tdir > 0.20) node.features.traffic = TrafficProfile::kMostlyOutbound;
@@ -208,8 +215,8 @@ Internet generate_internet(const GeneratorConfig& cfg) {
       else node.features.traffic = TrafficProfile::kHeavyInbound;
 
       node.features.eyeballs =
-          node.latent[kEyeballDim] > 0.05
-              ? node.latent[kEyeballDim] * rng.pareto(2.0e4, 1.3)
+          node.latent[uz(kEyeballDim)] > 0.05
+              ? node.latent[uz(kEyeballDim)] * rng.pareto(2.0e4, 1.3)
               : rng.uniform(0.0, 500.0);
       node.features.ip_space = rng.pareto(256.0, 1.1);
       node.features.country = node.home_country;
@@ -220,14 +227,14 @@ Internet generate_internet(const GeneratorConfig& cfg) {
       node.responsiveness = rng.bernoulli(0.25) ? rng.uniform(0.25, 0.55)
                                                 : rng.uniform(0.70, 0.99);
 
-      fmask[node.id] = mask_of(node.footprint);
+      fmask[uz(node.id)] = mask_of(node.footprint);
       net.ases.push_back(std::move(node));
     }
   }
 
-  net.providers.assign(N, {});
-  net.customers.assign(N, {});
-  net.peers.assign(N, {});
+  net.providers.assign(uz(N), {});
+  net.customers.assign(uz(N), {});
+  net.peers.assign(uz(N), {});
 
   // Per-(AS, metro) activity level: how aggressively the AS interconnects at
   // that metro. Most presences are "full" (activity 1); the rest are partial
@@ -236,17 +243,17 @@ Internet generate_internet(const GeneratorConfig& cfg) {
   // metro connectivity matrices remain effectively low-rank -- the paper's
   // central premise (Appx. B).
   std::vector<std::vector<double>> activity(
-      static_cast<std::size_t>(N), std::vector<double>(M, 0.0));
+      uz(N), std::vector<double>(uz(M), 0.0));
   for (const AsNode& a : net.ases)
     for (MetroId m : a.footprint)
-      activity[static_cast<std::size_t>(a.id)][static_cast<std::size_t>(m)] =
+      activity[mac::checked_cast<std::size_t>(a.id)][mac::checked_cast<std::size_t>(m)] =
           rng.bernoulli(0.80) ? 1.0 : rng.uniform(0.20, 0.62);
   // Deterministic instantiation rule: a link present somewhere exists at a
   // shared metro iff the two activity levels are jointly high enough. Being
   // a function of per-(AS, metro) state only, this keeps T_m low-rank.
   auto present_at = [&](AsId a, AsId b, MetroId m) {
-    return activity[static_cast<std::size_t>(a)][static_cast<std::size_t>(m)] +
-               activity[static_cast<std::size_t>(b)][static_cast<std::size_t>(m)] >=
+    return activity[mac::checked_cast<std::size_t>(a)][mac::checked_cast<std::size_t>(m)] +
+               activity[mac::checked_cast<std::size_t>(b)][mac::checked_cast<std::size_t>(m)] >=
            1.35;
   };
 
@@ -261,8 +268,8 @@ Internet generate_internet(const GeneratorConfig& cfg) {
     auto it = net.link_map.find(pair_key(a, b));
     if (it == net.link_map.end()) {
       add_link(a, b, Relationship::kPeerToPeer, {m});
-      net.peers[a].push_back(b);
-      net.peers[b].push_back(a);
+      net.peers[uz(a)].push_back(b);
+      net.peers[uz(b)].push_back(a);
     } else {
       it->second.metros.push_back(m);
     }
@@ -270,10 +277,10 @@ Internet generate_internet(const GeneratorConfig& cfg) {
 
   auto shared_metros = [&](AsId a, AsId b) {
     std::vector<MetroId> out;
-    std::uint64_t inter = fmask[a] & fmask[b];
+    std::uint64_t inter = fmask[uz(a)] & fmask[uz(b)];
     while (inter != 0) {
       int m = std::countr_zero(inter);
-      out.push_back(static_cast<MetroId>(m));
+      out.push_back(mac::checked_cast<MetroId>(m));
       inter &= inter - 1;
     }
     return out;
@@ -294,18 +301,18 @@ Internet generate_internet(const GeneratorConfig& cfg) {
   // Transit market share: a heavy-tailed per-AS attractiveness makes a few
   // providers dominate each region, giving the c2p rows the blocky structure
   // real regional markets show (and keeping metro matrices low-rank).
-  std::vector<double> market_share(static_cast<std::size_t>(N), 1.0);
+  std::vector<double> market_share(mac::checked_cast<std::size_t>(N), 1.0);
   for (auto& msv : market_share) msv = rng.pareto(1.0, 1.2);
   auto choose_providers = [&](AsId cust, const std::vector<AsId>& pool,
                               int lo, int hi) {
     if (pool.empty()) return;
     int want = rng.uniform_int(lo, hi);
     std::vector<double> w(pool.size());
-    const AsNode& cn = net.ases[cust];
+    const AsNode& cn = net.ases[uz(cust)];
     for (std::size_t i = 0; i < pool.size(); ++i) {
-      const AsNode& pn = net.ases[pool[i]];
-      bool shares = (fmask[cust] & fmask[pool[i]]) != 0;
-      double wt = (shares ? 2.0 : 0.4) * market_share[static_cast<std::size_t>(pool[i])];
+      const AsNode& pn = net.ases[uz(pool[i])];
+      bool shares = (fmask[uz(cust)] & fmask[uz(pool[i])]) != 0;
+      double wt = (shares ? 2.0 : 0.4) * market_share[uz(pool[i])];
       if (pn.home_country == cn.home_country) wt *= 8.0;
       else if (pn.home_continent == cn.home_continent) wt *= 2.5;
       w[i] = wt;
@@ -320,15 +327,15 @@ Internet generate_internet(const GeneratorConfig& cfg) {
       chosen.push_back(pool[pi]);
     }
     for (AsId prov : chosen) {
-      net.providers[cust].push_back(prov);
-      net.customers[prov].push_back(cust);
+      net.providers[uz(cust)].push_back(prov);
+      net.customers[uz(prov)].push_back(cust);
       auto shared = shared_metros(cust, prov);
       if (shared.empty()) {
         // Model the provider extending a PoP to reach the customer.
-        MetroId hm = net.ases[cust].footprint.front();
-        auto& pf = net.ases[prov].footprint;
+        MetroId hm = net.ases[uz(cust)].footprint.front();
+        auto& pf = net.ases[uz(prov)].footprint;
         pf.insert(std::lower_bound(pf.begin(), pf.end(), hm), hm);
-        fmask[prov] |= (1ULL << hm);
+        fmask[uz(prov)] |= (1ULL << hm);
         shared = {hm};
       }
       std::vector<MetroId> where;
@@ -370,18 +377,18 @@ Internet generate_internet(const GeneratorConfig& cfg) {
         if (present_at(tier1[i], tier1[j], m)) where.push_back(m);
       if (where.empty()) where.push_back(rng.pick(shared));
       add_link(tier1[i], tier1[j], Relationship::kPeerToPeer, where);
-      net.peers[tier1[i]].push_back(tier1[j]);
-      net.peers[tier1[j]].push_back(tier1[i]);
+      net.peers[uz(tier1[i])].push_back(tier1[j]);
+      net.peers[uz(tier1[j])].push_back(tier1[i]);
     }
   }
 
   // ---- Bilateral peering from the latent factor model --------------------
   for (AsId i = 0; i < N; ++i) {
     for (AsId j = i + 1; j < N; ++j) {
-      if ((fmask[i] & fmask[j]) == 0) continue;
+      if ((fmask[uz(i)] & fmask[uz(j)]) == 0) continue;
       if (net.link_map.count(pair_key(i, j)) != 0) continue;
-      const AsNode& a = net.ases[i];
-      const AsNode& b = net.ases[j];
+      const AsNode& a = net.ases[uz(i)];
+      const AsNode& b = net.ases[uz(j)];
       double s = pair_score(a, b, cfg.num_continents) +
                  rng.normal(0.0, cfg.link_noise);
       // Policy penalties use the *true* latent appetite bucket, not the
@@ -403,8 +410,8 @@ Internet generate_internet(const GeneratorConfig& cfg) {
         if (present_at(i, j, m)) where.push_back(m);
       if (where.empty()) where.push_back(rng.pick(shared));
       add_link(i, j, Relationship::kPeerToPeer, where);
-      net.peers[i].push_back(j);
-      net.peers[j].push_back(i);
+      net.peers[uz(i)].push_back(j);
+      net.peers[uz(j)].push_back(i);
     }
   }
 
@@ -415,10 +422,10 @@ Internet generate_internet(const GeneratorConfig& cfg) {
         std::find(focus_ids.begin(), focus_ids.end(), m) != focus_ids.end();
     if (!focus && !rng.bernoulli(0.4)) continue;
     Ixp ixp;
-    ixp.id = static_cast<int>(net.ixps.size());
+    ixp.id = mac::checked_cast<int>(net.ixps.size());
     ixp.metro = m;
     for (const AsNode& a : net.ases) {
-      if ((fmask[a.id] & (1ULL << m)) == 0) continue;
+      if ((fmask[uz(a.id)] & (1ULL << m)) == 0) continue;
       double join = 0.15, rs = 0.2;
       switch (a.features.policy) {
         case PeeringPolicy::kOpen: join = 0.60; rs = 0.70; break;
@@ -434,8 +441,8 @@ Internet generate_internet(const GeneratorConfig& cfg) {
       for (std::size_t j = i + 1; j < ixp.route_server_users.size(); ++j)
         if (rng.bernoulli(cfg.ixp_rs_mesh_prob))
           add_link_metro(ixp.route_server_users[i], ixp.route_server_users[j],
-                         static_cast<MetroId>(m));
-    net.metros[m].ixps.push_back(ixp.id);
+                         mac::checked_cast<MetroId>(m));
+    net.metros[uz(m)].ixps.push_back(ixp.id);
     net.ixps.push_back(std::move(ixp));
   }
 
@@ -452,20 +459,20 @@ Internet generate_internet(const GeneratorConfig& cfg) {
   }
   for (const AsNode& a : net.ases)
     for (MetroId m : a.footprint)
-      net.metros[static_cast<std::size_t>(m)].ases.push_back(a.id);
+      net.metros[mac::checked_cast<std::size_t>(m)].ases.push_back(a.id);
 
-  net.truth.reserve(M);
+  net.truth.reserve(uz(M));
   for (int m = 0; m < M; ++m)
-    net.truth.emplace_back(static_cast<MetroId>(m), net.metros[m].ases);
+    net.truth.emplace_back(mac::checked_cast<MetroId>(m), net.metros[uz(m)].ases);
   for (std::uint64_t key : link_keys) {
     const LinkInfo& li = net.link_map.at(key);
-    AsId a = static_cast<AsId>(key & 0xffffffffULL);
-    AsId b = static_cast<AsId>(key >> 32);
+    AsId a = mac::checked_cast<AsId>(key & 0xffffffffULL);
+    AsId b = mac::checked_cast<AsId>(key >> 32);
     for (MetroId m : li.metros) {
-      MetroTruth& t = net.truth[static_cast<std::size_t>(m)];
+      MetroTruth& t = net.truth[mac::checked_cast<std::size_t>(m)];
       int ia = t.local_index(a), ib = t.local_index(b);
       if (ia >= 0 && ib >= 0)
-        t.set_link(static_cast<std::size_t>(ia), static_cast<std::size_t>(ib),
+        t.set_link(mac::checked_cast<std::size_t>(ia), mac::checked_cast<std::size_t>(ib),
                    true);
     }
   }

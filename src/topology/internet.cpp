@@ -4,6 +4,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "util/numeric.hpp"
+
 namespace metas::topology {
 
 std::string to_string(AsClass c) {
@@ -66,7 +68,7 @@ MetroTruth::MetroTruth(MetroId metro, std::vector<AsId> ases)
     : metro_(metro), ases_(std::move(ases)) {
   index_.reserve(ases_.size());
   for (std::size_t i = 0; i < ases_.size(); ++i)
-    index_[ases_[i]] = static_cast<int>(i);
+    index_[ases_[i]] = mac::checked_cast<int>(i);
   // Referential integrity: the local index must be a bijection, so the metro
   // AS list cannot contain duplicates.
   MAC_ENSURE(index_.size() == ases_.size(), "metro=", metro_,
@@ -117,12 +119,12 @@ bool Internet::linked_at(AsId a, AsId b, MetroId m) const {
 }
 
 bool Internet::in_cone(AsId owner, AsId member) const {
-  const auto& cone = cones[static_cast<std::size_t>(owner)];
+  const auto& cone = cones[mac::checked_cast<std::size_t>(owner)];
   return std::binary_search(cone.begin(), cone.end(), member);
 }
 
 std::vector<AsId> Internet::neighbors(AsId a) const {
-  auto idx = static_cast<std::size_t>(a);
+  auto idx = mac::checked_cast<std::size_t>(a);
   std::vector<AsId> out;
   out.reserve(providers[idx].size() + customers[idx].size() + peers[idx].size());
   out.insert(out.end(), providers[idx].begin(), providers[idx].end());
@@ -132,10 +134,10 @@ std::vector<AsId> Internet::neighbors(AsId a) const {
 }
 
 GeoScope Internet::scope_to_metro(AsId a, MetroId m) const {
-  MAC_REQUIRE(a >= 0 && static_cast<std::size_t>(a) < ases.size(), "a=", a);
-  MAC_REQUIRE(m >= 0 && static_cast<std::size_t>(m) < metros.size(), "m=", m);
-  const AsNode& node = ases[static_cast<std::size_t>(a)];
-  const Metro& metro = metros[static_cast<std::size_t>(m)];
+  MAC_REQUIRE(a >= 0 && mac::checked_cast<std::size_t>(a) < ases.size(), "a=", a);
+  MAC_REQUIRE(m >= 0 && mac::checked_cast<std::size_t>(m) < metros.size(), "m=", m);
+  const AsNode& node = ases[mac::checked_cast<std::size_t>(a)];
+  const Metro& metro = metros[mac::checked_cast<std::size_t>(m)];
   // Presence at the metro itself dominates registration geography.
   if (std::find(node.footprint.begin(), node.footprint.end(), m) !=
       node.footprint.end())
@@ -146,8 +148,8 @@ GeoScope Internet::scope_to_metro(AsId a, MetroId m) const {
 
 GeoScope Internet::metro_scope(MetroId a, MetroId b) const {
   if (a == b) return GeoScope::kSameMetro;
-  const Metro& ma = metros[static_cast<std::size_t>(a)];
-  const Metro& mb = metros[static_cast<std::size_t>(b)];
+  const Metro& ma = metros[mac::checked_cast<std::size_t>(a)];
+  const Metro& mb = metros[mac::checked_cast<std::size_t>(b)];
   return geo_scope(ma.country, ma.continent, mb.country, mb.continent);
 }
 
@@ -157,19 +159,19 @@ void Internet::finalize_derived_state() {
     // Cones include the AS itself; an empty cone means the DAG walk lost it.
     MAC_ENSURE(in_cone(node.id, node.id), "as=", node.id);
     node.features.customer_cone =
-        static_cast<double>(cones[static_cast<std::size_t>(node.id)].size());
-    node.features.footprint_size = static_cast<int>(node.footprint.size());
+        static_cast<double>(cones[mac::checked_cast<std::size_t>(node.id)].size());
+    node.features.footprint_size = mac::checked_cast<int>(node.footprint.size());
   }
 #if METASCRITIC_CONTRACTS
   // Metro referential integrity: every AS listed at a metro must carry that
   // metro in its footprint, and vice versa the footprint must be a real metro.
   for (const Metro& m : metros)
     for (AsId a : m.ases)
-      MAC_ENSURE(a >= 0 && static_cast<std::size_t>(a) < ases.size(),
+      MAC_ENSURE(a >= 0 && mac::checked_cast<std::size_t>(a) < ases.size(),
                  "metro=", m.id, " as=", a);
   for (const AsNode& node : ases)
     for (MetroId fm : node.footprint)
-      MAC_ENSURE(fm >= 0 && static_cast<std::size_t>(fm) < metros.size(),
+      MAC_ENSURE(fm >= 0 && mac::checked_cast<std::size_t>(fm) < metros.size(),
                  "as=", node.id, " footprint metro=", fm);
 #endif
 }
@@ -185,9 +187,9 @@ std::vector<std::vector<AsId>> compute_customer_cones(
     if (state[i] == 1)
       throw std::logic_error("compute_customer_cones: cycle in c2p graph");
     state[i] = 1;
-    std::vector<AsId> cone{static_cast<AsId>(i)};
+    std::vector<AsId> cone{mac::checked_cast<AsId>(i)};
     for (AsId c : customers[i]) {
-      auto ci = static_cast<std::size_t>(c);
+      auto ci = mac::checked_cast<std::size_t>(c);
       visit(ci);
       cone.insert(cone.end(), cones[ci].begin(), cones[ci].end());
     }

@@ -15,6 +15,7 @@
 #include "topology/as_node.hpp"
 #include "topology/metro.hpp"
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::topology {
 
@@ -33,9 +34,9 @@ struct LinkInfo {
 
 /// Key for an unordered AS pair.
 inline std::uint64_t pair_key(AsId a, AsId b) {
-  auto lo = static_cast<std::uint32_t>(a < b ? a : b);
-  auto hi = static_cast<std::uint32_t>(a < b ? b : a);
-  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+  auto lo = mac::checked_cast<std::uint32_t>(a < b ? a : b);
+  auto hi = mac::checked_cast<std::uint32_t>(a < b ? b : a);
+  return (mac::checked_cast<std::uint64_t>(hi) << 32) | lo;
 }
 
 /// Dense symmetric 0/1 ground-truth connectivity matrix for one metro,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/numeric.hpp"
+
 namespace metas::traceroute {
 
 using topology::AsId;
@@ -22,7 +24,7 @@ void ConsistencyTracker::ingest(const TraceObservations& obs) {
 }
 
 bool ConsistencyTracker::metros_close(MetroId a, MetroId b, GeoScope g) const {
-  return static_cast<int>(net_->metro_scope(a, b)) <= static_cast<int>(g);
+  return mac::enum_cast<int>(net_->metro_scope(a, b)) <= mac::enum_cast<int>(g);
 }
 
 bool ConsistencyTracker::pair_inconsistent(AsId a, AsId b, GeoScope g) const {
@@ -40,7 +42,7 @@ std::vector<bool> ConsistencyTracker::consistent_set(
   // Collect inconsistent pairs restricted to the universe.
   std::unordered_map<AsId, int> pos;
   for (std::size_t i = 0; i < universe.size(); ++i)
-    pos[universe[i]] = static_cast<int>(i);
+    pos[universe[i]] = mac::checked_cast<int>(i);
 
   // Sorted-key traversal (R10): the greedy elimination below breaks count
   // ties by universe index, so it is order-independent today -- ordered
@@ -55,8 +57,8 @@ std::vector<bool> ConsistencyTracker::consistent_set(
   std::vector<Pair> bad;
   for (std::uint64_t key : keys) {
     const PairEvidence& ev = pair_data_.at(key);
-    AsId a = static_cast<AsId>(key & 0xffffffffULL);
-    AsId b = static_cast<AsId>(key >> 32);
+    AsId a = mac::checked_cast<AsId>(key & 0xffffffffULL);
+    AsId b = mac::checked_cast<AsId>(key >> 32);
     auto ia = pos.find(a);
     auto ib = pos.find(b);
     if (ia == pos.end() || ib == pos.end()) continue;
@@ -72,8 +74,8 @@ std::vector<bool> ConsistencyTracker::consistent_set(
   std::vector<bool> alive(universe.size(), true);
   std::vector<int> count(universe.size(), 0);
   for (const Pair& p : bad) {
-    ++count[static_cast<std::size_t>(p.a)];
-    ++count[static_cast<std::size_t>(p.b)];
+    ++count[mac::checked_cast<std::size_t>(p.a)];
+    ++count[mac::checked_cast<std::size_t>(p.b)];
   }
   // Iteratively drop the AS involved in the most live inconsistent pairs.
   while (true) {
@@ -82,18 +84,18 @@ std::vector<bool> ConsistencyTracker::consistent_set(
       if (!alive[i]) continue;
       if (count[i] > worst_count) {
         worst_count = count[i];
-        worst = static_cast<int>(i);
+        worst = mac::checked_cast<int>(i);
       }
     }
     if (worst < 0 || worst_count == 0) break;
-    alive[static_cast<std::size_t>(worst)] = false;
+    alive[mac::checked_cast<std::size_t>(worst)] = false;
     for (const Pair& p : bad) {
-      if (p.a == worst && alive[static_cast<std::size_t>(p.b)])
-        --count[static_cast<std::size_t>(p.b)];
-      if (p.b == worst && alive[static_cast<std::size_t>(p.a)])
-        --count[static_cast<std::size_t>(p.a)];
+      if (p.a == worst && alive[mac::checked_cast<std::size_t>(p.b)])
+        --count[mac::checked_cast<std::size_t>(p.b)];
+      if (p.b == worst && alive[mac::checked_cast<std::size_t>(p.a)])
+        --count[mac::checked_cast<std::size_t>(p.a)];
     }
-    count[static_cast<std::size_t>(worst)] = 0;
+    count[mac::checked_cast<std::size_t>(worst)] = 0;
   }
   return alive;
 }

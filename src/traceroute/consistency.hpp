@@ -17,6 +17,7 @@
 
 #include "topology/internet.hpp"
 #include "traceroute/observations.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::traceroute {
 
@@ -65,8 +66,8 @@ class WellPositionedTracker {
 
  private:
   static std::uint64_t key(topology::AsId as, topology::MetroId m) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(as)) << 16) |
-           static_cast<std::uint16_t>(m);
+    return (mac::checked_cast<std::uint64_t>(mac::checked_cast<std::uint32_t>(as)) << 16) |
+           mac::checked_cast<std::uint16_t>(m);
   }
   std::unordered_map<int, std::size_t> issued_;
   std::unordered_map<int, std::unordered_set<std::uint64_t>> traversed_;

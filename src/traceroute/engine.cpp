@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 #include "util/telemetry.hpp"
 
 namespace metas::traceroute {
@@ -24,7 +25,7 @@ MetroId TracerouteEngine::choose_link_metro(const topology::LinkInfo& link,
   const auto& metros = link.metros;
   if (metros.empty())
     throw std::logic_error("choose_link_metro: link without metros");
-  const topology::AsNode& from_node = net_->ases[static_cast<std::size_t>(from)];
+  const topology::AsNode& from_node = net_->ases[mac::checked_cast<std::size_t>(from)];
   if (!from_node.consistent_routing &&
       rng.bernoulli(cfg_.inconsistent_divert_prob)) {
     // Inconsistent AS: intradomain policy steers through an arbitrary
@@ -36,7 +37,7 @@ MetroId TracerouteEngine::choose_link_metro(const topology::LinkInfo& link,
   MetroId best = metros.front();
   int best_rank = 1 << 20;
   for (MetroId m : metros) {
-    int rank = static_cast<int>(net_->metro_scope(current, m)) * 1024 + m;
+    int rank = mac::enum_cast<int>(net_->metro_scope(current, m)) * 1024 + m;
     if (rank < best_rank) {
       best_rank = rank;
       best = m;
@@ -51,12 +52,12 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
                                     const ProbeTarget& tgt, util::Rng& rng) {
   // VP and target validity: both ends must name real ASes and the VP a real
   // metro, or the simulated probe would index out of the topology.
-  MAC_REQUIRE(vp.as >= 0 && static_cast<std::size_t>(vp.as) < net_->num_ases(),
+  MAC_REQUIRE(vp.as >= 0 && mac::checked_cast<std::size_t>(vp.as) < net_->num_ases(),
               "vp.as=", vp.as);
   MAC_REQUIRE(vp.metro >= 0 &&
-                  static_cast<std::size_t>(vp.metro) < net_->metros.size(),
+                  mac::checked_cast<std::size_t>(vp.metro) < net_->metros.size(),
               "vp.metro=", vp.metro);
-  MAC_REQUIRE(tgt.as >= 0 && static_cast<std::size_t>(tgt.as) < net_->num_ases(),
+  MAC_REQUIRE(tgt.as >= 0 && mac::checked_cast<std::size_t>(tgt.as) < net_->num_ases(),
               "tgt.as=", tgt.as);
   MAC_REQUIRE(tgt.responsiveness >= 0.0 && tgt.responsiveness <= 1.0,
               "tgt.responsiveness=", tgt.responsiveness);
@@ -104,7 +105,7 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
   first.responsive = true;
   res.hops.push_back(first);
 
-  const int num_metros = static_cast<int>(net_->metros.size());
+  const int num_metros = mac::checked_cast<int>(net_->metros.size());
   for (std::size_t k = 1; k < path.size(); ++k) {
     AsId u = path[k - 1];
     AsId v = path[k];
@@ -117,7 +118,7 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
     Hop hop;
     hop.as = v;
     hop.true_ingress = ingress;
-    const topology::AsNode& vn = net_->ases[static_cast<std::size_t>(v)];
+    const topology::AsNode& vn = net_->ases[mac::checked_cast<std::size_t>(v)];
     double responsive_p = vn.responsiveness;
     if (k + 1 == path.size()) responsive_p *= tgt.responsiveness;
     hop.responsive = rng.bernoulli(responsive_p);
@@ -127,12 +128,12 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
       } else if (rng.bernoulli(0.6)) {
         // Typical geolocation error: a *different* nearby metro in the same
         // country (falls through to ungeolocatable when there is none).
-        const auto& metro = net_->metros[static_cast<std::size_t>(ingress)];
+        const auto& metro = net_->metros[mac::checked_cast<std::size_t>(ingress)];
         std::vector<MetroId> same_country;
         for (int m = 0; m < num_metros; ++m)
           if (m != ingress &&
-              net_->metros[static_cast<std::size_t>(m)].country == metro.country)
-            same_country.push_back(static_cast<MetroId>(m));
+              net_->metros[mac::checked_cast<std::size_t>(m)].country == metro.country)
+            same_country.push_back(mac::checked_cast<MetroId>(m));
         hop.observed_ingress =
             same_country.empty() ? -1 : rng.pick(same_country);
       } else {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::traceroute {
 
@@ -103,8 +104,8 @@ FaultInjector::FaultInjector(FaultProfile profile)
 FaultInjector::VpState& FaultInjector::vp_state(int vp_id) {
   auto it = vps_.find(vp_id);
   if (it == vps_.end()) {
-    VpState s(mix(profile_.seed, 2ULL * static_cast<std::uint64_t>(
-                                            static_cast<std::uint32_t>(vp_id)) + 1));
+    VpState s(mix(profile_.seed, 2ULL * mac::checked_cast<std::uint64_t>(
+                                            mac::checked_cast<std::uint32_t>(vp_id)) + 1));
     s.last_tick = tick_;
     s.tokens = profile_.bucket_capacity;  // buckets start full
     it = vps_.emplace(vp_id, std::move(s)).first;
@@ -116,8 +117,8 @@ FaultInjector::MetroState& FaultInjector::metro_state(topology::MetroId m) {
   auto it = metros_.find(m);
   if (it == metros_.end()) {
     MetroState s(mix(profile_.seed ^ 0xC0FFEEULL,
-                     2ULL * static_cast<std::uint64_t>(
-                                static_cast<std::uint32_t>(m))));
+                     2ULL * mac::checked_cast<std::uint64_t>(
+                                mac::checked_cast<std::uint32_t>(m))));
     s.last_tick = tick_;
     it = metros_.emplace(m, std::move(s)).first;
   }

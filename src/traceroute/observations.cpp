@@ -3,13 +3,14 @@
 #include <algorithm>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::traceroute {
 
 bool PublicRelationships::is_provider_of(topology::AsId provider,
                                          topology::AsId customer) const {
   if (providers_of == nullptr) return false;
-  const auto& ps = (*providers_of)[static_cast<std::size_t>(customer)];
+  const auto& ps = (*providers_of)[mac::checked_cast<std::size_t>(customer)];
   return std::find(ps.begin(), ps.end(), provider) != ps.end();
 }
 

@@ -1,13 +1,15 @@
 #include "traceroute/strategy.hpp"
 
+#include "util/numeric.hpp"
+
 namespace metas::traceroute {
 
 namespace {
 int vp_category(GeoScope g, VpTopo t) {
-  return static_cast<int>(g) * kNumVpTopo + static_cast<int>(t);
+  return mac::enum_cast<int>(g) * kNumVpTopo + mac::enum_cast<int>(t);
 }
 int target_category(GeoScope g, TargetTopo t) {
-  return static_cast<int>(g) * kNumTargetTopo + static_cast<int>(t);
+  return mac::enum_cast<int>(g) * kNumTargetTopo + mac::enum_cast<int>(t);
 }
 }  // namespace
 

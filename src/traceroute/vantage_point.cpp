@@ -1,5 +1,7 @@
 #include "traceroute/vantage_point.hpp"
 
+#include "util/numeric.hpp"
+
 namespace metas::traceroute {
 
 std::vector<VantagePoint> place_vantage_points(const topology::Internet& net,
@@ -54,9 +56,9 @@ std::vector<ProbeTarget> enumerate_targets(const topology::Internet& net,
       t.as = node.id;
       t.metro = m;
       t.responsiveness = std::min(1.0, node.responsiveness + rng.uniform(-0.05, 0.05));
-      const auto& metro = net.metros[static_cast<std::size_t>(m)];
+      const auto& metro = net.metros[mac::checked_cast<std::size_t>(m)];
       for (int ixp_idx : metro.ixps) {
-        const auto& ixp = net.ixps[static_cast<std::size_t>(ixp_idx)];
+        const auto& ixp = net.ixps[mac::checked_cast<std::size_t>(ixp_idx)];
         if (std::find(ixp.members.begin(), ixp.members.end(), node.id) !=
             ixp.members.end()) {
           t.ixp_adjacent = true;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/numeric.hpp"
+
 namespace metas::util {
 
 double Confusion::precision() const {
@@ -22,7 +24,7 @@ double Confusion::fpr() const {
 
 double Confusion::f_score() const {
   double p = precision(), r = recall();
-  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  return mac::exact_zero(p + r) ? 0.0 : 2.0 * p * r / (p + r);
 }
 
 double Confusion::accuracy() const {
@@ -65,7 +67,7 @@ std::vector<CurvePoint> pr_curve(const std::vector<Scored>& input) {
   for (std::size_t i = 0; i < data.size(); ++i) {
     if (data[i].positive) ++tp; else ++fp;
     // Only emit at distinct-score boundaries to keep the curve well defined.
-    if (i + 1 < data.size() && data[i + 1].score == data[i].score) continue;
+    if (i + 1 < data.size() && mac::exact_eq(data[i + 1].score, data[i].score)) continue;
     CurvePoint p;
     p.threshold = data[i].score;
     p.x = static_cast<double>(tp) / static_cast<double>(total_pos);
@@ -85,7 +87,7 @@ std::vector<CurvePoint> roc_curve(const std::vector<Scored>& input) {
   pts.push_back({data.front().score + 1.0, 0.0, 0.0});
   for (std::size_t i = 0; i < data.size(); ++i) {
     if (data[i].positive) ++tp; else ++fp;
-    if (i + 1 < data.size() && data[i + 1].score == data[i].score) continue;
+    if (i + 1 < data.size() && mac::exact_eq(data[i + 1].score, data[i].score)) continue;
     CurvePoint p;
     p.threshold = data[i].score;
     p.x = static_cast<double>(fp) / static_cast<double>(total_neg);

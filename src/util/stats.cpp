@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/numeric.hpp"
 #include "util/rng.hpp"
 
 namespace metas::util {
@@ -33,8 +34,8 @@ double percentile(std::vector<double> xs, double p) {
   std::sort(xs.begin(), xs.end());
   if (xs.size() == 1) return xs[0];
   double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
-  auto lo = static_cast<std::size_t>(std::floor(rank));
-  auto hi = static_cast<std::size_t>(std::ceil(rank));
+  auto lo = mac::narrow<std::size_t>(std::floor(rank));
+  auto hi = mac::narrow<std::size_t>(std::ceil(rank));
   double frac = rank - static_cast<double>(lo);
   return xs[lo] + frac * (xs[hi] - xs[lo]);
 }
@@ -52,7 +53,7 @@ double pearson(const std::vector<double>& x, const std::vector<double>& y) {
     sxx += dx * dx;
     syy += dy * dy;
   }
-  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  if (mac::exact_zero(sxx) || mac::exact_zero(syy)) return 0.0;
   return sxy / std::sqrt(sxx * syy);
 }
 
@@ -76,7 +77,7 @@ double correlation_ratio(const std::vector<int>& categories,
   }
   double total = 0.0;
   for (double y : outcome) total += (y - grand) * (y - grand);
-  if (total == 0.0) return 0.0;
+  if (mac::exact_zero(total)) return 0.0;
   return std::sqrt(between / total);
 }
 
@@ -126,7 +127,7 @@ ConfidenceInterval bootstrap_ci_mean(const std::vector<double>& xs, Rng& rng,
     return ci;
   }
   std::vector<double> means;
-  means.reserve(static_cast<std::size_t>(resamples));
+  means.reserve(mac::checked_cast<std::size_t>(resamples));
   std::vector<double> draw(xs.size());
   for (int r = 0; r < resamples; ++r) {
     for (std::size_t i = 0; i < xs.size(); ++i) draw[i] = xs[rng.index(xs.size())];

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/numeric.hpp"
+
 namespace metas::util {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -33,7 +35,7 @@ void Table::print(std::ostream& os) const {
     os << "| ";
     for (std::size_t c = 0; c < headers_.size(); ++c) {
       const std::string& cell = c < cells.size() ? cells[c] : std::string{};
-      os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      os << std::left << std::setw(mac::checked_cast<int>(widths[c])) << cell;
       os << " | ";
     }
     os << "\n";

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace metas::util::telemetry {
 
@@ -33,7 +34,7 @@ std::string json_escape(const std::string& s) {
   out.reserve(s.size());
   for (char c : s) {
     if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    if (mac::checked_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
     out.push_back(c);
   }
   return out;
@@ -56,7 +57,7 @@ std::uint64_t steady_now_ns() {
   // The one sanctioned wall-clock read in src/ (see tools/lint.py R7/R8):
   // values feed telemetry output only, never simulation state.
   auto now = std::chrono::steady_clock::now().time_since_epoch();  // lint: allow(wall-clock)
-  return static_cast<std::uint64_t>(
+  return mac::checked_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
 }
 
@@ -90,7 +91,7 @@ double Histogram::bucket_lower_bound(int b) {
 }
 
 void Histogram::observe(double v) {
-  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+  buckets_[mac::checked_cast<std::size_t>(bucket_of(v))].fetch_add(
       1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   // CAS loops keep sum/min/max TSan-clean without a lock.
@@ -195,7 +196,7 @@ int Registry::span_begin(std::string_view name) {
     if (it != span_index_.end()) {
       node = it->second;
     } else {
-      node = static_cast<int>(span_nodes_.size());
+      node = mac::checked_cast<int>(span_nodes_.size());
       SpanNode& n = span_nodes_.emplace_back();
       n.name = key.second;
       n.parent = parent;
@@ -219,9 +220,9 @@ void Registry::span_end(int node_id) {
   std::uint64_t elapsed = end >= frame.start_ns ? end - frame.start_ns : 0;
   LockGuard lock(mu_);
   // The tree may have been reset between begin and end (tests); drop then.
-  if (frame.node < 0 || static_cast<std::size_t>(frame.node) >= span_nodes_.size())
+  if (frame.node < 0 || mac::checked_cast<std::size_t>(frame.node) >= span_nodes_.size())
     return;
-  SpanNode& n = span_nodes_[static_cast<std::size_t>(frame.node)];
+  SpanNode& n = span_nodes_[mac::checked_cast<std::size_t>(frame.node)];
   n.count.fetch_add(1, std::memory_order_relaxed);
   n.total_ns.fetch_add(elapsed, std::memory_order_relaxed);
 }
@@ -277,11 +278,11 @@ void write_span_json(std::ostream& os,
                      const std::vector<Registry::SpanSnapshot>& nodes,
                      const std::vector<std::vector<int>>& children, int id,
                      int indent) {
-  const auto& n = nodes[static_cast<std::size_t>(id)];
-  std::string pad(static_cast<std::size_t>(indent), ' ');
+  const auto& n = nodes[mac::checked_cast<std::size_t>(id)];
+  std::string pad(mac::checked_cast<std::size_t>(indent), ' ');
   os << pad << "{\"name\": \"" << json_escape(n.name)
      << "\", \"count\": " << n.count << ", \"total_ns\": " << n.total_ns;
-  const auto& kids = children[static_cast<std::size_t>(id)];
+  const auto& kids = children[mac::checked_cast<std::size_t>(id)];
   if (!kids.empty()) {
     os << ", \"children\": [\n";
     for (std::size_t k = 0; k < kids.size(); ++k) {
@@ -300,10 +301,10 @@ std::vector<int> span_children(const std::vector<Registry::SpanSnapshot>& nodes,
   std::vector<int> roots;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (nodes[i].parent < 0)
-      roots.push_back(static_cast<int>(i));
+      roots.push_back(mac::checked_cast<int>(i));
     else
-      children[static_cast<std::size_t>(nodes[i].parent)].push_back(
-          static_cast<int>(i));
+      children[mac::checked_cast<std::size_t>(nodes[i].parent)].push_back(
+          mac::checked_cast<int>(i));
   }
   return roots;
 }
@@ -395,7 +396,7 @@ void Registry::write_csv(std::ostream& os) const {
     const auto& n = spans_flat[i];
     paths[i] = n.parent < 0
                    ? n.name
-                   : paths[static_cast<std::size_t>(n.parent)] + "/" + n.name;
+                   : paths[mac::checked_cast<std::size_t>(n.parent)] + "/" + n.name;
   }
   for (std::size_t i = 0; i < spans_flat.size(); ++i) {
     os << "span," << paths[i] << ",count," << spans_flat[i].count << "\n";

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "util/annotations.hpp"
+#include "util/numeric.hpp"
 #include "util/sync.hpp"
 
 #ifndef METASCRITIC_TELEMETRY_ENABLED
@@ -103,7 +104,7 @@ class Histogram {
   double min() const;  // 0 when empty
   double max() const;  // 0 when empty
   std::uint64_t bucket_count(int b) const {
-    return buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    return buckets_[mac::checked_cast<std::size_t>(b)].load(std::memory_order_relaxed);
   }
 
   /// Bucket index a value falls into.
@@ -264,7 +265,7 @@ bool write_snapshot(const std::string& path, Format format);
         mac_telemetry_ctr_, __LINE__) =                                       \
         ::metas::util::telemetry::Registry::instance().counter(name);         \
     MAC_TELEMETRY_CAT_(mac_telemetry_ctr_, __LINE__)                          \
-        .add(static_cast<std::uint64_t>(n));                                  \
+        .add(mac::checked_cast<std::uint64_t>(n));                                  \
   } while (false)
 
 /// Sets gauge `name` to `v`.

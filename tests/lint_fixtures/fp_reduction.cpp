@@ -1,0 +1,114 @@
+// R13 (fp-reduction-order) fixture for tests/lint_selftest.py.  Never
+// compiled; the linter treats it as if it lived under src/ (--pretend-dir
+// src).  Lines tagged `// expect-lint: <rule>` must be flagged; untagged
+// lines must not.
+//
+// The hit cases are faithful replicas of real pre-burn-down sites in
+// src/core (git history, before PR 4's R10 pass): build_estimated_matrix
+// in core/evidence.cpp walked `evidence.all()` -- the unordered pair map --
+// and AlsCompleter::fit's class-balance pass folded std::fabs(e.value)
+// into pos_w/neg_w.  FP addition is not associative, so those reductions
+// depended on hash-table traversal order; R13 keeps the hazard from
+// returning when parallel ALS re-shards the sums.  `all` resolves through
+// the linter's repo-wide name index (core/evidence.hpp); if that accessor
+// is ever renamed, update this fixture alongside.
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Entry {
+  double value;
+};
+
+// The historical class-balance reduction over EvidenceStore::all().
+double class_balance(const EvidenceStore& evidence) {
+  double pos_w = 0.0, neg_w = 0.0;
+  for (const auto& [key, ev] : evidence.all()) {  // expect-lint: unordered-iter
+    if (ev.value > 0.0)
+      pos_w += std::fabs(ev.value);  // expect-lint: fp-reduction-order
+    else
+      neg_w += std::fabs(ev.value);  // expect-lint: fp-reduction-order
+  }
+  return pos_w / neg_w;
+}
+
+// An order-cannot-leak argument never covers an FP reduction: the R10
+// opt-out silences the iteration rule, the accumulation still flags.
+double allowed_iteration_still_flags(const EvidenceStore& evidence) {
+  double total = 0.0;
+  for (const auto& [key, ev] : evidence.all()) {  // lint: allow(unordered-iter) -- fixture: pretend the order argument held
+    total += ev.value;  // expect-lint: fp-reduction-order
+  }
+  return total;
+}
+
+// Braceless body: the single statement after the header is the loop body.
+double braceless(const EvidenceStore& evidence) {
+  double total = 0.0;
+  for (const auto& [key, ev] : evidence.all())  // expect-lint: unordered-iter
+    total += ev.value;  // expect-lint: fp-reduction-order
+  return total;
+}
+
+// Allman brace on the next line still opens the body.
+double allman(const EvidenceStore& evidence) {
+  double total = 0.0;
+  for (const auto& [key, ev] : evidence.all())  // expect-lint: unordered-iter
+  {
+    total += ev.value;  // expect-lint: fp-reduction-order
+  }
+  return total;
+}
+
+// One-line loop: header and accumulation on the same line, bare local name.
+double one_liner() {
+  std::unordered_map<int, double> weights;
+  double total = 0.0;
+  for (const auto& [k, v] : weights) total += v;  // expect-lint: unordered-iter, fp-reduction-order
+  return total;
+}
+
+// Integer accumulation has no reduction-order hazard.
+long misses_integer(const EvidenceStore& evidence) {
+  long count = 0;
+  for (const auto& [key, ev] : evidence.all()) {  // lint: allow(unordered-iter) -- fixture: integer count is commutative, order cannot leak
+    count += 1;
+  }
+  return count;
+}
+
+// FP accumulation over an ordered container (vector) is fine.
+double misses_ordered(const std::vector<Entry>& observed) {
+  double pos_w = 0.0;
+  for (const Entry& e : observed)
+    pos_w += std::fabs(e.value);
+  return pos_w;
+}
+
+// Once the loop body closes, accumulation is back out of R13's scope.
+double misses_after_loop(const EvidenceStore& evidence) {
+  double best = 0.0, grand = 0.0;
+  for (const auto& [key, ev] : evidence.all()) {  // lint: allow(unordered-iter) -- fixture: max is order-free
+    if (ev.value > best) best = ev.value;
+  }
+  grand += best;
+  return grand;
+}
+
+// A justified R13 opt-out on the accumulation line is honored; a bare
+// allow() on a justification-required rule is itself a finding.
+double opted_out(const EvidenceStore& evidence) {
+  double total = 0.0;
+  for (const auto& [key, ev] : evidence.all()) {  // lint: allow(unordered-iter) -- fixture: pretend the order argument held
+    total += ev.value;  // lint: allow(fp-reduction-order) -- fixture: compensated summation, order-insensitive to 1 ulp
+  }
+  double bare = 0.0;
+  for (const auto& [key, ev] : evidence.all()) {  // expect-lint: unordered-iter
+    bare += ev.value;  // lint: allow(fp-reduction-order)  // expect-lint: fp-reduction-order
+  }
+  return total + bare;
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// R14 (unchecked-narrowing) fixture for tests/lint_selftest.py.  Never
+// compiled; the linter treats it as if it lived under src/ (--pretend-dir
+// src).  Lines tagged `// expect-lint: <rule>` must be flagged; untagged
+// lines must not.
+//
+// R14 bans raw static_cast / C-style casts to integral destinations in
+// src/: the AS-id / metro-id / matrix-index boundaries go through
+// mac::checked_cast (integral->integral), mac::narrow (exact value), or
+// mac::trunc_cast (intended truncation) from util/numeric.hpp.
+#include <cstdint>
+
+namespace fixture {
+
+void hits(double x, long long key, std::size_t n) {
+  int a = static_cast<int>(x);                   // expect-lint: unchecked-narrowing
+  auto b = static_cast<std::size_t>(key);        // expect-lint: unchecked-narrowing
+  auto c = static_cast<std::uint32_t>(n);        // expect-lint: unchecked-narrowing
+  auto d = static_cast<AsId>(key & 0xffff);      // expect-lint: unchecked-narrowing
+  auto e = static_cast<unsigned long>(key);      // expect-lint: unchecked-narrowing
+  int f = (int)x;                                // expect-lint: unchecked-narrowing
+  auto g = (std::uint64_t)n;                     // expect-lint: unchecked-narrowing
+  auto h = (unsigned)(key + 1);                  // expect-lint: unchecked-narrowing
+  (void)a; (void)b; (void)c; (void)d; (void)e; (void)f; (void)g; (void)h;
+}
+
+void misses(int g, const void* p, std::size_t n) {
+  double w = static_cast<double>(n);     // widening into FP: no value lost
+  auto s = static_cast<GeoScope>(g);     // enum destination, not integral
+  auto q = static_cast<const char*>(p);  // pointer cast, not narrowing
+  (void)q;                               // void-cast discard is idiomatic
+  auto i = mac::checked_cast<int>(n);    // the sanctioned idioms
+  auto j = mac::narrow<std::size_t>(w);
+  auto k = mac::trunc_cast<int>(w * 0.5);
+  (void)s; (void)i; (void)j; (void)k;
+}
+
+void opted_out(long long key) {
+  auto a = static_cast<int>(key);  // lint: allow(unchecked-narrowing) -- key is masked to 16 bits two lines up
+  // A bare allow() on a justification-required rule is itself a finding.
+  auto b = (int)key;  // lint: allow(unchecked-narrowing)  // expect-lint: unchecked-narrowing
+  (void)a; (void)b;
+}
+
+}  // namespace fixture

@@ -107,6 +107,26 @@ def main() -> int:
     for f in sorted(leaked):
         failures.append(f"default run descended into fixtures: {f}")
 
+    # 6. The R13 fixture replicates real pre-burn-down sites from src/core
+    #    (see fp_reduction.cpp's header) and must flag them in pretend-dir
+    #    mode -- the reduction-order hazard parallel ALS reintroduces.
+    r13_hits = {f for f in actual if f[2] == "fp-reduction-order"}
+    if not r13_hits:
+        failures.append("no fp-reduction-order finding on the fixtures: the "
+                        "pre-burn-down replica in fp_reduction.cpp must flag")
+
+    # 7. --list-rules exits 0 and mentions every registered rule number.
+    proc = subprocess.run(
+        [sys.executable, str(LINT), "--list-rules"],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    if proc.returncode != 0:
+        failures.append(f"--list-rules exit code: got {proc.returncode}, want 0")
+    listed = set(re.findall(r"\bR\d+\b", proc.stdout))
+    for number in [f"R{i}" for i in range(1, 15)]:
+        if number not in listed:
+            failures.append(f"--list-rules omits {number}")
+
     if failures:
         for f in failures:
             print(f"lint_selftest: FAIL: {f}", file=sys.stderr)

@@ -1,0 +1,117 @@
+// Tests for the numeric-safety primitives (src/util/numeric.hpp): the
+// sanctioned narrowing casts and float-comparison helpers that lint rules
+// R12/R14 funnel all of src/ through.
+//
+// Death tests only fire when contracts are compiled in (same policy as
+// contracts_test.cpp); the asan-ubsan and debug presets exercise them.
+#include "util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace metas {
+namespace {
+
+TEST(CheckedCast, InRangeValuesPassThrough) {
+  EXPECT_EQ(mac::checked_cast<std::size_t>(7), 7u);
+  EXPECT_EQ(mac::checked_cast<int>(std::size_t{41}), 41);
+  EXPECT_EQ(mac::checked_cast<std::uint32_t>(std::uint64_t{0xffffffffULL}),
+            0xffffffffu);
+  EXPECT_EQ(mac::checked_cast<std::int8_t>(-128), -128);
+  EXPECT_EQ(mac::checked_cast<std::uint16_t>(65535), 65535);
+  // Plain char is not a "standard integer type" (std::in_range rejects
+  // it); checked_cast normalizes through the same-size standard integer.
+  EXPECT_EQ(mac::checked_cast<unsigned char>('A'), 65u);
+  EXPECT_EQ(mac::checked_cast<int>('0'), 48);
+}
+
+TEST(CheckedCast, BoundaryValuesExact) {
+  constexpr auto imax = std::numeric_limits<int>::max();
+  EXPECT_EQ(mac::checked_cast<std::size_t>(imax),
+            static_cast<std::size_t>(imax));
+  EXPECT_EQ(mac::checked_cast<int>(static_cast<std::size_t>(imax)), imax);
+}
+
+TEST(Narrow, ExactValuesPassThrough) {
+  EXPECT_EQ(mac::narrow<int>(3.0), 3);
+  EXPECT_EQ(mac::narrow<int>(-2.0), -2);
+  EXPECT_DOUBLE_EQ(mac::narrow<double>(42), 42.0);
+  EXPECT_EQ(mac::narrow<std::size_t>(1024.0), 1024u);
+}
+
+TEST(EnumCast, GoesThroughUnderlyingType) {
+  enum class Small : std::uint8_t { kA = 0, kB = 200 };
+  enum class Wide : std::int64_t { kNeg = -5, kBig = 1LL << 40 };
+  EXPECT_EQ(mac::enum_cast<int>(Small::kA), 0);
+  EXPECT_EQ(mac::enum_cast<std::size_t>(Small::kB), 200u);
+  EXPECT_EQ(mac::enum_cast<int>(Wide::kNeg), -5);
+  EXPECT_EQ(mac::enum_cast<std::int64_t>(Wide::kBig), 1LL << 40);
+}
+
+TEST(TruncCast, TruncatesTowardZero) {
+  EXPECT_EQ(mac::trunc_cast<std::size_t>(3.7), 3u);
+  EXPECT_EQ(mac::trunc_cast<int>(-2.9), -2);
+  EXPECT_EQ(mac::trunc_cast<std::size_t>(0.999), 0u);
+}
+
+TEST(ExactCompare, MatchesBuiltinSemantics) {
+  EXPECT_TRUE(mac::exact_eq(0.5, 0.5));
+  EXPECT_FALSE(mac::exact_eq(0.5, 0.5 + 1e-17 * 1e17));  // 1.5 != 0.5
+  EXPECT_TRUE(mac::exact_zero(0.0));
+  EXPECT_TRUE(mac::exact_zero(-0.0));  // -0.0 == 0.0 by IEEE compare
+  EXPECT_FALSE(mac::exact_zero(std::numeric_limits<double>::denorm_min()));
+}
+
+TEST(ApproxCompare, RelativeAndAbsoluteTolerance) {
+  EXPECT_TRUE(mac::approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+  EXPECT_FALSE(mac::approx_eq(1.0, 1.001, 1e-9));
+  // Pure relative tolerance fails near zero; abs_eps rescues it.
+  EXPECT_FALSE(mac::approx_eq(0.0, 1e-15, 1e-9));
+  EXPECT_TRUE(mac::approx_eq(0.0, 1e-15, 1e-9, 1e-12));
+  EXPECT_TRUE(mac::approx_zero(1e-12, 1e-9));
+  EXPECT_FALSE(mac::approx_zero(1e-6, 1e-9));
+}
+
+#if METASCRITIC_CONTRACTS
+
+using NumericDeathTest = ::testing::Test;
+
+TEST(NumericDeathTest, CheckedCastAbortsOnNegativeIntoUnsigned) {
+  int v = -1;
+  EXPECT_DEATH(mac::checked_cast<std::size_t>(v), "checked_cast out of range");
+}
+
+TEST(NumericDeathTest, CheckedCastAbortsOnOverflow) {
+  std::uint64_t v = std::uint64_t{1} << 40;
+  EXPECT_DEATH(mac::checked_cast<std::uint32_t>(v), "checked_cast out of range");
+}
+
+TEST(NumericDeathTest, NarrowAbortsOnTruncation) {
+  double v = 3.5;
+  EXPECT_DEATH(mac::narrow<int>(v), "narrow lost information");
+}
+
+TEST(NumericDeathTest, NarrowAbortsOnSignFlip) {
+  int v = -7;
+  EXPECT_DEATH(mac::narrow<unsigned>(v), "narrow lost information");
+}
+
+TEST(NumericDeathTest, EnumCastAbortsWhenUnderlyingValueDoesNotFit) {
+  enum class Wide : std::int64_t { kNeg = -5 };
+  Wide v = Wide::kNeg;
+  EXPECT_DEATH(mac::enum_cast<std::size_t>(v), "checked_cast out of range");
+}
+
+TEST(NumericDeathTest, TruncCastAbortsOutOfRange) {
+  double v = 1e30;
+  EXPECT_DEATH(mac::trunc_cast<int>(v), "trunc_cast out of range");
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(mac::trunc_cast<int>(nan), "trunc_cast out of range");
+}
+
+#endif  // METASCRITIC_CONTRACTS
+
+}  // namespace
+}  // namespace metas

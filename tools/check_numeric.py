@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""Numeric-safety conversion checker.
+
+Two passes, generalizing the tools/check_annotations.py pattern from the
+thread-safety layer to the numeric-safety layer:
+
+1. Textual pass (always runs, no compiler needed): runs the numeric lint
+   rules from tools/lint.py -- R12 (float-equal), R13 (fp-reduction-order),
+   R14 (unchecked-narrowing) -- over src/.  This is the clang-free fallback:
+   it cannot see through typedefs or template instantiations, but it keeps
+   the sanctioned-idiom discipline (mac::checked_cast / mac::exact_eq,
+   util/numeric.hpp) enforceable on any machine.
+
+2. Compile pass (runs when a compile database is available): replays every
+   src/ TU from compile_commands.json under `-fsyntax-only` with the
+   numeric warning set
+
+     -Wconversion -Wsign-conversion -Wdouble-promotion -Wfloat-equal
+     (+ -Wimplicit-int-float-conversion under clang)
+
+   and fails on any diagnostic landing in first-party src/ code that is not
+   covered by tools/numeric_suppressions.json.  Every suppression entry
+   must carry a justification; an unjustified entry is a configuration
+   error (exit 2), not a silent pass.  Prefers clang++ (the `numeric-safety`
+   CMake preset), falls back to g++ with the clang-only warnings dropped so
+   the pass stays runnable on gcc-only machines.
+
+Exit codes: 0 = clean (or compile pass skipped without --require-compile),
+1 = findings, 2 = environment/configuration error.
+
+Usage:
+  tools/check_numeric.py                          # textual + compile if possible
+  tools/check_numeric.py --textual-only
+  tools/check_numeric.py --build-dir build-numeric --require-compile
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SUPPRESSIONS_PATH = REPO / "tools" / "numeric_suppressions.json"
+
+NUMERIC_RULES = {"float-equal", "fp-reduction-order", "unchecked-narrowing"}
+
+# The numeric warning set.  Kept in sync with METASCRITIC_NUMERIC_SAFETY in
+# src/CMakeLists.txt -- the preset builds with these, the replay re-derives
+# them so CI can surface every diagnostic in one pass instead of stopping at
+# the first -Werror failure.
+NUMERIC_WARNINGS = [
+    "-Wconversion",
+    "-Wsign-conversion",
+    "-Wdouble-promotion",
+    "-Wfloat-equal",
+]
+CLANG_ONLY_WARNINGS = ["-Wimplicit-int-float-conversion"]
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?:\d+:)?\s*"
+    r"(?:warning|error):\s*(?P<msg>.*?)\s*\[(?P<flag>-W[\w=-]+)\]\s*$")
+
+
+def textual_pass() -> list[str]:
+    """Runs lint.py's numeric rules (R12/R13/R14) over src/ in-process."""
+    sys.path.insert(0, str(REPO / "tools"))
+    import lint  # noqa: E402
+
+    linter = lint.Linter(rules=set(NUMERIC_RULES))
+    for f in lint.collect_files(["src"]):
+        linter.lint_file(f)
+    return list(linter.findings)
+
+
+def find_compiler() -> tuple[str, bool] | None:
+    """Returns (compiler path, is_clang), preferring clang."""
+    for cand in ("clang++", "clang++-19", "clang++-18", "clang++-17",
+                 "clang++-16", "clang++-15", "clang++-14"):
+        path = shutil.which(cand)
+        if path:
+            return path, True
+    path = shutil.which("g++")
+    if path:
+        return path, False
+    return None
+
+
+def load_suppressions() -> list[dict] | None:
+    """Loads and validates the suppression list.  Returns None on a
+    configuration error (already reported)."""
+    if not SUPPRESSIONS_PATH.exists():
+        print(f"check_numeric: {SUPPRESSIONS_PATH} missing", file=sys.stderr)
+        return None
+    try:
+        data = json.loads(SUPPRESSIONS_PATH.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as e:
+        print(f"check_numeric: {SUPPRESSIONS_PATH}: {e}", file=sys.stderr)
+        return None
+    entries = data.get("suppressions", [])
+    ok = True
+    for i, entry in enumerate(entries):
+        if not entry.get("file"):
+            print(f"check_numeric: suppression #{i} has no \"file\"",
+                  file=sys.stderr)
+            ok = False
+        if not str(entry.get("justification", "")).strip():
+            print(f"check_numeric: suppression #{i} "
+                  f"({entry.get('file', '?')}) has no justification: every "
+                  f"entry must say why the diagnostic is sound",
+                  file=sys.stderr)
+            ok = False
+        entry.setdefault("matched", False)
+    return entries if ok else None
+
+
+def suppressed(entries: list[dict], rel: str, flag: str, msg: str) -> bool:
+    for entry in entries:
+        file_pat = entry["file"]
+        if not (rel == file_pat or rel.startswith(file_pat.rstrip("/") + "/")):
+            continue
+        warning = entry.get("warning", "*")
+        if warning not in ("*", flag):
+            continue
+        contains = entry.get("contains")
+        if contains and contains not in msg:
+            continue
+        entry["matched"] = True
+        return True
+    return False
+
+
+def compile_pass(build_dir: pathlib.Path, compiler: str,
+                 is_clang: bool) -> list[str] | None:
+    """Replays src/ TUs with the numeric warning set.  Returns findings, or
+    None on a configuration error."""
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"check_numeric: {db_path}: compile database not found; "
+              f"configure with the `numeric-safety` preset (or any preset "
+              f"with CMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        return None
+    entries = load_suppressions()
+    if entries is None:
+        return None
+
+    warnings = list(NUMERIC_WARNINGS)
+    if is_clang:
+        warnings += CLANG_ONLY_WARNINGS
+    drop = {"-c", "-Werror"}
+    drop_prefix = ("-Werror=", "-fdiagnostics-color")
+
+    findings: list[str] = []
+    seen: set[tuple[str, str, str, str]] = set()
+    db = json.loads(db_path.read_text(encoding="utf-8"))
+    replayed = 0
+    for entry in db:
+        src = pathlib.Path(entry["file"])
+        try:
+            src.resolve().relative_to(REPO / "src")
+        except ValueError:
+            continue
+        argv = shlex.split(entry["command"])
+        args = [compiler]
+        skip_next = False
+        for a in argv[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            if a in drop or a.startswith(drop_prefix):
+                continue
+            if not is_clang and a in CLANG_ONLY_WARNINGS:
+                continue
+            args.append(a)
+        args += ["-fsyntax-only", "-Wno-error"] + warnings
+        proc = subprocess.run(
+            args, cwd=entry.get("directory", str(build_dir)),
+            capture_output=True, text=True,
+        )
+        replayed += 1
+        for line in proc.stderr.splitlines():
+            m = DIAG_RE.match(line)
+            if m is None:
+                continue
+            path = pathlib.Path(m.group("file"))
+            if not path.is_absolute():
+                path = pathlib.Path(entry.get("directory", ".")) / path
+            try:
+                rel = path.resolve().relative_to(REPO).as_posix()
+            except ValueError:
+                continue  # system / third-party header
+            if not rel.startswith("src/"):
+                continue
+            key = (rel, m.group("line"), m.group("flag"), m.group("msg"))
+            if key in seen:
+                continue
+            seen.add(key)
+            if suppressed(entries, rel, m.group("flag"), m.group("msg")):
+                continue
+            findings.append(f"{rel}:{m.group('line')}: {m.group('msg')} "
+                            f"[{m.group('flag')}]")
+        if proc.returncode != 0 and not proc.stderr:
+            findings.append(f"{src}: compiler replay failed with no "
+                            f"diagnostics")
+    for entry in entries:
+        if not entry["matched"]:
+            print(f"check_numeric: note: unused suppression for "
+                  f"{entry['file']} ({entry.get('warning', '*')})",
+                  file=sys.stderr)
+    print(f"check_numeric: replayed {replayed} src/ TU(s) with "
+          f"{pathlib.Path(compiler).name}", file=sys.stderr)
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build-numeric",
+                    help="directory holding compile_commands.json from the "
+                         "numeric-safety preset (default: %(default)s)")
+    ap.add_argument("--textual-only", action="store_true",
+                    help="skip the compiler replay pass")
+    ap.add_argument("--require-compile", action="store_true",
+                    help="fail (exit 2) instead of skipping when no compiler "
+                         "or compile database is available")
+    args = ap.parse_args()
+
+    findings = textual_pass()
+    for f in findings:
+        print(f"check_numeric: {f}", file=sys.stderr)
+
+    if not args.textual_only:
+        comp = find_compiler()
+        if comp is None:
+            msg = "check_numeric: no clang++ or g++ on PATH"
+            if args.require_compile:
+                print(f"{msg} (--require-compile)", file=sys.stderr)
+                return 2
+            print(f"{msg}; skipping compile pass", file=sys.stderr)
+        else:
+            compiler, is_clang = comp
+            build_dir = pathlib.Path(args.build_dir)
+            if not build_dir.is_absolute():
+                build_dir = REPO / build_dir
+            compile_findings = compile_pass(build_dir, compiler, is_clang)
+            if compile_findings is None:
+                if args.require_compile:
+                    return 2
+                print("check_numeric: skipping compile pass", file=sys.stderr)
+            else:
+                for f in compile_findings:
+                    print(f"check_numeric: {f}", file=sys.stderr)
+                findings += compile_findings
+
+    if findings:
+        print(f"check_numeric: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("check_numeric: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

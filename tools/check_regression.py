@@ -4,17 +4,25 @@ outputs against per-gate thresholds from a JSON config.
 
 Usage:
   tools/check_regression.py --gate telemetry-overhead-als CANDIDATE.json BASELINE.json
+  tools/check_regression.py --gate als-perf CANDIDATE.json   # baseline from the gate
   tools/check_regression.py --gate NAME --config tools/regression_gates.json ...
   tools/check_regression.py --benchmark-prefix BM_Foo --max-overhead 0.10 A.json B.json
 
-Both inputs are `--benchmark_format=json` outputs, CANDIDATE being the build
-under test and BASELINE the reference build.  A *gate* names a benchmark
-prefix and a maximum fractional slowdown; gates live in a JSON config
+CANDIDATE is a `--benchmark_format=json` output from the build under test.
+BASELINE is either another google-benchmark JSON or a committed BENCH_*.json
+baseline written by tools/make_bench_baseline.py (detected by its dict-shaped
+"benchmarks" section).  A *gate* names a benchmark prefix and a maximum
+fractional slowdown; gates live in a JSON config
 (default tools/regression_gates.json):
 
   { "gates": { "<name>": { "benchmark_prefix": "BM_...",
                            "max_overhead": 0.05,
+                           "baseline": "BENCH_foo.json",
                            "description": "..." } } }
+
+The optional "baseline" key points at a committed baseline file (relative
+paths resolve against the repo root, i.e. the config file's parent
+directory); when present, the BASELINE positional may be omitted.
 
 For every benchmark whose name starts with the gate's prefix, the median
 (over repetitions, when present) cpu_time is compared; the check fails when
@@ -22,8 +30,10 @@ the candidate exceeds the baseline by more than max_overhead.  Explicit
 --benchmark-prefix/--max-overhead flags override the gate's values, and can
 be used alone to run an ad-hoc unnamed gate.
 
-Exit status: 0 when within budget, 1 when over, 2 on malformed input or an
-unknown gate.
+Exit status: 0 when within budget, 1 when over, 2 on malformed input, an
+unknown gate, or a missing input file (a missing committed baseline is a
+setup error, not a regression -- regenerate it with
+tools/make_bench_baseline.py).
 """
 
 from __future__ import annotations
@@ -38,11 +48,33 @@ DEFAULT_CONFIG = pathlib.Path(__file__).resolve().parent / "regression_gates.jso
 
 
 def median_times(path: str, prefix: str) -> dict[str, float]:
-    """name -> median cpu_time (ns) over plain iterations of each benchmark."""
-    with open(path, encoding="utf-8") as f:
-        data = json.load(f)
+    """name -> median cpu_time (ns) over plain iterations of each benchmark.
+
+    Accepts both raw google-benchmark JSON (list-shaped "benchmarks") and a
+    committed BENCH_*.json baseline from tools/make_bench_baseline.py
+    (dict-shaped "benchmarks" with precomputed median_cpu_time_ns).
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        print(f"check_regression: benchmark file not found: {path}\n"
+              "  If this is a committed BENCH_*.json baseline, regenerate it "
+              "with tools/make_bench_baseline.py\n"
+              "  (run the bench binary with --benchmark_format=json first); "
+              "this is a setup error, not a perf regression.",
+              file=sys.stderr)
+        raise SystemExit(2)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_regression: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    bench = data.get("benchmarks", [])
+    if isinstance(bench, dict):  # make_bench_baseline.py format
+        return {name: float(entry["median_cpu_time_ns"])
+                for name, entry in bench.items()
+                if name.startswith(prefix) and "median_cpu_time_ns" in entry}
     samples: dict[str, list[float]] = {}
-    for b in data.get("benchmarks", []):
+    for b in bench:
         # Skip aggregate rows (mean/median/stddev) emitted with repetitions;
         # we aggregate ourselves so both inputs are treated uniformly.
         if b.get("run_type") == "aggregate":
@@ -74,7 +106,9 @@ def load_gate(config_path: str, gate: str) -> dict:
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("candidate", help="benchmark JSON from the build under test")
-    parser.add_argument("baseline", help="benchmark JSON from the reference build")
+    parser.add_argument("baseline", nargs="?",
+                        help="benchmark JSON or BENCH_*.json baseline to compare "
+                             "against (optional when the gate names one)")
     parser.add_argument("--gate", help="named gate from the config file")
     parser.add_argument("--config", default=str(DEFAULT_CONFIG),
                         help="gate config JSON (default: %(default)s)")
@@ -86,22 +120,35 @@ def main(argv: list[str]) -> int:
 
     prefix = args.benchmark_prefix
     budget = args.max_overhead
+    baseline = args.baseline
     label = args.gate or "(ad-hoc)"
     if args.gate:
         g = load_gate(args.config, args.gate)
         prefix = prefix if prefix is not None else g.get("benchmark_prefix")
         budget = budget if budget is not None else g.get("max_overhead")
+        if baseline is None and "baseline" in g:
+            p = pathlib.Path(g["baseline"])
+            if not p.is_absolute():
+                # Relative gate baselines live at the repo root, one level
+                # above the config file (tools/regression_gates.json).
+                p = pathlib.Path(args.config).resolve().parent.parent / p
+            baseline = str(p)
     if prefix is None or budget is None:
         print("check_regression: need --gate or both --benchmark-prefix and "
               "--max-overhead", file=sys.stderr)
         return 2
+    if baseline is None:
+        print("check_regression: no baseline: pass one positionally or use a "
+              "gate with a \"baseline\" key (committed BENCH_*.json from "
+              "tools/make_bench_baseline.py)", file=sys.stderr)
+        return 2
 
     cand = median_times(args.candidate, prefix)
-    base = median_times(args.baseline, prefix)
+    base = median_times(baseline, prefix)
     common = sorted(set(cand) & set(base))
     if not common:
         print(f"check_regression: no common '{prefix}*' benchmarks between "
-              f"{args.candidate} and {args.baseline}", file=sys.stderr)
+              f"{args.candidate} and {baseline}", file=sys.stderr)
         return 2
 
     status = 0

@@ -34,10 +34,28 @@ Enforces the handful of rules the compiler cannot:
       src/ outside the telemetry registry singleton
       (src/util/telemetry.{hpp,cpp}) -- hidden shared state breaks both
       determinism and the thread-safety story
+  R12 no floating-point ==/!= against a literal in src/ -- exact FP compares
+      must be visibly deliberate: mac::exact_eq/exact_zero for intentional
+      exact semantics, mac::approx_eq/approx_zero for tolerances (both in
+      src/util/numeric.hpp, the one exempt file).  Variable-vs-variable
+      compares are caught by -Wfloat-equal in the numeric-safety preset;
+      this rule is the clang-free textual layer for the literal shapes
+  R13 no floating-point accumulation inside iteration over an unordered
+      container in src/ -- FP addition is not associative, so a reduction
+      over an unspecified traversal order is nondeterministic even
+      single-threaded, and is exactly the hazard parallel ALS sharding
+      will amplify.  Reuses R10's name index to resolve the range; fires
+      even when the loop itself carries allow(unordered-iter), because an
+      order-cannot-leak argument never covers an FP reduction
+  R14 no raw C-style or static_cast narrowing/sign conversions to integral
+      types in src/ -- the sanctioned idioms are mac::checked_cast (integral
+      -> integral, range-asserted), mac::narrow (exact-value), and
+      mac::trunc_cast (intentional float truncation), all MAC_ASSERT-backed
+      in debug and free in release (src/util/numeric.hpp)
 
 Usage:
-  tools/lint.py [--clang-tidy [BUILD_DIR]] [--rule RULE] [--pretend-dir DIR]
-                [PATHS...]
+  tools/lint.py [--clang-tidy [BUILD_DIR]] [--rule RULE] [--list-rules]
+                [--pretend-dir DIR] [PATHS...]
 
 With no PATHS, lints src/ tests/ bench/ tools/ examples/ (skipping
 tests/lint_fixtures/, which intentionally contains violations for the lint
@@ -94,11 +112,35 @@ RULE_NUMBERS = {
     "raw-sync": "R9",
     "unordered-iter": "R10",
     "static-mutable": "R11",
+    "float-equal": "R12",
+    "fp-reduction-order": "R13",
+    "unchecked-narrowing": "R14",
+}
+
+# One-line summaries for --list-rules, keyed like RULE_NUMBERS.
+RULE_DOCS = {
+    "libc-rand": "no rand()/srand()/random(): draw from a seeded metas::util::Rng",
+    "random-device": "no std::random_device: nondeterministic seeding is banned",
+    "unseeded-engine": "no default-constructed std::mt19937: pass an explicit seed",
+    "naked-new": "no naked `new`: use std::make_unique/make_shared or a container",
+    "naked-delete": "no naked `delete`: ownership lives in smart pointers/containers",
+    "pragma-once": "every header starts its include guard with #pragma once",
+    "header-using-namespace": "no `using namespace` at namespace scope in headers",
+    "include-cpp": "no #include of a .cpp file",
+    "wall-clock": "no wall-clock reads outside bench/ (telemetry clock excepted)",
+    "chrono-direct": "no direct std::chrono in src/ outside the telemetry clock",
+    "raw-sync": "no raw std sync/threading in src/: use util/sync.hpp wrappers",
+    "unordered-iter": "no unordered_map/set iteration in src/: traverse sorted keys",
+    "static-mutable": "no mutable static state in src/ outside the telemetry registry",
+    "float-equal": "no FP ==/!= vs literal in src/: use mac::exact_eq/approx_eq",
+    "fp-reduction-order": "no FP accumulation over unordered traversal in src/",
+    "unchecked-narrowing": "no raw narrowing casts in src/: use mac::checked_cast",
 }
 
 # Rules whose allow() opt-out must carry a justification ("-- reason" or
 # ": reason" after the marker).
-JUSTIFY_RULES = {"unordered-iter"}
+JUSTIFY_RULES = {"unordered-iter", "float-equal", "fp-reduction-order",
+                 "unchecked-narrowing"}
 
 # (rule-id, regex, message).  Applied per line with comments/strings stripped.
 LINE_RULES = [
@@ -158,6 +200,55 @@ LINE_RULES = [
     ),
 ]
 
+# --- R12 (float-equal) machinery ---------------------------------------------
+# A floating-point literal: 1.0, .5f, 2., 1e-9, 3.25e+2L ...
+_FP_LIT = r"(?:(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fFlL]?"
+# ==/!= that is not part of <=, >=, ===, !==, or a compound operator.
+_EQ_OP = r"(?<![<>=!&|+\-*/%^])[=!]=(?!=)"
+FLOAT_EQ_RE = re.compile(
+    rf"(?:{_FP_LIT}\s*{_EQ_OP})|(?:{_EQ_OP}\s*[-+]?{_FP_LIT})")
+
+# --- R14 (unchecked-narrowing) machinery -------------------------------------
+# Integral destination types whose raw casts are banned in src/.  Enum, bool,
+# void, pointer, and floating destinations are not narrowing hazards in this
+# sense and stay unflagged; the repo's integer-ish id aliases (AsId, MetroId,
+# Ip) are included because they are exactly the boundaries checked_cast exists
+# for.
+_NARROW_TYPES = (
+    r"(?:std::)?(?:u?int(?:8|16|32|64)_t|u?int_fast(?:8|16|32|64)_t|"
+    r"u?int_least(?:8|16|32|64)_t|size_t|ptrdiff_t|u?intptr_t|u?intmax_t)"
+    r"|(?:(?:metas::)?(?:topology::|ipnet::)?)?(?:AsId|MetroId|Ip)"
+    r"|unsigned(?:\s+(?:char|short|int|long(?:\s+long)?))?"
+    r"|(?:signed\s+)?(?:char|short|int|long(?:\s+long)?)"
+)
+STATIC_NARROW_RE = re.compile(
+    rf"\bstatic_cast\s*<\s*(?:const\s+)?(?:{_NARROW_TYPES})\s*>")
+CSTYLE_NARROW_RE = re.compile(
+    rf"\(\s*(?:{_NARROW_TYPES})\s*\)\s*[\w(~+-]")
+
+LINE_RULES += [
+    (
+        "float-equal",
+        FLOAT_EQ_RE,
+        "floating-point ==/!= against a literal: use mac::approx_eq/"
+        "approx_zero for tolerances or mac::exact_eq/exact_zero when exact "
+        "semantics is deliberate (util/numeric.hpp)",
+    ),
+    (
+        "unchecked-narrowing",
+        STATIC_NARROW_RE,
+        "raw static_cast to an integral type: use mac::checked_cast "
+        "(integral->integral), mac::narrow (exact value), or mac::trunc_cast "
+        "(intended truncation) from util/numeric.hpp",
+    ),
+    (
+        "unchecked-narrowing",
+        CSTYLE_NARROW_RE,
+        "C-style cast to an integral type: use mac::checked_cast/narrow/"
+        "trunc_cast from util/numeric.hpp",
+    ),
+]
+
 # Rules that only apply outside the listed top-level directories (relative to
 # the repo root).  Benchmarks legitimately time themselves with wall clocks.
 RULE_EXEMPT_DIRS = {"wall-clock": {"bench"}}
@@ -170,6 +261,9 @@ RULE_ONLY_DIRS = {
     "raw-sync": {"src"},
     "unordered-iter": {"src"},
     "static-mutable": {"src"},
+    "float-equal": {"src"},
+    "fp-reduction-order": {"src"},
+    "unchecked-narrowing": {"src"},
 }
 
 # Per-file carve-outs (paths relative to the repo root).  The telemetry
@@ -182,6 +276,11 @@ RULE_EXEMPT_FILES = {
     "chrono-direct": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
     "raw-sync": {"src/util/sync.hpp"},
     "static-mutable": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
+    # numeric.hpp *implements* the sanctioned cast/compare idioms, so its
+    # internal static_casts and exact FP compares are the carve-out.
+    "float-equal": {"src/util/numeric.hpp"},
+    "fp-reduction-order": {"src/util/numeric.hpp"},
+    "unchecked-narrowing": {"src/util/numeric.hpp"},
 }
 
 HEADER_USING_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")
@@ -196,6 +295,36 @@ LAST_COMPONENT_RE = re.compile(r"(?:\.|->)?([A-Za-z_]\w*)\s*(\(\s*\))?\s*$")
 STATIC_DECL_RE = re.compile(r"^\s*(?:static|thread_local|inline)\b")
 STATIC_CONST_RE = re.compile(
     r"^\s*(?:(?:static|thread_local|inline)\s+)+(?:const\b|constexpr\b|constinit\b)")
+
+# --- R13 (fp-reduction-order) machinery ---------------------------------------
+# Compound accumulation into an lvalue: `total += x;`, `gram(a, b) -= y;`.
+FP_ACCUM_RE = re.compile(
+    r"([A-Za-z_][\w.\]\[]*(?:\([^()]*\))?(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)"
+    r"\s*[+\-*/]=(?!=)")
+# Local/member declarations of floating-point scalars, for deciding whether
+# an accumulator is FP-typed: `double pos_w = 0.0, neg_w = 0.0;`.
+FP_DECL_RE = re.compile(r"^\s*(?:const\s+)?(?:double|float)\s+(.*)$")
+# RHS evidence that the accumulated expression is floating-point even when
+# the accumulator's declaration is out of heuristic reach.
+FP_RHS_RE = re.compile(
+    rf"(?:{_FP_LIT})|\bstd::(?:fabs|abs|sqrt|log|log1p|exp|pow|hypot)\s*\(")
+
+
+def fp_decl_names_in_text(text: str) -> set[str]:
+    """Names declared as double/float scalars in `text` (line-local
+    heuristic, same scope policy as unordered_decls_in_text)."""
+    names: set[str] = set()
+    in_block = False
+    for raw in text.splitlines():
+        code, in_block = strip_comments_and_strings(raw, in_block)
+        m = FP_DECL_RE.match(code)
+        if m is None:
+            continue
+        for segment in m.group(1).split(","):
+            nm = re.match(r"\s*&?\s*([A-Za-z_]\w*)", segment)
+            if nm is not None:
+                names.add(nm.group(1))
+    return names
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool) -> tuple[str, bool]:
@@ -367,10 +496,13 @@ class Linter:
             names |= variables
         return names
 
-    def _check_unordered_iter(self, path: Path, lineno: int, code: str,
-                              local_names: set[str]) -> None:
+    def _unordered_range_exprs(self, code: str,
+                               local_names: set[str]) -> list[str]:
+        """Range expressions in `code` that resolve to an unordered
+        container via the repo-wide name index or the file-local names.
+        Shared by R10 (iteration ban) and R13 (FP reduction order)."""
         idx = self.unordered_index
-        flagged_exprs = []
+        flagged: list[str] = []
         for expr in range_for_exprs(code):
             m = LAST_COMPONENT_RE.search(expr)
             if m is None:
@@ -380,13 +512,19 @@ class Linter:
                 and m.start() > 0
             if is_call:
                 if name in idx.methods:
-                    flagged_exprs.append(expr)
+                    flagged.append(expr)
             elif dotted:
                 if name in idx.members:
-                    flagged_exprs.append(expr)
+                    flagged.append(expr)
             else:
                 if name in local_names:
-                    flagged_exprs.append(expr)
+                    flagged.append(expr)
+        return flagged
+
+    def _check_unordered_iter(self, path: Path, lineno: int, code: str,
+                              local_names: set[str]) -> None:
+        idx = self.unordered_index
+        flagged_exprs = list(self._unordered_range_exprs(code, local_names))
         for m in BEGIN_CALL_RE.finditer(code):
             if m.group(1) in local_names or m.group(1) in idx.members:
                 flagged_exprs.append(m.group(0))
@@ -398,6 +536,29 @@ class Linter:
                 "adjacency lists, or an Rng stream -- traverse a sorted key "
                 "copy, or opt out with "
                 "`// lint: allow(unordered-iter) -- <why order cannot leak>`",
+            )
+
+    def _check_fp_accumulation(self, path: Path, lineno: int, code: str,
+                               fp_names: set[str]) -> None:
+        """Flags compound FP accumulation on a line known to be inside an
+        unordered-container loop body (R13)."""
+        for m in FP_ACCUM_RE.finditer(code):
+            target = m.group(1)
+            rhs = code[m.end():]
+            last = re.findall(r"[A-Za-z_]\w*", target)
+            is_fp = (last and last[-1] in fp_names) or \
+                bool(FP_RHS_RE.search(rhs)) or \
+                (last and last[0] in fp_names)
+            if not is_fp:
+                continue
+            self.report(
+                path, lineno, "fp-reduction-order",
+                f"floating-point accumulation `{m.group(0)}=...` inside "
+                "iteration over an unordered container: FP addition is not "
+                "associative, so the reduction depends on traversal order "
+                "(the hazard parallel ALS sharding amplifies) -- traverse a "
+                "sorted key copy, or opt out with `// lint: "
+                "allow(fp-reduction-order) -- <why the order is pinned>`",
             )
 
     def _check_static_mutable(self, path: Path, lineno: int, code: str) -> None:
@@ -456,7 +617,18 @@ class Linter:
             return rel_str not in RULE_EXEMPT_FILES.get(rule, set())
 
         run_unordered = applies("unordered-iter")
-        local_unordered = self._local_unordered_names(path) if run_unordered else set()
+        run_fpred = applies("fp-reduction-order")
+        local_unordered = self._local_unordered_names(path) \
+            if (run_unordered or run_fpred) else set()
+        fp_names = fp_decl_names_in_text(text) if run_fpred else set()
+
+        # R13 state: brace depth, the stack of active unordered-loop bodies
+        # (each records the depth its body must stay at or above, and whether
+        # the header carried a justified allow), and a braceless loop header
+        # whose single-statement body is the next code line.
+        depth = 0
+        fpred_loops: list[tuple[int, bool]] = []
+        fpred_pending: bool | None = None  # allowed flag of a braceless header
 
         in_block = False
         for lineno, raw in enumerate(lines, start=1):
@@ -469,7 +641,7 @@ class Linter:
                     self.report(
                         path, lineno, rule,
                         f"allow({rule}) needs a justification: "
-                        f"`// lint: allow({rule}) -- <why order cannot leak>`",
+                        f"`// lint: allow({rule}) -- <reason>`",
                     )
             code, in_block = strip_comments_and_strings(raw, in_block)
             if not code.strip():
@@ -481,6 +653,34 @@ class Linter:
                     self.report(path, lineno, rule, message)
             if run_unordered and "unordered-iter" not in allowed:
                 self._check_unordered_iter(path, lineno, code, local_unordered)
+            if run_fpred:
+                delta = code.count("{") - code.count("}")
+                hdr = self._unordered_range_exprs(code, local_unordered)
+                line_allowed = "fp-reduction-order" in allowed
+                if hdr:
+                    # Header line: a one-line body (`for (...) x += y;` or
+                    # `for (...) { x += y; }`) is checked right here.
+                    if not line_allowed:
+                        self._check_fp_accumulation(path, lineno, code, fp_names)
+                    if delta > 0:
+                        fpred_loops.append((depth + delta, line_allowed))
+                    elif not code.rstrip().endswith(";"):
+                        fpred_pending = line_allowed
+                elif fpred_pending is not None:
+                    pend_allowed = fpred_pending
+                    fpred_pending = None
+                    if not pend_allowed and not line_allowed:
+                        self._check_fp_accumulation(path, lineno, code, fp_names)
+                    if delta > 0:
+                        # `for (...)\n{` style: promote to a braced body.
+                        fpred_loops.append((depth + delta, pend_allowed))
+                else:
+                    active = any(not a for _, a in fpred_loops)
+                    if active and not line_allowed:
+                        self._check_fp_accumulation(path, lineno, code, fp_names)
+                depth += delta
+                while fpred_loops and depth < fpred_loops[-1][0]:
+                    fpred_loops.pop()
             if applies("static-mutable") and "static-mutable" not in allowed:
                 self._check_static_mutable(path, lineno, code)
             if is_header and self.rule_active("header-using-namespace") \
@@ -555,7 +755,19 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--pretend-dir", default=None, metavar="DIR",
                         help="treat the given files as if under this top-level "
                              "directory (lint self-test fixture support)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every registered rule with its one-line "
+                             "description and exit")
     args = parser.parse_args(argv)
+
+    if args.list_rules:
+        by_number = sorted(RULE_NUMBERS.items(),
+                           key=lambda kv: int(kv[1][1:]))
+        width = max(len(name) for name in RULE_NUMBERS)
+        for name, number in by_number:
+            doc = RULE_DOCS.get(name, "")
+            print(f"{number:>4}  {name:<{width}}  {doc}")
+        return 0
 
     rules = resolve_rule(args.rule) if args.rule else None
     linter = Linter(rules=rules, pretend_dir=args.pretend_dir)

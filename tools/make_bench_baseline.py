@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
-"""Build BENCH_telemetry.json: the perf-trajectory baseline for this repo.
+"""Build a committed BENCH_*.json perf-trajectory baseline.
 
 Usage:
   tools/make_bench_baseline.py BENCHMARK.json TELEMETRY.json [-o OUT]
+  tools/make_bench_baseline.py BENCHMARK.json --prefix BM_AlsFit -o BENCH_als.json
 
 BENCHMARK.json is bench/perf_micro's `--benchmark_format=json` output;
 TELEMETRY.json is the snapshot perf_micro writes when METAS_TELEMETRY_OUT is
-set.  The merged baseline keeps, per benchmark, the median cpu_time and the
-items-per-second throughput, plus the telemetry counters accumulated across
-the run -- enough for future PRs to diff against without storing the full
-(machine-dependent) benchmark dump.
+set (optional -- pure perf baselines such as BENCH_als.json omit it).  The
+baseline keeps, per benchmark, the median cpu_time and the items-per-second
+throughput, plus (when a telemetry snapshot is given) the telemetry counters
+accumulated across the run -- enough for future PRs to diff against without
+storing the full (machine-dependent) benchmark dump.  --prefix restricts the
+baseline to benchmarks whose name starts with the given string, so one
+perf_micro run can be split into per-gate baselines.
 
 The output is deliberately coarse: absolute nanoseconds vary by machine, so
-the baseline records them for trend context only.  The enforced gate is the
-*relative* enabled-vs-disabled overhead (tools/check_regression.py,
-gate telemetry-overhead-als).
+a baseline records them for trend context; gates that compare against a
+committed baseline (als-perf, jacobi-perf) therefore carry generous budgets
+and catch step-change regressions only.  Tight budgets belong to same-machine
+A/B gates such as telemetry-overhead-als (tools/check_regression.py).
 """
 
 from __future__ import annotations
@@ -28,24 +33,36 @@ import sys
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("benchmark", help="google-benchmark JSON output")
-    parser.add_argument("telemetry", help="telemetry snapshot JSON")
+    parser.add_argument("telemetry", nargs="?",
+                        help="telemetry snapshot JSON (optional)")
+    parser.add_argument("--prefix", default="",
+                        help="keep only benchmarks whose name starts with this")
     parser.add_argument("-o", "--out", default="BENCH_telemetry.json")
     args = parser.parse_args(argv)
 
     with open(args.benchmark, encoding="utf-8") as f:
         bench = json.load(f)
-    with open(args.telemetry, encoding="utf-8") as f:
-        telemetry = json.load(f)
+    telemetry = {}
+    if args.telemetry is not None:
+        with open(args.telemetry, encoding="utf-8") as f:
+            telemetry = json.load(f)
 
     samples: dict[str, dict[str, list[float]]] = {}
     for b in bench.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
         name = b.get("run_name", b.get("name", ""))
+        if not name.startswith(args.prefix):
+            continue
         entry = samples.setdefault(name, {"cpu_time": [], "items_per_second": []})
         entry["cpu_time"].append(float(b["cpu_time"]))
         if "items_per_second" in b:
             entry["items_per_second"].append(float(b["items_per_second"]))
+
+    if not samples:
+        print(f"make_bench_baseline: no benchmarks matching prefix "
+              f"'{args.prefix}' in {args.benchmark}", file=sys.stderr)
+        return 2
 
     out = {
         "baseline_version": 1,
