@@ -60,7 +60,7 @@ class RoutingEngine {
 
  private:
   RoutingTable compute(AsId dst) const;
-  const AsGraph* graph_;
+  const AsGraph* graph_;  // lint: allow(view-member) -- the Internet owns the graph; routing engines never outlive their topology
   std::unordered_map<AsId, RoutingTable> cache_;
 };
 

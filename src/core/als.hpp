@@ -77,7 +77,7 @@ class AlsCompleter {
   // Augmented observation lists built at fit() time.
   std::vector<std::vector<std::size_t>> cols_;
   std::vector<std::vector<double>> vals_, wts_;
-  const FeatureMatrix* features_;
+  const FeatureMatrix* features_;  // lint: allow(view-member) -- caller-owned matrix bound at fit() time; solvers are transient helpers
   bool fitted_ = false;
 };
 

@@ -104,8 +104,8 @@ class MeasurementSystem {
   void note_vp_ok(int vp_id);
   void note_vp_fault(int vp_id, traceroute::ProbeStatus status);
 
-  const topology::Internet* net_;
-  traceroute::TracerouteEngine* engine_;
+  const topology::Internet* net_;  // lint: allow(view-member) -- the World owns the Internet for the whole simulation
+  traceroute::TracerouteEngine* engine_;  // lint: allow(view-member) -- the World owns the engine alongside the Internet it probes
   std::vector<traceroute::VantagePoint> vps_;
   std::vector<traceroute::ProbeTarget> targets_;
   std::vector<std::vector<std::size_t>> targets_by_as_;  // indices into targets_

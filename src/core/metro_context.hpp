@@ -38,7 +38,7 @@ class MetroContext {
   AsId as_at(std::size_t i) const { return ases_.at(i); }
 
  private:
-  const topology::Internet* net_;
+  const topology::Internet* net_;  // lint: allow(view-member) -- the World owns the Internet; contexts are per-metro views over it
   MetroId metro_;
   std::vector<AsId> ases_;
   std::unordered_map<AsId, int> index_;

@@ -41,9 +41,9 @@ class MetascriticPipeline {
   PipelineResult run();
 
  private:
-  const MetroContext* ctx_;
-  MeasurementSystem* ms_;
-  StrategyPriors* priors_;  // may be null; updated with this metro's counts
+  const MetroContext* ctx_;  // lint: allow(view-member) -- caller owns the context; a pipeline is a one-shot driver inside its scope
+  MeasurementSystem* ms_;  // lint: allow(view-member) -- caller owns the measurement system alongside ctx_ for the pipeline's run
+  StrategyPriors* priors_;  // lint: allow(view-member) -- may be null; caller-owned cross-metro state updated with this metro's counts
   PipelineConfig cfg_;
 };
 

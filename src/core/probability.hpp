@@ -80,7 +80,7 @@ class ProbabilityMatrix {
   double dir_prob(int near, int far, int* best_vp, int* best_tgt) const;
   std::uint64_t penalty_key(int i, int j, int s) const;
 
-  const MetroContext* ctx_;
+  const MetroContext* ctx_;  // lint: allow(view-member) -- caller-owned context; the matrix lives inside the metro's pipeline scope
   ProbabilityConfig cfg_;
   std::size_t n_ = 0;
   // Availability: per local AS, count of VPs / targets in each category.

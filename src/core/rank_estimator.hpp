@@ -57,8 +57,8 @@ class RankEstimator {
   double holdout_mse_once(const EstimatedMatrix& e, int rank,
                           util::Rng& rng) const;
 
-  const MetroContext* ctx_;
-  const FeatureMatrix* features_;
+  const MetroContext* ctx_;  // lint: allow(view-member) -- caller-owned context; estimators are transient within one metro run
+  const FeatureMatrix* features_;  // lint: allow(view-member) -- caller-owned factor matrix; read-only for the estimator's short life
   RankEstimatorConfig cfg_;
 };
 

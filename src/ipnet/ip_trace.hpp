@@ -65,7 +65,7 @@ class BorderMapper {
   std::size_t interfaces_seen() const { return votes_.size(); }
 
  private:
-  const PrefixTable* announced_;
+  const PrefixTable* announced_;  // lint: allow(view-member) -- caller-owned table bound at construction; mappers are scoped inside one pipeline run
   std::unordered_map<Ip, topology::AsId> known_;
   // interface -> (candidate AS -> votes); only for suspicious interfaces.
   std::unordered_map<Ip, std::unordered_map<topology::AsId, int>> votes_;
@@ -83,8 +83,8 @@ class InterfaceGeolocator {
   topology::MetroId locate(Ip ip, const std::string& rdns) const;
 
  private:
-  const PrefixTable* ixp_prefixes_;
-  const std::vector<topology::Ixp>* ixps_;
+  const PrefixTable* ixp_prefixes_;  // lint: allow(view-member) -- caller-owned table bound at construction; geolocators are scoped inside one pipeline run
+  const std::vector<topology::Ixp>* ixps_;  // lint: allow(view-member) -- views the Internet's IXP list, which outlives every measurement phase
 };
 
 }  // namespace metas::ipnet

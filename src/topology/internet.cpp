@@ -182,7 +182,10 @@ std::vector<std::vector<AsId>> compute_customer_cones(
   std::vector<std::vector<AsId>> cones(n);
   std::vector<int> state(n, 0);  // 0 = unvisited, 1 = in progress, 2 = done
 
-  std::function<void(std::size_t)> visit = [&](std::size_t i) {
+  // Explicit captures (R15): the recursion handle plus the three tables,
+  // all of which outlive the DFS because `visit` never escapes this frame.
+  std::function<void(std::size_t)> visit =
+      [&visit, &customers, &state, &cones](std::size_t i) {
     if (state[i] == 2) return;
     if (state[i] == 1)
       throw std::logic_error("compute_customer_cones: cycle in c2p graph");

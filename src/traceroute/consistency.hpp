@@ -49,7 +49,7 @@ class ConsistencyTracker {
   bool metros_close(topology::MetroId a, topology::MetroId b,
                     topology::GeoScope g) const;
 
-  const topology::Internet* net_;
+  const topology::Internet* net_;  // lint: allow(view-member) -- the World owns the Internet and every checker scoped inside a run of it
   std::unordered_map<std::uint64_t, PairEvidence> pair_data_;
 };
 

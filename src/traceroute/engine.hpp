@@ -77,11 +77,11 @@ class TracerouteEngine {
                                       topology::MetroId current,
                                       util::Rng& rng) const;
 
-  const topology::Internet* net_;
+  const topology::Internet* net_;  // lint: allow(view-member) -- the World owns the Internet and every engine scoped inside a run of it
   TracerouteConfig cfg_;
   bgp::AsGraph graph_;
   bgp::RoutingEngine routing_;
-  FaultInjector* faults_ = nullptr;  // not owned
+  FaultInjector* faults_ = nullptr;  // lint: allow(view-member) -- optional collaborator owned by the harness; installed/cleared by set_fault_injector
   std::size_t issued_ = 0;
   std::size_t faulted_ = 0;
 };

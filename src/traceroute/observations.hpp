@@ -43,7 +43,7 @@ struct TraceObservations {
 /// In the simulator this is the true c2p graph -- c2p links are well
 /// captured by the public view, per the paper.
 struct PublicRelationships {
-  const std::vector<std::vector<topology::AsId>>* providers_of = nullptr;
+  const std::vector<std::vector<topology::AsId>>* providers_of = nullptr;  // lint: allow(view-member) -- views Internet::providers, alive for the whole simulation
   bool is_provider_of(topology::AsId provider, topology::AsId customer) const;
 };
 

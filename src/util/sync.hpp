@@ -52,7 +52,7 @@ class MAC_SCOPED_CAPABILITY LockGuard {
   LockGuard& operator=(const LockGuard&) = delete;
 
  private:
-  Mutex& mu_;
+  Mutex& mu_;  // lint: allow(view-member) -- RAII guard: bound to a caller-owned Mutex that strictly outlives the guard's lexical scope
 };
 
 /// Condition variable bound to `Mutex`.  Callers must hold the mutex across

@@ -19,7 +19,7 @@ namespace {
 /// Per-thread stack of open spans.  Each frame remembers which registry it
 /// belongs to so private test registries never corrupt the global tree.
 struct SpanFrame {
-  const Registry* reg = nullptr;
+  const Registry* reg = nullptr;  // lint: allow(view-member) -- identity tag matched in span_end; a frame never outlives its registry's span_begin/span_end bracket
   int node = -1;
   std::uint64_t start_ns = 0;
 };

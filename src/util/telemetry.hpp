@@ -232,7 +232,7 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
-  Registry* reg_;
+  Registry* reg_;  // lint: allow(view-member) -- the process singleton or a test-owned Registry, both alive across the span's scope
   int node_;
 };
 

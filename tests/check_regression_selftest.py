@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Self-test for tools/check_regression.py's error paths and verdicts.
+
+The perf gate is CI infrastructure: a bug that turns "malformed config"
+into "exit 0" silently disables regression protection.  This test pins the
+contract documented in the tool's docstring:
+
+  exit 0  -- within budget
+  exit 1  -- over budget
+  exit 2  -- setup/configuration errors: missing baseline file (with the
+             make_bench_baseline.py regenerate hint), malformed JSON,
+             unknown gate, missing prefix/budget, no common benchmarks
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "check_regression.py"
+
+FAILURES: list[str] = []
+
+
+def run(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(TOOL)] + args,
+                          capture_output=True, text=True)
+
+
+def check(label: str, proc: subprocess.CompletedProcess, want_exit: int,
+          want_text: str = "", in_stderr: bool = True) -> None:
+    if proc.returncode != want_exit:
+        FAILURES.append(f"{label}: exit {proc.returncode}, want {want_exit}\n"
+                        f"  stdout: {proc.stdout.strip()}\n"
+                        f"  stderr: {proc.stderr.strip()}")
+        return
+    haystack = proc.stderr if in_stderr else proc.stdout
+    if want_text and want_text not in haystack:
+        FAILURES.append(f"{label}: output missing {want_text!r}\n"
+                        f"  got: {haystack.strip()}")
+
+
+def bench_json(path: pathlib.Path, times: dict[str, float]) -> str:
+    """Writes a minimal google-benchmark JSON file."""
+    path.write_text(json.dumps({
+        "benchmarks": [{"name": n, "run_name": n, "cpu_time": t,
+                        "time_unit": "ns"} for n, t in times.items()],
+    }), encoding="utf-8")
+    return str(path)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="check_regression_selftest") as td:
+        tmp = pathlib.Path(td)
+        cand = bench_json(tmp / "cand.json", {"BM_Foo/1": 110.0})
+        base = bench_json(tmp / "base.json", {"BM_Foo/1": 100.0})
+
+        # Happy path: +10% against a 20% budget.
+        check("within budget",
+              run(["--benchmark-prefix", "BM_Foo", "--max-overhead", "0.20",
+                   cand, base]),
+              0, "OK", in_stderr=False)
+
+        # Over budget: +10% against a 5% budget.
+        check("over budget",
+              run(["--benchmark-prefix", "BM_Foo", "--max-overhead", "0.05",
+                   cand, base]),
+              1, "OVER BUDGET", in_stderr=False)
+
+        # Missing committed baseline is a setup error (exit 2) and must
+        # point at the regenerate tool, not read as a perf regression.
+        config = tmp / "gates.json"
+        config.write_text(json.dumps({"gates": {
+            "demo": {"benchmark_prefix": "BM_Foo", "max_overhead": 0.05,
+                     "baseline": str(tmp / "BENCH_missing.json")},
+        }}), encoding="utf-8")
+        check("missing baseline",
+              run(["--gate", "demo", "--config", str(config), cand]),
+              2, "make_bench_baseline.py")
+
+        # Unknown gate names the known ones.
+        check("unknown gate",
+              run(["--gate", "nope", "--config", str(config), cand, base]),
+              2, "unknown gate 'nope'")
+
+        # Malformed gate config fails loudly instead of passing silently.
+        bad_config = tmp / "bad.json"
+        bad_config.write_text("{ not json", encoding="utf-8")
+        check("malformed config",
+              run(["--gate", "demo", "--config", str(bad_config), cand, base]),
+              2, "cannot read config")
+
+        # Malformed candidate JSON.
+        bad_bench = tmp / "bad_bench.json"
+        bad_bench.write_text("[[", encoding="utf-8")
+        check("malformed candidate",
+              run(["--benchmark-prefix", "BM_Foo", "--max-overhead", "0.05",
+                   str(bad_bench), base]),
+              2, "cannot read")
+
+        # A gate without prefix/budget (and no overriding flags) is exit 2.
+        thin_config = tmp / "thin.json"
+        thin_config.write_text(json.dumps({"gates": {"thin": {}}}),
+                               encoding="utf-8")
+        check("gate missing prefix/budget",
+              run(["--gate", "thin", "--config", str(thin_config), cand,
+                   base]),
+              2, "need --gate or both")
+
+        # Disjoint benchmark sets cannot be silently vacuous.
+        other = bench_json(tmp / "other.json", {"BM_Bar/1": 100.0})
+        check("no common benchmarks",
+              run(["--benchmark-prefix", "BM_", "--max-overhead", "0.05",
+                   cand, other]),
+              2, "no common")
+
+        # Committed-baseline (dict-shaped) format still compares.
+        committed = tmp / "BENCH_demo.json"
+        committed.write_text(json.dumps({"benchmarks": {
+            "BM_Foo/1": {"median_cpu_time_ns": 100.0},
+        }}), encoding="utf-8")
+        check("committed baseline format",
+              run(["--benchmark-prefix", "BM_Foo", "--max-overhead", "0.20",
+                   cand, str(committed)]),
+              0, "OK", in_stderr=False)
+
+    if FAILURES:
+        for f in FAILURES:
+            print(f"check_regression_selftest: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("check_regression_selftest: OK (9 cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

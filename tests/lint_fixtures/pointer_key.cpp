@@ -1,0 +1,51 @@
+// R17 (pointer-key) fixture for tests/lint_selftest.py.  Never compiled;
+// the linter treats it as if it lived under src/ (--pretend-dir src).
+// Lines tagged `// expect-lint: <rule>` must be flagged; untagged lines
+// must not.
+//
+// R17 bans pointer-keyed containers and pointer hashing/ordering:
+// iteration order, bucket placement, and comparator tie-breaks over
+// addresses vary run to run with the allocator, a nondeterminism source
+// the unordered-iteration rules (R10/R13) cannot see.  Key by a stable
+// value (AsId, MetroId, an index) instead.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Node;
+struct Link;
+
+void hits() {
+  std::map<Node*, int> rank;                    // expect-lint: pointer-key
+  std::set<const Node*> seen;                   // expect-lint: pointer-key
+  std::unordered_map<Node*, double> weight;     // expect-lint: pointer-key
+  std::unordered_set<const Link*> links;        // expect-lint: pointer-key
+  std::hash<Node*> hasher;                      // expect-lint: pointer-key
+  std::less<const Node*> before;                // expect-lint: pointer-key
+  (void)rank; (void)seen; (void)weight; (void)links;
+  (void)hasher; (void)before;
+}
+
+void misses() {
+  // Pointer *values* are fine -- only pointer *keys* order the container.
+  std::map<std::uint64_t, Node*> by_id;
+  std::unordered_map<std::uint64_t, Node*> index;
+  std::set<std::uint64_t> keys;
+  std::hash<std::uint64_t> id_hasher;
+  std::less<std::uint64_t> id_before;
+  (void)by_id; (void)index; (void)keys; (void)id_hasher; (void)id_before;
+}
+
+void opted_out() {
+  std::set<const Node*> scratch;  // lint: allow(pointer-key) -- counted then discarded; no iteration, size() only
+  // A bare allow() on a justification-required rule is itself a finding.
+  std::map<Node*, int> bare;  // lint: allow(pointer-key)  // expect-lint: pointer-key
+  (void)scratch; (void)bare;
+}
+
+}  // namespace fixture

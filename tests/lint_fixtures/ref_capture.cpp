@@ -1,0 +1,78 @@
+// R15 (ref-capture) fixture for tests/lint_selftest.py.  Never compiled;
+// the linter treats it as if it lived under src/ (--pretend-dir src).
+// Lines tagged `// expect-lint: <rule>` must be flagged; untagged lines
+// must not.
+//
+// R15 bans the default by-reference capture `[&]` on lambdas that escape
+// the enclosing frame: stored in a std::function, returned, assigned to a
+// member, pushed into a container, or handed to a deferred/scheduled
+// context.  A `[&]` that never escapes (named local helper, STL-algorithm
+// argument, immediately-invoked initializer) stays legal.
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+void use(int);
+void sink(int);
+void finish();
+
+struct Pool {
+  void submit(std::function<void()> task);
+  void schedule(std::function<void()> task);
+};
+
+struct Hits {
+  std::function<void()> on_done_;
+
+  void stored(Pool& pool, std::vector<std::function<void(int)>>& callbacks,
+              int a, int i, int n) {
+    std::function<void(int)> cb = [&](int x) { use(x + a); };  // expect-lint: ref-capture
+    pool.submit([&] { use(i); });                              // expect-lint: ref-capture
+    pool.schedule([&, n] { use(n); });                         // expect-lint: ref-capture
+    callbacks.push_back([&](int v) { sink(v); });              // expect-lint: ref-capture
+    on_done_ = [&] { finish(); };                              // expect-lint: ref-capture
+    cb(0);
+  }
+
+  std::function<int()> returned(int a, int b) {
+    return [&] { return a + b; };  // expect-lint: ref-capture
+  }
+};
+
+struct Misses {
+  void local_and_algorithm(std::vector<int>& v, const std::vector<int>& key,
+                           int a) {
+    // A named local helper never escapes the frame.
+    auto helper = [&](int x) { return x + a; };
+    use(helper(1));
+    // STL algorithms run the lambda before returning.
+    std::sort(v.begin(), v.end(), [&](int x, int y) { return key[x] < key[y]; });
+    // Immediately-invoked initializer: the frame is alive by construction.
+    int r = [&] { return a * 2; }();
+    use(r);
+  }
+
+  void explicit_captures(Pool& pool, std::vector<std::function<void()>>& cbs,
+                         int copy) {
+    // Escaping lambdas with explicit captures are R15-clean: the capture
+    // list names every lifetime obligation.
+    pool.submit([copy] { use(copy); });
+    cbs.push_back([copy] { sink(copy); });
+    std::function<void()> f = [copy] { use(copy); };
+    f();
+  }
+};
+
+struct OptedOut {
+  std::function<void()> retained_;
+
+  void opted_out(Pool& pool, int i) {
+    pool.submit([&] { use(i); });  // lint: allow(ref-capture) -- pool drains synchronously before this frame returns
+    // A bare allow() on a justification-required rule is itself a finding.
+    retained_ = [&] { finish(); };  // lint: allow(ref-capture)  // expect-lint: ref-capture
+  }
+};
+
+}  // namespace fixture

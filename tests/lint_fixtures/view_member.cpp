@@ -1,0 +1,67 @@
+// R16 (view-member) fixture for tests/lint_selftest.py.  Never compiled;
+// the linter treats it as if it lived under src/ (--pretend-dir src).
+// Lines tagged `// expect-lint: <rule>` must be flagged; untagged lines
+// must not.
+//
+// R16 requires an ownership justification on every view-type or reference
+// data member: std::span, std::string_view, `T&`/`const T&`, and raw
+// observer `T*` fields all dangle when their backing storage dies first.
+// Function-local pointers/references, parameters, and owning members
+// (values, std::unique_ptr) stay unflagged.
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fixture {
+
+struct World;
+struct Config;
+struct Engine;
+
+class Hits {
+ public:
+  explicit Hits(const World& w);
+
+ private:
+  const World* net_;                 // expect-lint: view-member
+  Engine* engine_ = nullptr;         // expect-lint: view-member
+  const Config& cfg_;                // expect-lint: view-member
+  std::string_view name_;            // expect-lint: view-member
+  std::span<const double> row_;      // expect-lint: view-member
+};
+
+class Misses {
+ public:
+  Misses& operator=(const Misses&) = delete;
+
+  // Method declarations and definitions are not data members.
+  int* find_slot(int key);
+  const World& world() const { return *world_; }
+
+  void locals(const World& w) {
+    // Function-local views are R16-clean (scoped to the frame); the
+    // compile pass (-Wdangling) covers their hazards instead.
+    const World* p = &w;
+    const World& r = w;
+    (void)p;
+    (void)r;
+  }
+
+ private:
+  std::vector<int> owned_values_;
+  std::string owned_name_;
+  std::unique_ptr<World> owned_world_;
+  static constexpr int kLimit = 4;
+  World* world_ = nullptr;  // lint: allow(view-member) -- constructor caller owns the World and keeps it alive for this object's lifetime
+};
+
+class OptedOut {
+ private:
+  const Config* cfg_;  // lint: allow(view-member) -- Pipeline owns the Config; this object is a phase scoped inside one Pipeline::run
+  // A bare allow() on a justification-required rule is itself a finding.
+  const World* net_;  // lint: allow(view-member)  // expect-lint: view-member
+};
+
+}  // namespace fixture

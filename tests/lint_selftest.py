@@ -15,6 +15,7 @@ Registered in ctest as `lint_selftest` (see tests/CMakeLists.txt).
 """
 from __future__ import annotations
 
+import json
 import pathlib
 import re
 import subprocess
@@ -23,6 +24,13 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 FIXTURES = REPO / "tests" / "lint_fixtures"
 LINT = REPO / "tools" / "lint.py"
+
+
+def lint_rule_number(rule: str) -> str | None:
+    sys.path.insert(0, str(REPO / "tools"))
+    import lint  # noqa: E402
+
+    return lint.RULE_NUMBERS.get(rule)
 
 EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)")
 FINDING_RE = re.compile(r"^(.*?):(\d+): \[R\d+/([a-z0-9-]+)\]")
@@ -115,6 +123,13 @@ def main() -> int:
         failures.append("no fp-reduction-order finding on the fixtures: the "
                         "pre-burn-down replica in fp_reduction.cpp must flag")
 
+    # 6b. The lifetime rules (R15/R16/R17) each produce at least one hit on
+    #     their dedicated fixtures -- the guard rail ahead of the
+    #     work-stealing parallelism work must demonstrably fire.
+    for rule in ("ref-capture", "view-member", "pointer-key"):
+        if not any(f[2] == rule for f in actual):
+            failures.append(f"no {rule} finding on the fixtures")
+
     # 7. --list-rules exits 0 and mentions every registered rule number.
     proc = subprocess.run(
         [sys.executable, str(LINT), "--list-rules"],
@@ -123,9 +138,34 @@ def main() -> int:
     if proc.returncode != 0:
         failures.append(f"--list-rules exit code: got {proc.returncode}, want 0")
     listed = set(re.findall(r"\bR\d+\b", proc.stdout))
-    for number in [f"R{i}" for i in range(1, 15)]:
+    for number in [f"R{i}" for i in range(1, 18)]:
         if number not in listed:
             failures.append(f"--list-rules omits {number}")
+
+    # 8. --json emits {rule: [findings]} that round-trips to the same
+    #    (file, line, rule) set as the human-readable output, and exits 1.
+    proc = subprocess.run(
+        [sys.executable, str(LINT), "--json", "--pretend-dir", "src", *rels],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    if proc.returncode != 1:
+        failures.append(f"--json fixture run exit code: got {proc.returncode}, "
+                        f"want 1")
+    try:
+        payload = json.loads(proc.stdout)
+        json_findings = {(entry["file"], entry["line"], rule)
+                         for rule, entries in payload.items()
+                         for entry in entries}
+        if json_findings != actual:
+            failures.append(f"--json findings mismatch: got "
+                            f"{sorted(json_findings)}, want {sorted(actual)}")
+        for rule, entries in payload.items():
+            for entry in entries:
+                if entry.get("number") != lint_rule_number(rule):
+                    failures.append(f"--json {rule} entry has wrong number: "
+                                    f"{entry}")
+    except json.JSONDecodeError as e:
+        failures.append(f"--json output is not valid JSON: {e}\n{proc.stdout}")
 
     if failures:
         for f in failures:

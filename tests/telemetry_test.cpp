@@ -308,8 +308,9 @@ TEST(TelemetryPipelineCoverage, NamespacesAndPhaseSpans) {
   for (const auto& s : spans)
     if (s.name == "pipeline.encode_features" ||
         s.name == "pipeline.rank_estimation" ||
-        s.name == "pipeline.final_completion")
+        s.name == "pipeline.final_completion") {
       EXPECT_EQ(s.parent, run_node);
+    }
 
   // The degradation unification: scheduler.* counters are the same numbers
   // the DegradationReport carries.

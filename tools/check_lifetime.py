@@ -1,0 +1,330 @@
+#!/usr/bin/env python3
+"""Lifetime & escape-safety checker.
+
+Three passes, generalizing the tools/check_numeric.py pattern from the
+numeric-safety layer to the lifetime layer:
+
+1. Textual pass (always runs, no compiler needed): runs the lifetime lint
+   rules from tools/lint.py -- R15 (ref-capture), R16 (view-member),
+   R17 (pointer-key) -- over src/.  This is the clang-free fallback: it
+   cannot prove escapes, but it keeps the explicit-capture / justified-view
+   discipline enforceable on any machine.
+
+2. Compile pass (runs when a compile database is available): replays every
+   src/ TU from compile_commands.json under `-fsyntax-only` with the
+   lifetime warning set
+
+     clang: -Wdangling -Wdangling-gsl -Wdangling-field -Wreturn-stack-address
+     g++:   -Wdangling-pointer=2 -Wreturn-local-addr
+
+   and fails on any diagnostic landing in first-party src/ code that is not
+   covered by tools/lifetime_suppressions.json.  Every suppression entry
+   must carry a justification; an unjustified entry is a configuration
+   error (exit 2), not a silent pass.  Unused suppressions are reported so
+   the file burns down to empty as fixes land.
+
+3. Tidy pass (runs when clang-tidy is available): runs clang-tidy over the
+   same src/ TUs with the lifetime checks promoted to errors:
+
+     bugprone-dangling-handle, bugprone-use-after-move
+
+   Findings go through the same suppression list (the `warning` field
+   matches the tidy check name).
+
+Exit codes: 0 = clean (or compile/tidy passes skipped without
+--require-clang), 1 = findings, 2 = environment/configuration error.
+
+Usage:
+  tools/check_lifetime.py                        # textual + whatever tools exist
+  tools/check_lifetime.py --textual-only
+  tools/check_lifetime.py --build-dir build-threadsafety --require-clang
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SUPPRESSIONS_PATH = REPO / "tools" / "lifetime_suppressions.json"
+
+LIFETIME_RULES = {"ref-capture", "view-member", "pointer-key"}
+
+CLANG_WARNINGS = [
+    "-Wdangling",
+    "-Wdangling-gsl",
+    "-Wdangling-field",
+    "-Wreturn-stack-address",
+]
+GCC_WARNINGS = [
+    "-Wdangling-pointer=2",
+    "-Wreturn-local-addr",
+]
+
+TIDY_CHECKS = "-*,bugprone-dangling-handle,bugprone-use-after-move"
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?:\d+:)?\s*"
+    r"(?:warning|error):\s*(?P<msg>.*?)\s*\[(?P<flag>[-\w.,=]+)\]\s*$")
+
+
+def textual_pass() -> list[str]:
+    """Runs lint.py's lifetime rules (R15/R16/R17) over src/ in-process."""
+    sys.path.insert(0, str(REPO / "tools"))
+    import lint  # noqa: E402
+
+    linter = lint.Linter(rules=set(LIFETIME_RULES))
+    for f in lint.collect_files(["src"]):
+        linter.lint_file(f)
+    return list(linter.findings)
+
+
+def find_compiler() -> tuple[str, bool] | None:
+    """Returns (compiler path, is_clang), preferring clang."""
+    for cand in ("clang++", "clang++-19", "clang++-18", "clang++-17",
+                 "clang++-16", "clang++-15", "clang++-14"):
+        path = shutil.which(cand)
+        if path:
+            return path, True
+    path = shutil.which("g++")
+    if path:
+        return path, False
+    return None
+
+
+def find_clang_tidy() -> str | None:
+    for cand in ("clang-tidy", "clang-tidy-19", "clang-tidy-18",
+                 "clang-tidy-17", "clang-tidy-16", "clang-tidy-15",
+                 "clang-tidy-14"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def load_suppressions() -> list[dict] | None:
+    """Loads and validates the suppression list.  Returns None on a
+    configuration error (already reported)."""
+    if not SUPPRESSIONS_PATH.exists():
+        print(f"check_lifetime: {SUPPRESSIONS_PATH} missing", file=sys.stderr)
+        return None
+    try:
+        data = json.loads(SUPPRESSIONS_PATH.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as e:
+        print(f"check_lifetime: {SUPPRESSIONS_PATH}: {e}", file=sys.stderr)
+        return None
+    entries = data.get("suppressions", [])
+    ok = True
+    for i, entry in enumerate(entries):
+        if not entry.get("file"):
+            print(f"check_lifetime: suppression #{i} has no \"file\"",
+                  file=sys.stderr)
+            ok = False
+        if not str(entry.get("justification", "")).strip():
+            print(f"check_lifetime: suppression #{i} "
+                  f"({entry.get('file', '?')}) has no justification: every "
+                  f"entry must say why the flagged lifetime is sound",
+                  file=sys.stderr)
+            ok = False
+        entry.setdefault("matched", False)
+    return entries if ok else None
+
+
+def suppressed(entries: list[dict], rel: str, flag: str, msg: str) -> bool:
+    for entry in entries:
+        file_pat = entry["file"]
+        if not (rel == file_pat or rel.startswith(file_pat.rstrip("/") + "/")):
+            continue
+        warning = entry.get("warning", "*")
+        if warning not in ("*", flag):
+            continue
+        contains = entry.get("contains")
+        if contains and contains not in msg:
+            continue
+        entry["matched"] = True
+        return True
+    return False
+
+
+def src_entries(db_path: pathlib.Path) -> list[dict] | None:
+    """Compile-DB entries whose TU lives under src/."""
+    if not db_path.exists():
+        print(f"check_lifetime: {db_path}: compile database not found; "
+              f"configure with the `thread-safety` preset (or any preset "
+              f"with CMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        return None
+    db = json.loads(db_path.read_text(encoding="utf-8"))
+    out = []
+    for entry in db:
+        try:
+            pathlib.Path(entry["file"]).resolve().relative_to(REPO / "src")
+        except ValueError:
+            continue
+        out.append(entry)
+    return out
+
+
+def collect_diags(stderr: str, directory: str, entries: list[dict],
+                  seen: set, findings: list[str]) -> None:
+    """Parses file:line: warning/error: ... [flag] lines into findings,
+    resolving paths, de-duplicating, and applying suppressions."""
+    for line in stderr.splitlines():
+        m = DIAG_RE.match(line)
+        if m is None:
+            continue
+        path = pathlib.Path(m.group("file"))
+        if not path.is_absolute():
+            path = pathlib.Path(directory or ".") / path
+        try:
+            rel = path.resolve().relative_to(REPO).as_posix()
+        except ValueError:
+            continue  # system / third-party header
+        if not rel.startswith("src/"):
+            continue
+        key = (rel, m.group("line"), m.group("flag"), m.group("msg"))
+        if key in seen:
+            continue
+        seen.add(key)
+        if suppressed(entries, rel, m.group("flag"), m.group("msg")):
+            continue
+        findings.append(f"{rel}:{m.group('line')}: {m.group('msg')} "
+                        f"[{m.group('flag')}]")
+
+
+def compile_pass(db: list[dict], suppressions: list[dict], compiler: str,
+                 is_clang: bool) -> list[str]:
+    """Replays src/ TUs with the lifetime warning set."""
+    warnings = CLANG_WARNINGS if is_clang else GCC_WARNINGS
+    drop = {"-c", "-Werror"}
+    drop_prefix = ("-Werror=", "-fdiagnostics-color")
+
+    findings: list[str] = []
+    seen: set = set()
+    for entry in db:
+        argv = shlex.split(entry["command"])
+        args = [compiler]
+        skip_next = False
+        for a in argv[1:]:
+            if skip_next:
+                skip_next = False
+                continue
+            if a == "-o":
+                skip_next = True
+                continue
+            if a in drop or a.startswith(drop_prefix):
+                continue
+            args.append(a)
+        args += ["-fsyntax-only", "-Wno-error"] + warnings
+        proc = subprocess.run(
+            args, cwd=entry.get("directory", str(REPO)),
+            capture_output=True, text=True,
+        )
+        collect_diags(proc.stderr, entry.get("directory", "."),
+                      suppressions, seen, findings)
+        if proc.returncode != 0 and not proc.stderr:
+            findings.append(f"{entry['file']}: compiler replay failed with "
+                            f"no diagnostics")
+    print(f"check_lifetime: replayed {len(db)} src/ TU(s) with "
+          f"{pathlib.Path(compiler).name}", file=sys.stderr)
+    return findings
+
+
+def tidy_pass(db: list[dict], db_dir: pathlib.Path, suppressions: list[dict],
+              clang_tidy: str) -> list[str]:
+    """Runs the lifetime clang-tidy checks over src/ TUs."""
+    findings: list[str] = []
+    seen: set = set()
+    for entry in db:
+        proc = subprocess.run(
+            [clang_tidy, f"--checks={TIDY_CHECKS}", "--quiet",
+             "-p", str(db_dir), entry["file"]],
+            capture_output=True, text=True,
+        )
+        # clang-tidy emits findings on stdout, tool noise on stderr.
+        collect_diags(proc.stdout, entry.get("directory", "."),
+                      suppressions, seen, findings)
+    print(f"check_lifetime: clang-tidy checked {len(db)} src/ TU(s) "
+          f"({TIDY_CHECKS})", file=sys.stderr)
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build-threadsafety",
+                    help="directory holding compile_commands.json from a "
+                         "clang preset (default: %(default)s)")
+    ap.add_argument("--textual-only", action="store_true",
+                    help="skip the compiler replay and clang-tidy passes")
+    ap.add_argument("--require-clang", action="store_true",
+                    help="fail (exit 2) instead of skipping when clang++, "
+                         "clang-tidy, or the compile database is missing")
+    args = ap.parse_args()
+
+    findings = textual_pass()
+    for f in findings:
+        print(f"check_lifetime: {f}", file=sys.stderr)
+
+    suppressions: list[dict] | None = None
+    if not args.textual_only:
+        suppressions = load_suppressions()
+        if suppressions is None:
+            return 2
+
+        build_dir = pathlib.Path(args.build_dir)
+        if not build_dir.is_absolute():
+            build_dir = REPO / build_dir
+        db = src_entries(build_dir / "compile_commands.json")
+        if db is None:
+            if args.require_clang:
+                return 2
+            print("check_lifetime: skipping compile and tidy passes",
+                  file=sys.stderr)
+        else:
+            comp = find_compiler()
+            if comp is None:
+                if args.require_clang:
+                    print("check_lifetime: no clang++ or g++ on PATH "
+                          "(--require-clang)", file=sys.stderr)
+                    return 2
+                print("check_lifetime: no compiler on PATH; skipping "
+                      "compile pass", file=sys.stderr)
+            else:
+                compiler, is_clang = comp
+                if args.require_clang and not is_clang:
+                    print("check_lifetime: clang++ required but only g++ "
+                          "found (--require-clang)", file=sys.stderr)
+                    return 2
+                findings += compile_pass(db, suppressions, compiler, is_clang)
+
+            clang_tidy = find_clang_tidy()
+            if clang_tidy is None:
+                if args.require_clang:
+                    print("check_lifetime: clang-tidy not on PATH "
+                          "(--require-clang)", file=sys.stderr)
+                    return 2
+                print("check_lifetime: clang-tidy not on PATH; skipping "
+                      "tidy pass", file=sys.stderr)
+            else:
+                findings += tidy_pass(db, build_dir, suppressions, clang_tidy)
+
+    if suppressions is not None:
+        for entry in suppressions:
+            if not entry["matched"]:
+                print(f"check_lifetime: note: unused suppression for "
+                      f"{entry['file']} ({entry.get('warning', '*')})",
+                      file=sys.stderr)
+
+    if findings:
+        print(f"check_lifetime: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("check_lifetime: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

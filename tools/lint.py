@@ -52,10 +52,29 @@ Enforces the handful of rules the compiler cannot:
       -> integral, range-asserted), mac::narrow (exact-value), and
       mac::trunc_cast (intentional float truncation), all MAC_ASSERT-backed
       in debug and free in release (src/util/numeric.hpp)
+  R15 no by-reference default capture (`[&]`) on a lambda that escapes its
+      frame in src/ -- stored in a std::function, returned, assigned to a
+      member, pushed into a container, or handed to a deferred/scheduled
+      context (submit/enqueue/schedule/post/...).  A `[&]` that outlives the
+      enclosing scope is a dangling capture the moment the frame unwinds,
+      and is exactly the bug class the work-stealing parallelism work would
+      mass-produce.  Capture explicitly (owning by value, or a named `&x`
+      whose lifetime is provable) or opt out with a justification
+  R16 no view-type or reference members in src/ without an ownership
+      justification -- std::span, std::string_view, `T&`/`const T&`, and raw
+      observer `T*` fields all dangle when the backing storage dies first,
+      and the compiler cannot see the contract.  Every such member carries
+      `// lint: allow(view-member) -- <who owns the storage and why it
+      outlives this object>`
+  R17 no pointer-keyed containers or pointer hashing/ordering in src/ --
+      std::map<T*, ...>, std::set<T*>, their unordered cousins, and
+      std::hash/std::less over pointers make iteration order and tie-breaks
+      depend on allocation addresses, a nondeterminism source R10/R13
+      cannot see.  Key by a stable value (AsId, MetroId, an index) instead
 
 Usage:
   tools/lint.py [--clang-tidy [BUILD_DIR]] [--rule RULE] [--list-rules]
-                [--pretend-dir DIR] [PATHS...]
+                [--json] [--pretend-dir DIR] [PATHS...]
 
 With no PATHS, lints src/ tests/ bench/ tools/ examples/ (skipping
 tests/lint_fixtures/, which intentionally contains violations for the lint
@@ -79,6 +98,7 @@ a justification after the marker: `// lint: allow(unordered-iter) -- reason`.
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import shutil
 import subprocess
@@ -115,6 +135,9 @@ RULE_NUMBERS = {
     "float-equal": "R12",
     "fp-reduction-order": "R13",
     "unchecked-narrowing": "R14",
+    "ref-capture": "R15",
+    "view-member": "R16",
+    "pointer-key": "R17",
 }
 
 # One-line summaries for --list-rules, keyed like RULE_NUMBERS.
@@ -135,12 +158,16 @@ RULE_DOCS = {
     "float-equal": "no FP ==/!= vs literal in src/: use mac::exact_eq/approx_eq",
     "fp-reduction-order": "no FP accumulation over unordered traversal in src/",
     "unchecked-narrowing": "no raw narrowing casts in src/: use mac::checked_cast",
+    "ref-capture": "no `[&]` on a lambda that escapes its frame in src/",
+    "view-member": "no view/reference/observer members in src/ without ownership note",
+    "pointer-key": "no pointer-keyed containers or pointer hash/order in src/",
 }
 
 # Rules whose allow() opt-out must carry a justification ("-- reason" or
 # ": reason" after the marker).
 JUSTIFY_RULES = {"unordered-iter", "float-equal", "fp-reduction-order",
-                 "unchecked-narrowing"}
+                 "unchecked-narrowing", "ref-capture", "view-member",
+                 "pointer-key"}
 
 # (rule-id, regex, message).  Applied per line with comments/strings stripped.
 LINE_RULES = [
@@ -226,6 +253,133 @@ STATIC_NARROW_RE = re.compile(
 CSTYLE_NARROW_RE = re.compile(
     rf"\(\s*(?:{_NARROW_TYPES})\s*\)\s*[\w(~+-]")
 
+# --- R15 (ref-capture) machinery ---------------------------------------------
+# A default by-reference capture intro: `[&]` or `[&, x]` (but not the
+# explicit `[&x]`, whose lifetime obligation is at least visible at the
+# capture site).
+REF_DEFAULT_CAPTURE_RE = re.compile(r"\[\s*&\s*[,\]]")
+# Line-local contexts in which the lambda escapes the enclosing frame.  A
+# `[&]` that never escapes (named local helper, STL-algorithm argument,
+# immediately-invoked initializer) stays legal -- the hazard is storage or
+# deferral that can outlive the captured stack.
+ESCAPE_CONTEXTS = [
+    (re.compile(r"\bstd::(?:move_only_)?function\s*<|\bstd::packaged_task\s*<"),
+     "stored in a std::function"),
+    (re.compile(r"\breturn\s*\["), "returned from the enclosing function"),
+    (re.compile(r"\b(?:submit|enqueue|schedule|defer|dispatch|post|spawn|"
+                r"async|launch)\w*\s*\("),
+     "handed to a deferred/scheduled context"),
+    (re.compile(r"\b[A-Za-z_]\w*_\s*=(?!=)\s*\["), "stored in a member"),
+    (re.compile(r"\.\s*(?:push_back|emplace_back|emplace|insert|assign)"
+                r"\s*\(\s*\["),
+     "stored in a container"),
+]
+
+# --- R16 (view-member) machinery ---------------------------------------------
+# Class/struct heads (never `enum class`, which cannot start the line with
+# `class`), forward declarations excluded by the brace/semicolon logic in
+# scan_view_members.
+CLASS_HEAD_RE = re.compile(
+    r"^\s*(?:template\s*<[^;{]*>\s*)?(?:class|struct)\s+[A-Za-z_]")
+# Lines at class-body depth that are never data-member declarations.
+MEMBER_SKIP_RE = re.compile(
+    r"^\s*(?:using|typedef|friend|return|public|private|protected|case|"
+    r"default|static_assert)\b")
+# A view-typed data member: std::string_view / std::span<...> by value.
+VIEW_TYPE_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?(?:const\s+)?"
+    r"std::(?:(?:w|u8|u16|u32)?string_view|span\s*<[^;{}]*>)\s*"
+    r"[A-Za-z_]\w*\s*(?:=[^;]*|\{[^;]*\})?\s*;")
+# A pointer or reference data member: `T* name_;`, `const T& name_;`,
+# optionally with a default initializer.  Template-typed T is allowed one
+# (greedy) argument list; function pointers and method declarations are
+# excluded upstream by the no-parentheses test.
+PTR_REF_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?(?:const\s+)?"
+    r"[A-Za-z_][\w:]*(?:\s*<[^;{}]*>)?"
+    r"\s*(\*|&)\s*(?:const\s+)?"
+    r"[A-Za-z_]\w*\s*(?:=[^;]*|\{[^;]*\})?\s*;")
+MAC_ATTR_RE = re.compile(r"\bMAC_\w+\s*\([^)]*\)")
+
+
+def scan_view_members(lines: list[str]):
+    """Yields (lineno, kind, declarator) for pointer/reference/view-typed
+    data members declared at class scope.  Line-local heuristic with a
+    brace-tracking scope stack: declarations that fit on one line (house
+    style keeps them there) inside a `class`/`struct` body, excluding
+    anything carrying parentheses (methods, operators, function pointers,
+    parameter continuation lines)."""
+    in_block = False
+    depth = 0
+    scopes: list[tuple[int, bool]] = []  # (depth inside the scope, is_class)
+    pending_class = False
+    for lineno, raw in enumerate(lines, start=1):
+        code, in_block = strip_comments_and_strings(raw, in_block)
+        if not code.strip():
+            continue
+        if code.lstrip().startswith("#"):
+            continue  # preprocessor line: no member, no reliable braces
+        no_attrs = MAC_ATTR_RE.sub("", code)
+        is_class_head = bool(CLASS_HEAD_RE.match(code))
+        at_class_body = bool(scopes) and scopes[-1][1] and depth == scopes[-1][0]
+        if at_class_body and not is_class_head \
+                and "(" not in no_attrs and ")" not in no_attrs \
+                and not MEMBER_SKIP_RE.match(code):
+            vm = VIEW_TYPE_MEMBER_RE.match(no_attrs)
+            pm = PTR_REF_MEMBER_RE.match(no_attrs) if vm is None else None
+            if vm is not None:
+                yield lineno, "view-typed", no_attrs.strip().rstrip(";")
+            elif pm is not None:
+                kind = "raw-pointer" if pm.group(1) == "*" else "reference"
+                yield lineno, kind, no_attrs.strip().rstrip(";")
+        # Brace bookkeeping: the first `{` on a class-head line (or the next
+        # `{` after a head that ended without one) opens a class body.
+        first_open = True
+        for ch in code:
+            if ch == "{":
+                depth += 1
+                opens_class = (is_class_head and first_open) or pending_class
+                pending_class = False
+                first_open = False
+                scopes.append((depth, opens_class))
+            elif ch == "}":
+                depth -= 1
+                while scopes and scopes[-1][0] > depth:
+                    scopes.pop()
+        if is_class_head and "{" not in code \
+                and not code.rstrip().endswith(";"):
+            pending_class = True
+
+
+# --- R17 (pointer-key) machinery ---------------------------------------------
+# A container keyed on a pointer type: the first template argument is
+# `T*` (optionally const-qualified / template-typed).
+POINTER_KEY_RE = re.compile(
+    r"\bstd::(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?"
+    r"[A-Za-z_][\w:]*(?:\s*<[^<>]*>)?\s*\*")
+# Hashing or ordering over a pointer type feeds the same address
+# nondeterminism without the container shape.
+POINTER_ORDER_RE = re.compile(
+    r"\bstd::(?:hash|less|greater|equal_to)\s*<\s*(?:const\s+)?"
+    r"[A-Za-z_][\w:]*(?:\s*<[^<>]*>)?\s*\*")
+
+LINE_RULES += [
+    (
+        "pointer-key",
+        POINTER_KEY_RE,
+        "pointer-keyed container: iteration order and lookups depend on "
+        "allocation addresses, nondeterminism R10/R13 cannot see -- key by "
+        "a stable value (AsId, MetroId, an index) instead",
+    ),
+    (
+        "pointer-key",
+        POINTER_ORDER_RE,
+        "pointer hashing/ordering: std::hash/std::less over a pointer is "
+        "address-dependent and nondeterministic across runs -- hash or "
+        "order a stable value instead",
+    ),
+]
+
 LINE_RULES += [
     (
         "float-equal",
@@ -264,6 +418,9 @@ RULE_ONLY_DIRS = {
     "float-equal": {"src"},
     "fp-reduction-order": {"src"},
     "unchecked-narrowing": {"src"},
+    "ref-capture": {"src"},
+    "view-member": {"src"},
+    "pointer-key": {"src"},
 }
 
 # Per-file carve-outs (paths relative to the repo root).  The telemetry
@@ -457,6 +614,7 @@ class Linter:
     def __init__(self, rules: set[str] | None = None,
                  pretend_dir: str | None = None) -> None:
         self.findings: list[str] = []
+        self.structured: dict[str, list[dict]] = {}
         self.rule_counts: Counter[str] = Counter()
         self.rules = rules  # None = all
         self.pretend_dir = pretend_dir
@@ -476,6 +634,9 @@ class Linter:
         num = RULE_NUMBERS.get(rule, "R?")
         self.rule_counts[f"{num}/{rule}"] += 1
         self.findings.append(f"{rel}:{lineno}: [{num}/{rule}] {message}")
+        self.structured.setdefault(rule, []).append(
+            {"file": str(rel), "line": lineno, "number": num,
+             "message": message})
 
     def _local_unordered_names(self, path: Path) -> set[str]:
         """Unordered variable/member names visible to bare-name iteration in
@@ -561,6 +722,24 @@ class Linter:
                 "allow(fp-reduction-order) -- <why the order is pinned>`",
             )
 
+    def _check_ref_capture(self, path: Path, lineno: int, code: str) -> None:
+        """Flags a default by-reference capture on a line whose lambda
+        escapes the enclosing frame (R15)."""
+        if not REF_DEFAULT_CAPTURE_RE.search(code):
+            return
+        for pattern, context in ESCAPE_CONTEXTS:
+            if pattern.search(code):
+                self.report(
+                    path, lineno, "ref-capture",
+                    f"`[&]` default capture on a lambda {context}: every "
+                    "captured reference dangles once the enclosing frame "
+                    "unwinds -- capture explicitly (by value, or named `&x` "
+                    "with a provable lifetime), or opt out with `// lint: "
+                    "allow(ref-capture) -- <why the frame outlives the "
+                    "lambda>`",
+                )
+                return
+
     def _check_static_mutable(self, path: Path, lineno: int, code: str) -> None:
         if not STATIC_DECL_RE.match(code):
             return
@@ -622,6 +801,13 @@ class Linter:
             if (run_unordered or run_fpred) else set()
         fp_names = fp_decl_names_in_text(text) if run_fpred else set()
 
+        # R16 pre-pass: class-scope member declarations of view/reference/
+        # observer types, keyed by line for the allow-marker check below.
+        view_members: dict[int, tuple[str, str]] = {}
+        if applies("view-member"):
+            view_members = {lineno: (kind, decl)
+                            for lineno, kind, decl in scan_view_members(lines)}
+
         # R13 state: brace depth, the stack of active unordered-loop bodies
         # (each records the depth its body must stay at or above, and whether
         # the header carried a justified allow), and a braceless loop header
@@ -653,6 +839,19 @@ class Linter:
                     self.report(path, lineno, rule, message)
             if run_unordered and "unordered-iter" not in allowed:
                 self._check_unordered_iter(path, lineno, code, local_unordered)
+            if applies("ref-capture") and "ref-capture" not in allowed:
+                self._check_ref_capture(path, lineno, code)
+            if lineno in view_members and "view-member" not in allowed:
+                kind, decl = view_members[lineno]
+                self.report(
+                    path, lineno, "view-member",
+                    f"{kind} member `{decl}` has no ownership justification: "
+                    "the compiler cannot see whose storage backs it or why "
+                    "that storage outlives this object -- own the data "
+                    "(value, std::unique_ptr) or annotate with `// lint: "
+                    "allow(view-member) -- <who owns the storage and why it "
+                    "outlives this>`",
+                )
             if run_fpred:
                 delta = code.count("{") - code.count("}")
                 hdr = self._unordered_range_exprs(code, local_unordered)
@@ -758,6 +957,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--list-rules", action="store_true",
                         help="print every registered rule with its one-line "
                              "description and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON ({rule: [findings]}) on "
+                             "stdout instead of human-readable lines (summary "
+                             "still goes to stderr); for CI annotation")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -775,8 +978,15 @@ def main(argv: list[str]) -> int:
     for f in files:
         linter.lint_file(f)
 
-    for finding in linter.findings:
-        print(finding)
+    try:
+        if args.json:
+            print(json.dumps(linter.structured, indent=2, sort_keys=True))
+        else:
+            for finding in linter.findings:
+                print(finding)
+    except BrokenPipeError:  # downstream consumer (head, jq) closed early
+        sys.stderr.close()
+        return 1
     status = 0
     if linter.findings:
         def sort_key(item: tuple[str, int]) -> tuple[int, str]:
