@@ -10,12 +10,15 @@
 // price of one instrumentation call so overhead regressions are attributable.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/als.hpp"
 #include "eval/world.hpp"
 #include "linalg/eigen_sym.hpp"
+#include "util/checkpoint.hpp"
 #include "util/telemetry.hpp"
 
 namespace {
@@ -44,6 +47,72 @@ void BM_AlsFit(benchmark::State& state) {
                           static_cast<std::int64_t>(entries.size()));
 }
 BENCHMARK(BM_AlsFit)->Args({150, 8})->Args({300, 16});
+
+// Crash-safety cost, measured as a ratio INSIDE one benchmark: each
+// iteration times the ALS fit and (every second fit) the full checkpoint
+// write -- serialize + envelope + atomic rename, fsync off, like the
+// boundary writes inside a pipeline iteration -- with the same clock,
+// microseconds apart, and reports seconds-of-checkpointing per
+// second-of-fitting as the `checkpoint_overhead` counter.  One write per
+// two fits matches the pipeline's real checkpoint granularity
+// conservatively: its boundary is one rank iteration, which runs
+// holdout_repeats (2) ALS fits plus a measurement batch per write.  The CI
+// checkpoint-overhead gate reads the counter directly, so machine drift
+// between benchmarks or runs cannot masquerade as overhead.  Only the
+// 300/16 configuration is gated: its fit time is representative of the
+// pipeline's per-boundary compute (which also includes a measurement batch
+// the bench omits), whereas the 3ms 150/8 toy fit would charge the
+// size-independent syscall cost of a write against an unrealistically
+// small denominator.
+void BM_AlsFitCheckpointed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int rank = static_cast<int>(state.range(1));
+  util::Rng rng(1);
+  std::vector<core::RatingEntry> entries;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.uniform() < 0.2)
+        entries.push_back({i, j, rng.bernoulli(0.5) ? 1.0 : -1.0});
+  core::FeatureMatrix feats;
+  core::AlsConfig cfg;
+  cfg.rank = rank;
+  cfg.iterations = 5;
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string ck_path =
+      std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp") +
+      "/metas_bench_ckpt.bin";
+  using clock = std::chrono::steady_clock;
+  double fit_s = 0.0;
+  double ckpt_s = 0.0;
+  std::int64_t fits = 0;
+  for (auto _ : state) {
+    const clock::time_point t0 = clock::now();
+    core::AlsCompleter c(n, feats, cfg);
+    c.fit(entries);
+    const clock::time_point t1 = clock::now();
+    fit_s += std::chrono::duration<double>(t1 - t0).count();
+    if (++fits % 2 == 0) {
+      util::checkpoint::Encoder enc;
+      enc.u64(entries.size());
+      for (const core::RatingEntry& e : entries) {
+        enc.u64(e.i);
+        enc.u64(e.j);
+        enc.f64(e.value);
+      }
+      util::checkpoint::WriteOptions wo;
+      wo.fsync = false;
+      wo.keep_last = 1;  // isolate the write path; rotation is O(1) renames
+      benchmark::DoNotOptimize(
+          util::checkpoint::write_file(ck_path, enc.data(), wo));
+      ckpt_s += std::chrono::duration<double>(clock::now() - t1).count();
+    }
+    benchmark::DoNotOptimize(c.predict(0, 1));
+  }
+  state.counters["checkpoint_overhead"] = fit_s > 0.0 ? ckpt_s / fit_s : 0.0;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(entries.size()));
+}
+BENCHMARK(BM_AlsFitCheckpointed)->Args({300, 16});
 
 void BM_JacobiEigen(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -88,10 +88,19 @@ void AlsCompleter::fit(const std::vector<RatingEntry>& observed) {
     }
 
   MAC_REQUIRE(cfg_.iterations > 0, "iterations=", cfg_.iterations);
+  iterations_run_ = 0;
   for (int it = 0; it < cfg_.iterations; ++it) {
+    // Cooperative stop between sweeps: the first sweep always completes so
+    // the factors are fitted, later ones may be cut by cancellation or a
+    // deadline.  Without a control this is a no-op (identical iterations).
+    if (it > 0 && control_ != nullptr && control_->stop_requested()) {
+      MAC_COUNT("als.fits_truncated");
+      break;
+    }
     MAC_SPAN("als.iteration");
     double delta = solve_side(cols_, vals_, wts_, q_, p_);
     delta += solve_side(cols_, vals_, wts_, p_, q_);
+    ++iterations_run_;
     MAC_COUNT("als.iterations_run");
     // Summed factor-update magnitude: the per-iteration convergence signal.
     MAC_HISTOGRAM("als.factor_delta", delta);

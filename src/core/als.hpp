@@ -13,6 +13,7 @@
 #include "core/estimated_matrix.hpp"
 #include "core/features.hpp"
 #include "linalg/matrix.hpp"
+#include "util/cancel.hpp"
 
 namespace metas::core {
 
@@ -62,6 +63,15 @@ class AlsCompleter {
   const AlsConfig& config() const { return cfg_; }
   std::size_t num_ases() const { return n_; }
 
+  /// Installs a cooperative stop control polled between ALS sweeps (may be
+  /// null).  A stop finishes the sweep in flight; at least one full sweep
+  /// always runs, so the factors are usable after any interrupted fit.
+  void set_run_control(const util::RunControl* control) { control_ = control; }
+
+  /// Iterations the last fit() actually ran (== cfg.iterations unless a
+  /// stop control truncated the sweep loop).
+  int iterations_run() const { return iterations_run_; }
+
  private:
   /// Refits one factor side; returns the summed |delta| of updated entries
   /// (the per-iteration convergence signal surfaced via telemetry).
@@ -78,6 +88,8 @@ class AlsCompleter {
   std::vector<std::vector<std::size_t>> cols_;
   std::vector<std::vector<double>> vals_, wts_;
   const FeatureMatrix* features_;  // lint: allow(view-member) -- caller-owned matrix bound at fit() time; solvers are transient helpers
+  const util::RunControl* control_ = nullptr;  // lint: allow(view-member) -- optional stop control owned by the pipeline's caller; may be null
+  int iterations_run_ = 0;
   bool fitted_ = false;
 };
 

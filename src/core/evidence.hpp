@@ -17,6 +17,11 @@
 #include "traceroute/consistency.hpp"
 #include "traceroute/observations.hpp"
 
+namespace metas::util::checkpoint {
+class Encoder;
+class Decoder;
+}  // namespace metas::util::checkpoint
+
 namespace metas::core {
 
 /// Accumulated evidence about one AS pair.
@@ -50,6 +55,10 @@ class EvidenceStore {
   /// so no consumer depends on unordered iteration order (tools/lint.py
   /// R10).  O(P log P); cache the result when looping.
   std::vector<std::uint64_t> sorted_keys() const;
+
+  /// Checkpoint serialization in sorted-key order (byte-stable across runs).
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
 
  private:
   std::unordered_map<std::uint64_t, PairEvidence> pairs_;

@@ -94,6 +94,13 @@ class MeasurementSystem {
   /// vantage points").
   double vp_score(int vp_id, AsId i) const;
 
+  /// Checkpoint serialization of all mutable measurement-plane state
+  /// (evidence, trackers, VP statistics/health, the RNG stream position and
+  /// the health clock).  The Internet, engine wiring, VP/target inventories
+  /// and resilience policy are configuration, reconstructed on resume.
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
+
  private:
   void process_trace(const traceroute::TraceResult& trace,
                      traceroute::TraceObservations& obs_out);

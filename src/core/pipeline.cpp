@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/checkpoint.hpp"
 #include "util/curves.hpp"
 #include "util/telemetry.hpp"
 
@@ -47,7 +48,7 @@ double tune_threshold(const AlsCompleter& completer,
   return best_t;
 }
 
-PipelineResult MetascriticPipeline::run() {
+PipelineResult MetascriticPipeline::run(const PipelineRunOptions& opts) {
   MAC_SPAN("pipeline.run");
   MAC_COUNT("pipeline.runs_started");
   util::Rng rng(cfg_.seed);
@@ -66,15 +67,46 @@ PipelineResult MetascriticPipeline::run() {
   ProbabilityMatrix pm(*ctx_, *ms_, priors_);
   MeasurementScheduler scheduler(*ctx_, *ms_, pm, cfg_.scheduler);
 
+  // Resume: the phase blob overwrites the rank-loop locals, the scheduler
+  // and the probability matrix; the caller already restored the shared
+  // measurement plane.
+  RankLoopState resume_state;
+  RankRunOptions rank_opts;
+  rank_opts.control = opts.control;
+  if (opts.resume_blob != nullptr) {
+    util::checkpoint::Decoder dec(*opts.resume_blob);
+    resume_state.load(dec);
+    scheduler.load(dec);
+    pm.load(dec);
+    rank_opts.resume = &resume_state;
+    MAC_COUNT("pipeline.resumes");
+  }
+  std::size_t checkpoints_written = 0;
+  if (opts.checkpoint) {
+    rank_opts.on_iteration = [&](const RankLoopState& st) {
+      // Rank boundary: serialize everything the next process needs to
+      // continue this pipeline mid-loop.
+      MAC_SPAN("pipeline.checkpoint");
+      util::checkpoint::Encoder enc;
+      st.save(enc);
+      scheduler.save(enc);
+      pm.save(enc);
+      opts.checkpoint(enc.take());
+      ++checkpoints_written;
+      MAC_COUNT("pipeline.checkpoints_written");
+    };
+  }
+
   RankEstimator estimator(*ctx_, features, cfg_.rank);
   {
     MAC_SPAN("pipeline.rank_estimation");
-    res.rank_detail = estimator.run(&scheduler, *ms_);
+    res.rank_detail = estimator.run(&scheduler, *ms_, rank_opts);
   }
   res.estimated_rank = res.rank_detail.best_rank;
   res.targeted_traceroutes = res.rank_detail.traceroutes_used;
   res.measurement_log = scheduler.history();
   res.degradation = scheduler.degradation();
+  if (res.rank_detail.truncated) ++res.degradation.phases_truncated;
   MAC_GAUGE_SET("pipeline.estimated_rank", res.estimated_rank);
 
   // Final completion over the full E_m at the estimated rank.
@@ -92,9 +124,15 @@ PipelineResult MetascriticPipeline::run() {
   AlsConfig als = cfg_.final_als;
   als.rank = res.estimated_rank;
   AlsCompleter completer(ctx_->size(), features, als);
+  // The final completion phases always run -- even under cancellation the
+  // pipeline returns best-so-far ratings -- but their ALS sweeps yield to
+  // the stop control between iterations.
+  completer.set_run_control(opts.control);
   {
     MAC_SPAN("pipeline.final_completion");
     completer.fit(train);
+    if (completer.iterations_run() < als.iterations)
+      ++res.degradation.phases_truncated;
   }
   {
     MAC_SPAN("pipeline.tune_threshold");
@@ -105,10 +143,23 @@ PipelineResult MetascriticPipeline::run() {
     // Refit on everything for the published ratings.
     MAC_SPAN("pipeline.publish_ratings");
     completer.fit(entries);
+    if (completer.iterations_run() < als.iterations)
+      ++res.degradation.phases_truncated;
     res.ratings = completer.completed();
   }
 
   if (priors_ != nullptr) pm.export_priors(*priors_);
+
+  // Crash-safety accounting: why (if at all) the run was cut short, what
+  // the deadline budget cost, and how many snapshots were persisted.
+  if (opts.control != nullptr) {
+    res.degradation.cancelled =
+        opts.control->token != nullptr && opts.control->token->cancelled();
+    res.degradation.deadline_expired = opts.control->budget.expired();
+    res.degradation.budget_consumed_ms = opts.control->budget.consumed_ms();
+  }
+  res.degradation.checkpoints_written = checkpoints_written;
+
   MAC_COUNT("pipeline.runs_completed");
   MAC_GAUGE_SET("pipeline.threshold", res.threshold);
   return res;

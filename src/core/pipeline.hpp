@@ -27,8 +27,27 @@ struct PipelineResult {
   RankEstimateResult rank_detail;
   std::vector<IssuedRecord> measurement_log;
   /// How gracefully the measurement campaign degraded under infrastructure
-  /// faults (inert numbers when no faults are injected).
+  /// faults (inert numbers when no faults are injected) and under
+  /// cancellation / deadline expiry (the crash-safety fields).
   DegradationReport degradation;
+};
+
+/// Optional crash-safety controls for one pipeline run.  The defaults are
+/// inert: no control polling, no checkpoint callbacks, no resume -- and a
+/// run with default options is byte-identical to the pre-checkpoint code.
+struct PipelineRunOptions {
+  /// Cooperative stop control (SIGINT/SIGTERM token and/or deadline budget)
+  /// polled at phase and work-unit boundaries.
+  const util::RunControl* control = nullptr;  // lint: allow(view-member) -- optional caller-owned stop control; outlives the run() call
+  /// Invoked at every rank boundary with the serialized resumable phase
+  /// state (rank loop + scheduler + probability matrix).  The caller wraps
+  /// the blob with its own state and persists it atomically.
+  std::function<void(const std::string& phase_blob)> checkpoint;
+  /// A phase blob from a previous run's `checkpoint` callback; the rank
+  /// loop continues from that boundary, draw-for-draw identical to an
+  /// uninterrupted run.  The surrounding MeasurementSystem / engine / fault
+  /// state must already be restored by the caller.
+  const std::string* resume_blob = nullptr;  // lint: allow(view-member) -- caller-owned blob read once at run() entry
 };
 
 class MetascriticPipeline {
@@ -37,8 +56,10 @@ class MetascriticPipeline {
                       StrategyPriors* priors, PipelineConfig cfg)
       : ctx_(&ctx), ms_(&ms), priors_(priors), cfg_(cfg) {}
 
-  /// Runs measurement + completion and returns the completed metro.
-  PipelineResult run();
+  /// Runs measurement + completion and returns the completed metro.  With
+  /// default options this is the legacy uninterruptible behaviour; see
+  /// PipelineRunOptions for checkpoint/cancel/resume hooks.
+  PipelineResult run(const PipelineRunOptions& opts = {});
 
  private:
   const MetroContext* ctx_;  // lint: allow(view-member) -- caller owns the context; a pipeline is a one-shot driver inside its scope

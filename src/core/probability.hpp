@@ -19,6 +19,8 @@
 #include "traceroute/strategy.hpp"
 
 namespace metas::core {
+// Encoder/Decoder come via measurement_system.hpp -> evidence.hpp's forward
+// declarations; checkpoint.hpp itself is only needed in the .cpp.
 
 /// Pooled per-strategy outcome counts carried across metros.
 struct StrategyPriors {
@@ -29,6 +31,11 @@ struct StrategyPriors {
   /// Adds one metro's posterior counts into the pool.
   void absorb(const std::array<double, traceroute::kNumStrategies>& a,
               const std::array<double, traceroute::kNumStrategies>& b);
+
+  /// Checkpoint serialization (the pool crosses metro boundaries, so it is
+  /// part of every CLI snapshot).
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
 };
 
 /// The chosen way to measure a link.
@@ -75,6 +82,11 @@ class ProbabilityMatrix {
   /// only VP categories with topo in {InAs, InCone} and targets in the far
   /// AS itself, at metro or country geo scope.
   void restrict_to_ixp_mapped();
+
+  /// Checkpoint serialization of all mutable estimator state (availability
+  /// counts, Beta-Bernoulli counters, strategy mask, link penalties).
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
 
  private:
   double dir_prob(int near, int far, int* best_vp, int* best_tgt) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/checkpoint.hpp"
 #include "util/contracts.hpp"
 #include "util/numeric.hpp"
 #include "util/telemetry.hpp"
@@ -71,8 +72,45 @@ double RankEstimator::holdout_mse(const EstimatedMatrix& e, int rank,
   return s / reps;
 }
 
+void RankLoopState::save(util::checkpoint::Encoder& enc) const {
+  enc.i32(next_rank);
+  enc.f64(best);
+  enc.i32(no_improve);
+  enc.b(finished);
+  enc.str(rng_state);
+  enc.i32(partial.best_rank);
+  enc.f64(partial.best_mse);
+  enc.u64(partial.history.size());
+  for (const auto& [rank, mse] : partial.history) {
+    enc.i32(rank);
+    enc.f64(mse);
+  }
+  enc.u64(partial.traceroutes_used);
+  enc.b(partial.truncated);
+}
+
+void RankLoopState::load(util::checkpoint::Decoder& dec) {
+  next_rank = dec.i32();
+  best = dec.f64();
+  no_improve = dec.i32();
+  finished = dec.b();
+  rng_state = dec.str();
+  partial = RankEstimateResult{};
+  partial.best_rank = dec.i32();
+  partial.best_mse = dec.f64();
+  const std::uint64_t nh = dec.u64();
+  partial.history.reserve(nh);
+  for (std::uint64_t k = 0; k < nh; ++k) {
+    const int rank = dec.i32();
+    partial.history.emplace_back(rank, dec.f64());
+  }
+  partial.traceroutes_used = dec.u64();
+  partial.truncated = dec.b();
+}
+
 RankEstimateResult RankEstimator::run(MeasurementScheduler* scheduler,
-                                      MeasurementSystem& ms) {
+                                      MeasurementSystem& ms,
+                                      const RankRunOptions& opts) {
   MAC_REQUIRE(cfg_.max_rank >= 1, "max_rank=", cfg_.max_rank);
   MAC_REQUIRE(cfg_.holdout_per_row >= 1,
               "holdout_per_row=", cfg_.holdout_per_row);
@@ -80,7 +118,25 @@ RankEstimateResult RankEstimator::run(MeasurementScheduler* scheduler,
   RankEstimateResult res;
   double best = 1e30;
   int no_improve = 0;
-  for (int r = 1; r <= cfg_.max_rank; ++r) {
+  int start_rank = 1;
+  if (opts.resume != nullptr) {
+    // Continue a checkpointed loop: every local that influences control
+    // flow or randomness is overwritten with the snapshot.
+    if (opts.resume->finished) return opts.resume->partial;
+    start_rank = opts.resume->next_rank;
+    best = opts.resume->best;
+    no_improve = opts.resume->no_improve;
+    res = opts.resume->partial;
+    rng.restore_state(opts.resume->rng_state);
+  }
+  if (scheduler != nullptr) scheduler->set_run_control(opts.control);
+  for (int r = start_rank; r <= cfg_.max_rank; ++r) {
+    // Cooperative stop between iterations: a rank candidate is the work
+    // unit; the one in flight always finishes and is checkpointed.
+    if (opts.control != nullptr && opts.control->stop_requested()) {
+      res.truncated = true;
+      break;
+    }
     MAC_SPAN("pipeline.rank_iteration");
     MAC_COUNT("pipeline.rank_candidates_evaluated");
     if (scheduler != nullptr)
@@ -93,14 +149,29 @@ RankEstimateResult RankEstimator::run(MeasurementScheduler* scheduler,
     double needed = best > 1e29 ? 0.0  // first candidate always accepted
                                 : std::max(cfg_.min_improvement,
                                            cfg_.rel_improvement * best);
+    bool stop = false;
     if (mse < best - needed) {
       best = mse;
       res.best_rank = r;
       res.best_mse = mse;
       no_improve = 0;
     } else if (++no_improve >= cfg_.patience) {
-      break;
+      stop = true;
     }
+    if (opts.on_iteration) {
+      // Rank boundary: hand the caller everything a resume at this exact
+      // point needs, including whether the loop already decided to stop
+      // (so a resumed run does not iterate past the patience break).
+      RankLoopState st;
+      st.next_rank = r + 1;
+      st.best = best;
+      st.no_improve = no_improve;
+      st.finished = stop || r == cfg_.max_rank;
+      st.rng_state = rng.save_state();
+      st.partial = res;
+      opts.on_iteration(st);
+    }
+    if (stop) break;
   }
   MAC_ENSURE(res.best_rank >= 1 && res.best_rank <= cfg_.max_rank,
              "best_rank=", res.best_rank, " max_rank=", cfg_.max_rank);

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "core/als.hpp"
@@ -33,6 +35,34 @@ struct RankEstimateResult {
   double best_mse = 0.0;
   std::vector<std::pair<int, double>> history;  // (rank, holdout MSE)
   std::size_t traceroutes_used = 0;
+  /// True when a cooperative stop cut the loop before its natural end.
+  bool truncated = false;
+};
+
+/// Mid-loop snapshot of the rank-estimation iteration, captured at every
+/// rank boundary.  Restoring it and re-running `RankEstimator::run` with
+/// the same config and measurement state continues the loop exactly where
+/// it stopped, draw-for-draw.
+struct RankLoopState {
+  int next_rank = 1;       // candidate the loop evaluates next
+  double best = 1e30;      // best holdout MSE so far (1e30 = none yet)
+  int no_improve = 0;      // consecutive non-improving iterations
+  bool finished = false;   // loop already ended; `partial` is final
+  std::string rng_state;   // holdout RNG stream position
+  RankEstimateResult partial;
+
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
+};
+
+/// Optional controls for a resumable / cancellable estimation run.  The
+/// default options reproduce the legacy behaviour exactly.
+struct RankRunOptions {
+  const util::RunControl* control = nullptr;  // lint: allow(view-member) -- optional stop control owned by the pipeline's caller; may be null
+  /// Invoked after every completed rank iteration with the state a resume
+  /// at that boundary needs (the pipeline's checkpoint hook).
+  std::function<void(const RankLoopState&)> on_iteration;
+  const RankLoopState* resume = nullptr;  // lint: allow(view-member) -- caller-owned snapshot read once at run() entry
 };
 
 class RankEstimator {
@@ -44,8 +74,11 @@ class RankEstimator {
   /// Runs the estimation loop, driving `scheduler` for targeted
   /// measurements. Pass a nullptr scheduler to estimate on a static matrix
   /// (the post-hoc hyperparameter mode used by the baselines in §4.2).
+  /// `opts` adds cooperative cancellation, per-iteration checkpoint hooks
+  /// and mid-loop resume; the defaults change nothing.
   RankEstimateResult run(MeasurementScheduler* scheduler,
-                         MeasurementSystem& ms);
+                         MeasurementSystem& ms,
+                         const RankRunOptions& opts = {});
 
   /// Scores candidate ranks on a fixed matrix without new measurements:
   /// the post-hoc tuning mode of §4.2 for baseline strategies.

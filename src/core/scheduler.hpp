@@ -14,6 +14,7 @@
 
 #include "core/measurement_system.hpp"
 #include "core/probability.hpp"
+#include "util/cancel.hpp"
 #include "util/telemetry.hpp"
 
 namespace metas::core {
@@ -87,6 +88,15 @@ struct DegradationReport {
   std::size_t requeues = 0;        // entries sent back with backoff
   std::size_t quarantined_vps = 0; // VPs sidelined when the campaign ended
   std::size_t dead_vps = 0;        // permanently churned VPs
+
+  // Crash-safety accounting (filled in by the pipeline, not the scheduler):
+  // how the run was cut short and what was preserved.  All fields stay at
+  // their defaults on an uninterrupted run without checkpoint/deadline flags.
+  std::size_t phases_truncated = 0;   // pipeline phases stopped early
+  bool cancelled = false;             // CancelToken tripped (SIGINT/SIGTERM)
+  bool deadline_expired = false;      // --deadline-ms budget exhausted
+  std::uint64_t budget_consumed_ms = 0;  // wall time consumed of the budget
+  std::size_t checkpoints_written = 0;   // snapshots persisted during run()
 };
 
 class MeasurementScheduler {
@@ -110,6 +120,19 @@ class MeasurementScheduler {
   /// Degradation summary; see DegradationReport for accumulation semantics.
   const DegradationReport& degradation() const { return degradation_; }
 
+  /// Installs a cooperative stop control polled between batches (may be
+  /// null).  A stop finishes the in-flight batch, runs the campaign's
+  /// degradation accounting, and returns normally with the budget spent so
+  /// far -- no partial batch is ever abandoned.
+  void set_run_control(const util::RunControl* control) { control_ = control; }
+
+  /// Checkpoint serialization of all mutable scheduler state: the RNG
+  /// stream, the issued-measurement log, per-row fail/give-up state, the
+  /// exploration/greedy/random bookkeeping, the backoff queue and the
+  /// degradation counters (as deltas against the construction baselines).
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
+
  private:
   struct Pick { int i = -1, j = -1; bool exploration = false; };
   Pick pick_exploit(const std::vector<std::size_t>& sim_filled,
@@ -128,6 +151,7 @@ class MeasurementScheduler {
   const MetroContext* ctx_;  // lint: allow(view-member) -- caller-owned context; schedulers are per-metro and scoped inside the pipeline
   MeasurementSystem* ms_;  // lint: allow(view-member) -- caller-owned measurement system, same scope as ctx_
   ProbabilityMatrix* pm_;  // lint: allow(view-member) -- caller-owned matrix the scheduler reads/refines in place
+  const util::RunControl* control_ = nullptr;  // lint: allow(view-member) -- optional stop control owned by the pipeline's caller; may be null
   SchedulerConfig cfg_;
   util::Rng rng_;
   std::vector<IssuedRecord> history_;

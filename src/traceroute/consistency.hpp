@@ -19,6 +19,11 @@
 #include "traceroute/observations.hpp"
 #include "util/numeric.hpp"
 
+namespace metas::util::checkpoint {
+class Encoder;
+class Decoder;
+}  // namespace metas::util::checkpoint
+
 namespace metas::traceroute {
 
 class ConsistencyTracker {
@@ -40,6 +45,10 @@ class ConsistencyTracker {
                                    const std::vector<topology::AsId>& universe) const;
 
   std::size_t pairs_tracked() const { return pair_data_.size(); }
+
+  /// Checkpoint serialization in sorted-key order (byte-stable across runs).
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
 
  private:
   struct PairEvidence {
@@ -63,6 +72,10 @@ class WellPositionedTracker {
 
   bool well_positioned(int vp_id, topology::AsId i, topology::MetroId m) const;
   std::size_t issued_by(int vp_id) const;
+
+  /// Checkpoint serialization in sorted-key order (byte-stable across runs).
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
 
  private:
   static std::uint64_t key(topology::AsId as, topology::MetroId m) {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/checkpoint.hpp"
 #include "util/contracts.hpp"
 #include "util/numeric.hpp"
 #include "util/telemetry.hpp"
@@ -164,6 +165,16 @@ TraceResult TracerouteEngine::trace(const VantagePoint& vp,
   }
 #endif
   return res;
+}
+
+void TracerouteEngine::save(util::checkpoint::Encoder& enc) const {
+  enc.u64(issued_);
+  enc.u64(faulted_);
+}
+
+void TracerouteEngine::load(util::checkpoint::Decoder& dec) {
+  issued_ = dec.u64();
+  faulted_ = dec.u64();
 }
 
 }  // namespace metas::traceroute

@@ -17,6 +17,11 @@
 #include "traceroute/faults.hpp"
 #include "traceroute/vantage_point.hpp"
 
+namespace metas::util::checkpoint {
+class Encoder;
+class Decoder;
+}  // namespace metas::util::checkpoint
+
 namespace metas::traceroute {
 
 /// One AS-level hop of a traceroute.
@@ -70,6 +75,12 @@ class TracerouteEngine {
 
   bgp::RoutingEngine& routing() { return routing_; }
   const topology::Internet& internet() const { return *net_; }
+
+  /// Checkpoint serialization of the engine's mutable counters.  The graph
+  /// and routing caches are deterministic functions of the Internet and are
+  /// rebuilt lazily, so they are not part of the snapshot.
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
 
  private:
   topology::MetroId choose_link_metro(const topology::LinkInfo& link,

@@ -19,6 +19,11 @@
 #include "topology/internet.hpp"
 #include "util/rng.hpp"
 
+namespace metas::util::checkpoint {
+class Encoder;
+class Decoder;
+}  // namespace metas::util::checkpoint
+
 namespace metas::traceroute {
 
 /// Infrastructure verdict for one probe attempt.
@@ -93,6 +98,12 @@ class FaultInjector {
   std::size_t faults_injected() const { return faults_; }
   /// VPs that died permanently so far.
   std::size_t dead_vps() const { return dead_; }
+
+  /// Checkpoint serialization of the injector's mutable state (clock,
+  /// per-entity chains, RNG stream positions).  The profile itself comes
+  /// from configuration and is not part of the snapshot.
+  void save(util::checkpoint::Encoder& enc) const;
+  void load(util::checkpoint::Decoder& dec);
 
  private:
   struct VpState {

@@ -9,7 +9,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace metas::util {
@@ -110,6 +112,25 @@ class Rng {
   Rng fork() { return Rng(engine_()); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the engine's exact stream position (checkpoint/resume).
+  /// mt19937_64's textual state is fully specified by the standard, so the
+  /// round trip is portable and byte-stable.
+  std::string save_state() const {
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+  }
+
+  /// Restores a state produced by save_state().  Resets the cached unit
+  /// distribution so no stale per-distribution state leaks across restore.
+  void restore_state(const std::string& state) {
+    std::istringstream is(state);
+    is >> engine_;
+    if (is.fail())
+      throw std::invalid_argument("Rng::restore_state: malformed state");
+    unit_.reset();
+  }
 
  private:
   std::mt19937_64 engine_;  // lint: allow(unseeded-engine) seeded in the ctor

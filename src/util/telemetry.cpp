@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <chrono>  // lint: allow(chrono-direct) -- the injectable-clock shim
 #include <cmath>
-#include <fstream>
 #include <iomanip>
 #include <limits>
 #include <ostream>
 #include <sstream>
 
+#include "util/checkpoint.hpp"
 #include "util/contracts.hpp"
 #include "util/numeric.hpp"
 
@@ -405,13 +405,14 @@ void Registry::write_csv(std::ostream& os) const {
 }
 
 bool write_snapshot(const std::string& path, Format format) {
-  std::ofstream f(path);
-  if (!f) return false;
+  // Render to memory, then publish via the atomic-write helper so a crash
+  // or a full/unwritable destination never leaves a partial snapshot.
+  std::ostringstream os;
   if (format == Format::kJson)
-    Registry::instance().write_json(f);
+    Registry::instance().write_json(os);
   else
-    Registry::instance().write_csv(f);
-  return static_cast<bool>(f);
+    Registry::instance().write_csv(os);
+  return checkpoint::atomic_write_file(path, os.str());
 }
 
 }  // namespace metas::util::telemetry

@@ -1,0 +1,258 @@
+// Crash-injection suite (DESIGN.md §12): runs the real metascritic_cli
+// binary, kills it with SIGKILL at seeded checkpoint boundaries via the
+// --crash-after-checkpoints hook, resumes from the snapshot, and asserts the
+// exported CSVs are byte-identical to an uninterrupted run with the same
+// flags.  Also covers fingerprint rejection and corrupted-checkpoint
+// fallback through the CLI surface.
+//
+// The CLI path is injected by CMake as METAS_CLI_PATH (see
+// tests/CMakeLists.txt); every child runs via fork/exec with stdout/stderr
+// captured to a log inside the per-test scratch directory.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;       // -1 when killed by a signal
+  int term_signal = 0;      // non-zero when killed
+  std::string log;
+};
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("crash_recovery_" + std::string(
+               ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// fork/execs the CLI with `args`; blocks until exit.
+  RunResult run_cli(const std::vector<std::string>& args) {
+    const std::string log_path = path("cli.log");
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: route stdout+stderr to the log, exec the CLI.
+      ::freopen(log_path.c_str(), "a", stdout);
+      ::freopen(log_path.c_str(), "a", stderr);
+      std::vector<char*> argv;
+      std::string exe = METAS_CLI_PATH;
+      argv.push_back(exe.data());
+      std::vector<std::string> copy = args;
+      for (std::string& a : copy) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(exe.c_str(), argv.data());
+      std::_Exit(127);  // exec failed
+    }
+    RunResult r;
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) r.term_signal = WTERMSIG(status);
+    std::ifstream in(log_path);
+    r.log.assign(std::istreambuf_iterator<char>(in), {});
+    return r;
+  }
+
+  static std::string read_file(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  /// Asserts every CSV under `ref` exists under `got` with identical bytes.
+  void expect_identical_exports(const std::string& ref,
+                                const std::string& got) {
+    std::size_t compared = 0;
+    for (const auto& entry : fs::directory_iterator(ref)) {
+      if (entry.path().extension() != ".csv") continue;
+      const fs::path other = fs::path(got) / entry.path().filename();
+      ASSERT_TRUE(fs::exists(other)) << other;
+      EXPECT_EQ(read_file(entry.path()), read_file(other))
+          << "export differs: " << entry.path().filename();
+      ++compared;
+    }
+    EXPECT_GT(compared, 0u) << "no CSVs under " << ref;
+  }
+
+  std::vector<std::string> base_args(const std::string& out) {
+    return {"--seed", "42", "--out", path(out), "--quiet"};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CrashRecoveryTest, UninterruptedRunSucceeds) {
+  const RunResult r = run_cli(base_args("ref"));
+  EXPECT_EQ(r.exit_code, 0) << r.log;
+  EXPECT_TRUE(fs::exists(path("ref") + "/Amsterdam_links.csv")) << r.log;
+}
+
+TEST_F(CrashRecoveryTest, KillAtCheckpointBoundaryThenResumeIsByteIdentical) {
+  ASSERT_EQ(run_cli(base_args("ref")).exit_code, 0);
+
+  // Kill the run via SIGKILL right after checkpoint #2 lands on disk.
+  auto crash_args = base_args("out");
+  crash_args.insert(crash_args.end(),
+                    {"--checkpoint", path("ck/snap"),
+                     "--crash-after-checkpoints", "2"});
+  const RunResult crashed = run_cli(crash_args);
+  EXPECT_EQ(crashed.term_signal, SIGKILL) << crashed.log;
+  ASSERT_TRUE(fs::exists(path("ck/snap")));
+
+  auto resume_args = base_args("out");
+  resume_args.insert(resume_args.end(), {"--resume", path("ck/snap")});
+  const RunResult resumed = run_cli(resume_args);
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.log;
+  expect_identical_exports(path("ref"), path("out"));
+}
+
+TEST_F(CrashRecoveryTest, KillAtLaterBoundaryAlsoResumesByteIdentical) {
+  ASSERT_EQ(run_cli(base_args("ref")).exit_code, 0);
+
+  auto crash_args = base_args("out");
+  crash_args.insert(crash_args.end(),
+                    {"--checkpoint", path("ck/snap"),
+                     "--crash-after-checkpoints", "4"});
+  const RunResult crashed = run_cli(crash_args);
+  EXPECT_EQ(crashed.term_signal, SIGKILL) << crashed.log;
+
+  auto resume_args = base_args("out");
+  resume_args.insert(resume_args.end(), {"--resume", path("ck/snap")});
+  ASSERT_EQ(run_cli(resume_args).exit_code, 0);
+  expect_identical_exports(path("ref"), path("out"));
+}
+
+TEST_F(CrashRecoveryTest, ResumeUnderFaultsIsByteIdentical) {
+  // The hard case: the fault injector's per-VP Markov chains and token
+  // buckets must restore draw-for-draw along with the measurement plane.
+  std::vector<std::string> extra = {"--fault-profile", "flaky"};
+  auto ref_args = base_args("ref");
+  ref_args.insert(ref_args.end(), extra.begin(), extra.end());
+  ASSERT_EQ(run_cli(ref_args).exit_code, 0);
+
+  auto crash_args = base_args("out");
+  crash_args.insert(crash_args.end(), extra.begin(), extra.end());
+  crash_args.insert(crash_args.end(),
+                    {"--checkpoint", path("ck/snap"),
+                     "--crash-after-checkpoints", "3"});
+  const RunResult crashed = run_cli(crash_args);
+  EXPECT_EQ(crashed.term_signal, SIGKILL) << crashed.log;
+
+  auto resume_args = base_args("out");
+  resume_args.insert(resume_args.end(), extra.begin(), extra.end());
+  resume_args.insert(resume_args.end(), {"--resume", path("ck/snap")});
+  ASSERT_EQ(run_cli(resume_args).exit_code, 0);
+  expect_identical_exports(path("ref"), path("out"));
+}
+
+TEST_F(CrashRecoveryTest, MismatchedFingerprintIsRejected) {
+  auto crash_args = base_args("out");
+  crash_args.insert(crash_args.end(),
+                    {"--checkpoint", path("ck/snap"),
+                     "--crash-after-checkpoints", "1"});
+  ASSERT_EQ(run_cli(crash_args).term_signal, SIGKILL);
+
+  // Same checkpoint, different seed: must refuse, not silently diverge.
+  std::vector<std::string> resume_args = {"--seed", "43", "--out", path("out"),
+                                          "--quiet", "--resume",
+                                          path("ck/snap")};
+  const RunResult r = run_cli(resume_args);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.log.find("different"), std::string::npos) << r.log;
+}
+
+TEST_F(CrashRecoveryTest, CorruptedNewestGenerationFallsBack) {
+  auto crash_args = base_args("out");
+  crash_args.insert(crash_args.end(),
+                    {"--checkpoint", path("ck/snap"),
+                     "--crash-after-checkpoints", "3"});
+  ASSERT_EQ(run_cli(crash_args).term_signal, SIGKILL);
+  ASSERT_TRUE(fs::exists(path("ck/snap.1")));
+
+  // Torn newest generation: resume must fall back to snap.1 and finish.
+  {
+    std::ifstream in(path("ck/snap"), std::ios::binary);
+    std::string raw(std::istreambuf_iterator<char>(in), {});
+    std::ofstream out(path("ck/snap"), std::ios::binary | std::ios::trunc);
+    out.write(raw.data(), static_cast<std::streamsize>(raw.size() / 2));
+  }
+  auto resume_args = base_args("out");
+  resume_args.insert(resume_args.end(), {"--resume", path("ck/snap")});
+  const RunResult r = run_cli(resume_args);
+  EXPECT_EQ(r.exit_code, 0) << r.log;
+
+  ASSERT_EQ(run_cli(base_args("ref")).exit_code, 0);
+  expect_identical_exports(path("ref"), path("out"));
+}
+
+TEST_F(CrashRecoveryTest, AllGenerationsCorruptIsACleanError) {
+  auto crash_args = base_args("out");
+  crash_args.insert(crash_args.end(),
+                    {"--checkpoint", path("ck/snap"),
+                     "--crash-after-checkpoints", "1"});
+  ASSERT_EQ(run_cli(crash_args).term_signal, SIGKILL);
+  {
+    std::ofstream out(path("ck/snap"), std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  auto resume_args = base_args("out");
+  resume_args.insert(resume_args.end(), {"--resume", path("ck/snap")});
+  const RunResult r = run_cli(resume_args);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.log.find("no usable checkpoint"), std::string::npos) << r.log;
+}
+
+TEST_F(CrashRecoveryTest, SigtermStopsGracefullyWithResumableCheckpoint) {
+  // Cooperative shutdown: SIGTERM (not SIGKILL) lets the run finish its
+  // work unit, checkpoint, and exit 0 with a degradation report.
+  const std::string log_path = path("cli.log");
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::freopen(log_path.c_str(), "a", stdout);
+    ::freopen(log_path.c_str(), "a", stderr);
+    std::string exe = METAS_CLI_PATH;
+    std::string out = path("out");
+    std::string snap = path("ck/snap");
+    char* argv[] = {exe.data(), const_cast<char*>("--seed"),
+                    const_cast<char*>("42"), const_cast<char*>("--out"),
+                    out.data(), const_cast<char*>("--checkpoint"),
+                    snap.data(), nullptr};
+    ::execv(exe.c_str(), argv);
+    std::_Exit(127);
+  }
+  // Give the child a moment to get into the measurement loop, then SIGTERM.
+  ::usleep(300 * 1000);
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  std::ifstream in(log_path);
+  const std::string log{std::istreambuf_iterator<char>(in), {}};
+  // Either the run finished before the signal landed (fast machine) or it
+  // reports the cooperative stop; both are legal, but a crash is not.
+  if (log.find("stopped early") != std::string::npos) {
+    EXPECT_NE(log.find("cancelled by signal"), std::string::npos) << log;
+    EXPECT_NE(log.find("resume with:"), std::string::npos) << log;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,45 @@
+// R18 (raw-file-write) fixture for tests/lint_selftest.py.  Never compiled;
+// the linter treats it as if it lived under src/ (--pretend-dir src).
+// Lines tagged `// expect-lint: <rule>` must be flagged; untagged lines
+// must not.
+//
+// R18 bans direct file writes in src/: a crash (or SIGKILL at a checkpoint
+// boundary) mid-write leaves a truncated file that a later --resume or a
+// downstream consumer silently trusts.  Durable output goes through the
+// write-temp + fsync + rename helpers in util/checkpoint.hpp; sites that
+// provably cannot corrupt durable state opt out with a justification.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+void hits(const std::string& path) {
+  std::ofstream out(path);                      // expect-lint: raw-file-write
+  std::fstream inout(path);                     // expect-lint: raw-file-write
+  std::FILE* f = fopen(path.c_str(), "w");      // expect-lint: raw-file-write
+  std::FILE* g = std::fopen(path.c_str(), "w"); // expect-lint: raw-file-write
+  if (f != nullptr) (void)std::fclose(f);
+  if (g != nullptr) (void)std::fclose(g);
+}
+
+// A bare allow() without a justification is itself a finding.
+void bare_allow(const std::string& path) {
+  std::ofstream out(path);  // lint: allow(raw-file-write) // expect-lint: raw-file-write
+}
+
+void misses(const std::string& path) {
+  // Reading is fine -- only writes can leave torn durable state.
+  std::ifstream in(path);
+  // In-memory streams never touch the filesystem.
+  std::ostringstream rendered;
+  rendered << "a,b\n";
+  // Identifiers merely containing the banned names are fine.
+  int my_fopen_count = 0;
+  (void)my_fopen_count;
+  // A justified opt-out is legal.
+  std::ofstream scratch(path);  // lint: allow(raw-file-write) -- test scratch file on a path no resume ever reads
+}
+
+}  // namespace fixture

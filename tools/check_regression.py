@@ -18,6 +18,7 @@ fractional slowdown; gates live in a JSON config
   { "gates": { "<name>": { "benchmark_prefix": "BM_...",
                            "max_overhead": 0.05,
                            "baseline": "BENCH_foo.json",
+                           "counter": "checkpoint_overhead",
                            "description": "..." } } }
 
 The optional "baseline" key points at a committed baseline file (relative
@@ -29,6 +30,15 @@ For every benchmark whose name starts with the gate's prefix, the median
 the candidate exceeds the baseline by more than max_overhead.  Explicit
 --benchmark-prefix/--max-overhead flags override the gate's values, and can
 be used alone to run an ad-hoc unnamed gate.
+
+The optional "counter" key switches the gate to COUNTER mode: the benchmark
+itself reports the overhead as a user counter (a fraction, e.g. the
+seconds-of-checkpointing per second-of-fitting ratio BM_AlsFitCheckpointed
+emits), and the gate compares the median counter value of every matching
+candidate benchmark against max_overhead directly -- no baseline file or
+row at all.  A within-benchmark ratio is immune to machine drift between
+runs or between benchmarks, which cross-run comparisons on shared CI
+hardware are not.
 
 Exit status: 0 when within budget, 1 when over, 2 on malformed input, an
 unknown gate, or a missing input file (a missing committed baseline is a
@@ -47,13 +57,7 @@ import sys
 DEFAULT_CONFIG = pathlib.Path(__file__).resolve().parent / "regression_gates.json"
 
 
-def median_times(path: str, prefix: str) -> dict[str, float]:
-    """name -> median cpu_time (ns) over plain iterations of each benchmark.
-
-    Accepts both raw google-benchmark JSON (list-shaped "benchmarks") and a
-    committed BENCH_*.json baseline from tools/make_bench_baseline.py
-    (dict-shaped "benchmarks" with precomputed median_cpu_time_ns).
-    """
+def load_bench_json(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as f:
             data = json.load(f)
@@ -68,7 +72,17 @@ def median_times(path: str, prefix: str) -> dict[str, float]:
     except (OSError, json.JSONDecodeError) as e:
         print(f"check_regression: cannot read {path}: {e}", file=sys.stderr)
         raise SystemExit(2)
-    bench = data.get("benchmarks", [])
+    return data
+
+
+def median_times(path: str, prefix: str) -> dict[str, float]:
+    """name -> median cpu_time (ns) over plain iterations of each benchmark.
+
+    Accepts both raw google-benchmark JSON (list-shaped "benchmarks") and a
+    committed BENCH_*.json baseline from tools/make_bench_baseline.py
+    (dict-shaped "benchmarks" with precomputed median_cpu_time_ns).
+    """
+    bench = load_bench_json(path).get("benchmarks", [])
     if isinstance(bench, dict):  # make_bench_baseline.py format
         return {name: float(entry["median_cpu_time_ns"])
                 for name, entry in bench.items()
@@ -83,6 +97,20 @@ def median_times(path: str, prefix: str) -> dict[str, float]:
         if not name.startswith(prefix):
             continue
         samples.setdefault(name, []).append(float(b["cpu_time"]))
+    return {name: statistics.median(v) for name, v in samples.items()}
+
+
+def median_counters(path: str, prefix: str, counter: str) -> dict[str, float]:
+    """name -> median value of a user counter over plain repetitions."""
+    bench = load_bench_json(path).get("benchmarks", [])
+    samples: dict[str, list[float]] = {}
+    for b in bench if isinstance(bench, list) else []:
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("run_name", b.get("name", ""))
+        if not name.startswith(prefix) or counter not in b:
+            continue
+        samples.setdefault(name, []).append(float(b[counter]))
     return {name: statistics.median(v) for name, v in samples.items()}
 
 
@@ -121,11 +149,13 @@ def main(argv: list[str]) -> int:
     prefix = args.benchmark_prefix
     budget = args.max_overhead
     baseline = args.baseline
+    counter = None
     label = args.gate or "(ad-hoc)"
     if args.gate:
         g = load_gate(args.config, args.gate)
         prefix = prefix if prefix is not None else g.get("benchmark_prefix")
         budget = budget if budget is not None else g.get("max_overhead")
+        counter = g.get("counter")
         if baseline is None and "baseline" in g:
             p = pathlib.Path(g["baseline"])
             if not p.is_absolute():
@@ -137,6 +167,25 @@ def main(argv: list[str]) -> int:
         print("check_regression: need --gate or both --benchmark-prefix and "
               "--max-overhead", file=sys.stderr)
         return 2
+
+    if counter is not None:
+        # Counter mode: the benchmark reports its own overhead fraction; no
+        # baseline is involved.
+        values = median_counters(args.candidate, prefix, counter)
+        if not values:
+            print(f"check_regression: no '{prefix}*' benchmarks with a "
+                  f"'{counter}' counter in {args.candidate}", file=sys.stderr)
+            return 2
+        status = 0
+        for name in sorted(values):
+            overhead = values[name]
+            verdict = "OK" if overhead <= budget else "OVER BUDGET"
+            print(f"[{label}] {name}: {counter} {overhead:+.2%} "
+                  f"(budget {budget:.0%}) {verdict}")
+            if overhead > budget:
+                status = 1
+        return status
+
     if baseline is None:
         print("check_regression: no baseline: pass one positionally or use a "
               "gate with a \"baseline\" key (committed BENCH_*.json from "

@@ -71,6 +71,12 @@ Enforces the handful of rules the compiler cannot:
       std::hash/std::less over pointers make iteration order and tie-breaks
       depend on allocation addresses, a nondeterminism source R10/R13
       cannot see.  Key by a stable value (AsId, MetroId, an index) instead
+  R18 no direct file writes (std::ofstream, std::fstream, fopen) in src/ --
+      a crash mid-write leaves a truncated file that a later resume or
+      consumer silently trusts.  All persistence goes through the atomic
+      write-temp + fsync + rename helpers in src/util/checkpoint.{hpp,cpp}
+      (the one exempt file); a site that provably cannot corrupt durable
+      state may opt out with a justification
 
 Usage:
   tools/lint.py [--clang-tidy [BUILD_DIR]] [--rule RULE] [--list-rules]
@@ -138,6 +144,7 @@ RULE_NUMBERS = {
     "ref-capture": "R15",
     "view-member": "R16",
     "pointer-key": "R17",
+    "raw-file-write": "R18",
 }
 
 # One-line summaries for --list-rules, keyed like RULE_NUMBERS.
@@ -161,13 +168,14 @@ RULE_DOCS = {
     "ref-capture": "no `[&]` on a lambda that escapes its frame in src/",
     "view-member": "no view/reference/observer members in src/ without ownership note",
     "pointer-key": "no pointer-keyed containers or pointer hash/order in src/",
+    "raw-file-write": "no direct file writes in src/: use util/checkpoint.hpp atomic helpers",
 }
 
 # Rules whose allow() opt-out must carry a justification ("-- reason" or
 # ": reason" after the marker).
 JUSTIFY_RULES = {"unordered-iter", "float-equal", "fp-reduction-order",
                  "unchecked-narrowing", "ref-capture", "view-member",
-                 "pointer-key"}
+                 "pointer-key", "raw-file-write"}
 
 # (rule-id, regex, message).  Applied per line with comments/strings stripped.
 LINE_RULES = [
@@ -382,6 +390,18 @@ LINE_RULES += [
 
 LINE_RULES += [
     (
+        "raw-file-write",
+        re.compile(r"\bstd::o?fstream\b|(?<![\w:.])(?:std::)?fopen\s*\("),
+        "direct file write in src/: a crash mid-write leaves a truncated "
+        "file later readers silently trust -- persist through "
+        "util/checkpoint.hpp (atomic_write_file / write_file), or opt out "
+        "with `// lint: allow(raw-file-write) -- <why corruption is "
+        "impossible or harmless>`",
+    ),
+]
+
+LINE_RULES += [
+    (
         "float-equal",
         FLOAT_EQ_RE,
         "floating-point ==/!= against a literal: use mac::approx_eq/"
@@ -421,6 +441,7 @@ RULE_ONLY_DIRS = {
     "ref-capture": {"src"},
     "view-member": {"src"},
     "pointer-key": {"src"},
+    "raw-file-write": {"src"},
 }
 
 # Per-file carve-outs (paths relative to the repo root).  The telemetry
@@ -438,6 +459,9 @@ RULE_EXEMPT_FILES = {
     "float-equal": {"src/util/numeric.hpp"},
     "fp-reduction-order": {"src/util/numeric.hpp"},
     "unchecked-narrowing": {"src/util/numeric.hpp"},
+    # checkpoint.cpp *implements* the sanctioned atomic write path (POSIX
+    # open/write/fsync/rename), so it is where raw file I/O may live.
+    "raw-file-write": {"src/util/checkpoint.cpp"},
 }
 
 HEADER_USING_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")

@@ -6,6 +6,7 @@
 //   metascritic_cli [--seed N] [--metro NAME|--all-metros] [--scale small|paper]
 //                   [--threshold X|auto] [--out DIR] [--quiet]
 //                   [--fault-profile none|flaky|storm] [--no-resilience]
+//                   [--checkpoint PATH] [--resume PATH] [--deadline-ms N]
 //
 // Writes per-metro <out>/<metro>_links.csv, <metro>_ratings.csv, and
 // <metro>_measurements.csv, and prints a summary table. With a non-trivial
@@ -14,18 +15,44 @@
 // With --telemetry PATH a snapshot of the process-wide metrics registry
 // (counters, gauges, histograms, span tree; see DESIGN.md §8) is written
 // after the run in JSON (default) or flat CSV.
+//
+// Crash safety (DESIGN.md §12): --checkpoint persists a resumable snapshot
+// at every rank boundary and metro completion; --resume continues a killed
+// or cancelled run from the newest good snapshot, producing exports
+// byte-identical to an uninterrupted run with the same flags.  SIGINT /
+// SIGTERM and --deadline-ms stop cooperatively: the current work unit
+// finishes, a final checkpoint is written, and best-so-far results plus a
+// degradation table are emitted instead of a dead process.
+#include <csignal>
 #include <filesystem>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "eval/export.hpp"
 #include "eval/metrics.hpp"
 #include "eval/world.hpp"
+#include "util/cancel.hpp"
+#include "util/checkpoint.hpp"
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
 
 namespace {
+
+// Tripped (flag-only, async-signal-safe) by SIGINT/SIGTERM; polled by every
+// pipeline phase.  File-scope is deliberate: signal handlers cannot receive
+// context, and tools/ is outside the src/ mutable-static lint scope.
+metas::util::CancelToken g_cancel;
+
+extern "C" void cli_signal_handler(int) { g_cancel.cancel(); }
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = &cli_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 struct CliOptions {
   std::uint64_t seed = 42;
@@ -40,6 +67,60 @@ struct CliOptions {
   std::string telemetry_path;  // empty = no snapshot
   metas::util::telemetry::Format telemetry_format =
       metas::util::telemetry::Format::kJson;
+  std::string checkpoint_path;  // empty = no checkpointing
+  std::string resume_path;      // empty = fresh run
+  std::uint64_t deadline_ms = 0;  // 0 = no deadline
+  int keep_checkpoints = 3;
+  // Test hook for the crash-injection suite: SIGKILL this process right
+  // after the Nth checkpoint file hits disk, so the "crash" lands exactly
+  // on a checkpoint boundary.  0 disables.
+  int crash_after_checkpoints = 0;
+};
+
+/// One completed metro's summary numbers, kept as raw values (not table
+/// rows) so they serialize into checkpoints and survive a resume.
+struct MetroSummary {
+  std::string name;
+  std::size_t ases = 0;
+  int rank = 0;
+  std::size_t traces = 0;
+  double lambda = 0.0;
+  std::size_t links = 0;
+  double fill_fraction = 0.0;
+  std::size_t probes_faulted = 0;
+  std::size_t retries = 0;
+  std::size_t requeues = 0;
+  std::size_t quarantined = 0;
+  std::size_t dead = 0;
+
+  void save(metas::util::checkpoint::Encoder& enc) const {
+    enc.str(name);
+    enc.u64(ases);
+    enc.i32(rank);
+    enc.u64(traces);
+    enc.f64(lambda);
+    enc.u64(links);
+    enc.f64(fill_fraction);
+    enc.u64(probes_faulted);
+    enc.u64(retries);
+    enc.u64(requeues);
+    enc.u64(quarantined);
+    enc.u64(dead);
+  }
+  void load(metas::util::checkpoint::Decoder& dec) {
+    name = dec.str();
+    ases = dec.u64();
+    rank = dec.i32();
+    traces = dec.u64();
+    lambda = dec.f64();
+    links = dec.u64();
+    fill_fraction = dec.f64();
+    probes_faulted = dec.u64();
+    retries = dec.u64();
+    requeues = dec.u64();
+    quarantined = dec.u64();
+    dead = dec.u64();
+  }
 };
 
 void usage() {
@@ -48,7 +129,9 @@ void usage() {
       "                       [--scale small|paper] [--threshold X|auto]\n"
       "                       [--out DIR] [--quiet]\n"
       "                       [--fault-profile none|flaky|storm] [--no-resilience]\n"
-      "                       [--telemetry PATH] [--telemetry-format json|csv]\n";
+      "                       [--telemetry PATH] [--telemetry-format json|csv]\n"
+      "                       [--checkpoint PATH] [--resume PATH]\n"
+      "                       [--deadline-ms N] [--keep-checkpoints K]\n";
 }
 
 bool parse_args(int argc, char** argv, CliOptions& opt) {
@@ -98,6 +181,27 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
         opt.telemetry_format = metas::util::telemetry::Format::kCsv;
       else
         return false;
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.checkpoint_path = v;
+    } else if (arg == "--resume") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.resume_path = v;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.deadline_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--keep-checkpoints") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.keep_checkpoints = static_cast<int>(std::strtol(v, nullptr, 10));
+      if (opt.keep_checkpoints < 1) return false;
+    } else if (arg == "--crash-after-checkpoints") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.crash_after_checkpoints = static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (arg == "--no-resilience") {
       opt.resilience = false;
     } else if (arg == "--quiet") {
@@ -106,7 +210,143 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       return false;
     }
   }
+  // --resume implies continued checkpointing to the same file.
+  if (!opt.resume_path.empty() && opt.checkpoint_path.empty())
+    opt.checkpoint_path = opt.resume_path;
   return true;
+}
+
+/// Everything that pins the deterministic trajectory of a run.  A resume
+/// with a different fingerprint would silently diverge, so it is rejected.
+void save_fingerprint(metas::util::checkpoint::Encoder& enc,
+                      const CliOptions& opt) {
+  enc.u64(opt.seed);
+  enc.str(opt.scale);
+  enc.b(opt.all_metros);
+  enc.str(opt.metro);
+  enc.b(opt.resilience);
+  const metas::traceroute::FaultProfile& f = opt.faults;
+  enc.f64(f.outage_start);
+  enc.f64(f.outage_end);
+  enc.f64(f.death);
+  enc.f64(f.loss);
+  enc.f64(f.bucket_capacity);
+  enc.f64(f.bucket_refill);
+  enc.f64(f.incident_start);
+  enc.f64(f.incident_end);
+  enc.u64(f.seed);
+}
+
+bool fingerprint_matches(metas::util::checkpoint::Decoder& dec,
+                         const CliOptions& opt) {
+  metas::util::checkpoint::Encoder expect;
+  save_fingerprint(expect, opt);
+  metas::util::checkpoint::Encoder got;
+  got.u64(dec.u64());
+  got.str(dec.str());
+  got.b(dec.b());
+  got.str(dec.str());
+  got.b(dec.b());
+  for (int k = 0; k < 8; ++k) got.f64(dec.f64());
+  got.u64(dec.u64());
+  return got.data() == expect.data();
+}
+
+/// Mutable run state that crosses metro boundaries and must survive a
+/// crash: the hierarchical priors, completed-metro summaries, the next
+/// metro index, and the shared measurement plane.
+struct RunState {
+  std::vector<MetroSummary> completed;
+  metas::core::StrategyPriors priors;
+  std::size_t next_metro = 0;
+  std::string phase_blob;  // in-progress pipeline state; empty = none
+};
+
+void save_run_state(metas::util::checkpoint::Encoder& enc,
+                    const CliOptions& opt, const RunState& rs,
+                    const metas::eval::World& world) {
+  save_fingerprint(enc, opt);
+  enc.u64(rs.completed.size());
+  for (const MetroSummary& m : rs.completed) m.save(enc);
+  rs.priors.save(enc);
+  enc.u64(rs.next_metro);
+  world.ms->save(enc);
+  world.engine->save(enc);
+  enc.b(world.faults != nullptr);
+  if (world.faults != nullptr) world.faults->save(enc);
+  enc.b(!rs.phase_blob.empty());
+  if (!rs.phase_blob.empty()) enc.str(rs.phase_blob);
+}
+
+bool load_run_state(metas::util::checkpoint::Decoder& dec,
+                    const CliOptions& opt, RunState& rs,
+                    metas::eval::World& world, std::string* error) {
+  if (!fingerprint_matches(dec, opt)) {
+    *error = "checkpoint was produced by a run with different "
+             "seed/scale/metro/fault/resilience flags";
+    return false;
+  }
+  rs.completed.assign(dec.u64(), {});
+  for (MetroSummary& m : rs.completed) m.load(dec);
+  rs.priors.load(dec);
+  rs.next_metro = dec.u64();
+  world.ms->load(dec);
+  world.engine->load(dec);
+  const bool has_faults = dec.b();
+  if (has_faults != (world.faults != nullptr)) {
+    *error = "checkpoint fault-injector presence does not match the profile";
+    return false;
+  }
+  if (has_faults) world.faults->load(dec);
+  rs.phase_blob.clear();
+  if (dec.b()) rs.phase_blob = dec.str();
+  return true;
+}
+
+/// Writes one checkpoint generation; dies by SIGKILL afterwards when the
+/// crash-injection hook says this was the Nth write.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(const CliOptions& opt, const metas::eval::World& world)
+      : opt_(&opt), world_(&world) {}
+
+  bool enabled() const { return !opt_->checkpoint_path.empty(); }
+  int written() const { return written_; }
+
+  void write(const RunState& rs) {
+    if (!enabled()) return;
+    metas::util::checkpoint::Encoder enc;
+    save_run_state(enc, *opt_, rs, *world_);
+    metas::util::checkpoint::WriteOptions wo;
+    wo.keep_last = opt_->keep_checkpoints;
+    if (!metas::util::checkpoint::write_file(opt_->checkpoint_path, enc.data(),
+                                             wo)) {
+      std::cerr << "warning: failed to write checkpoint to '"
+                << opt_->checkpoint_path << "'\n";
+      return;
+    }
+    ++written_;
+    if (opt_->crash_after_checkpoints > 0 &&
+        written_ >= opt_->crash_after_checkpoints) {
+      // Crash-injection hook: die hard (no atexit, no flush) exactly at a
+      // checkpoint boundary, like an OOM kill would.
+      ::raise(SIGKILL);
+    }
+  }
+
+ private:
+  const CliOptions* opt_;
+  const metas::eval::World* world_;
+  int written_ = 0;
+};
+
+/// Renders with the eval exporter into memory, then publishes atomically:
+/// a crash mid-export can never leave a truncated CSV for --resume to skip.
+template <typename ExportFn>
+bool export_atomic(const std::string& path, ExportFn&& fn) {
+  std::ostringstream os;
+  fn(os);
+  return metas::util::checkpoint::atomic_write_file(path, os.str());
 }
 
 }  // namespace
@@ -118,6 +358,12 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  install_signal_handlers();
+
+  util::RunControl control;
+  control.token = &g_cancel;
+  if (opt.deadline_ms > 0)
+    control.budget = util::DeadlineBudget::after_ms(opt.deadline_ms);
 
   eval::WorldConfig wc = opt.scale == "paper"
                              ? eval::paper_world_config(opt.seed)
@@ -152,12 +398,50 @@ int main(int argc, char** argv) {
               << "': " << ec.message() << '\n';
     return 1;
   }
+  if (!opt.checkpoint_path.empty()) {
+    const auto parent =
+        std::filesystem::path(opt.checkpoint_path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  }
 
-  util::Table summary({"metro", "ASes", "rank", "traces", "lambda", "links out"});
-  util::Table degraded({"metro", "row fill", "faulted", "retries", "requeues",
-                        "quarantined", "dead VPs"});
-  core::StrategyPriors priors;
-  for (auto metro : metros) {
+  RunState rs;
+  if (!opt.resume_path.empty()) {
+    std::string diag;
+    auto payload = util::checkpoint::load_file(opt.resume_path, &diag);
+    if (!payload) {
+      std::cerr << "error: no usable checkpoint at '" << opt.resume_path
+                << "' (" << diag << ")\n";
+      return 1;
+    }
+    try {
+      util::checkpoint::Decoder dec(*payload);
+      std::string why;
+      if (!load_run_state(dec, opt, rs, world, &why)) {
+        std::cerr << "error: cannot resume from '" << opt.resume_path << "': "
+                  << why << '\n';
+        return 1;
+      }
+    } catch (const util::checkpoint::CheckpointError& e) {
+      std::cerr << "error: corrupt checkpoint payload in '" << opt.resume_path
+                << "': " << e.what() << '\n';
+      return 1;
+    }
+    if (!opt.quiet)
+      std::cout << "resumed from " << opt.resume_path << " ("
+                << rs.completed.size() << " metro(s) already complete"
+                << (rs.phase_blob.empty() ? "" : ", one mid-pipeline") << ")\n";
+  }
+
+  CheckpointWriter writer(opt, world);
+  bool stopped_early = false;
+  core::DegradationReport last_degradation;
+
+  for (std::size_t mi = rs.next_metro; mi < metros.size(); ++mi) {
+    if (control.stop_requested()) {
+      stopped_early = true;
+      break;
+    }
+    const auto metro = metros[mi];
     core::MetroContext ctx(world.net, metro);
     const std::string name =
         world.net.metros[static_cast<std::size_t>(metro)].name;
@@ -165,46 +449,96 @@ int main(int argc, char** argv) {
     core::PipelineConfig pc;
     pc.scheduler.seed = opt.seed + static_cast<std::uint64_t>(metro) * 3 + 1;
     pc.rank.seed = opt.seed + static_cast<std::uint64_t>(metro) * 3 + 2;
-    core::MetascriticPipeline pipeline(ctx, *world.ms, &priors, pc);
-    core::PipelineResult result = pipeline.run();
+    core::MetascriticPipeline pipeline(ctx, *world.ms, &rs.priors, pc);
+
+    core::PipelineRunOptions po;
+    po.control = &control;
+    // The rank-boundary hook persists a full CLI snapshot: the phase blob
+    // wrapped together with the shared measurement plane and the completed
+    // metros, so a kill at ANY boundary resumes without losing a probe.
+    const std::string* resume_blob =
+        (mi == rs.next_metro && !rs.phase_blob.empty()) ? &rs.phase_blob
+                                                        : nullptr;
+    std::string resume_copy;
+    if (resume_blob != nullptr) {
+      resume_copy = *resume_blob;  // rs.phase_blob is overwritten below
+      po.resume_blob = &resume_copy;
+    }
+    if (writer.enabled()) {
+      po.checkpoint = [&](const std::string& phase_blob) {
+        rs.next_metro = mi;
+        rs.phase_blob = phase_blob;
+        writer.write(rs);
+      };
+    }
+    core::PipelineResult result = pipeline.run(po);
+    last_degradation = result.degradation;
     double lambda = opt.threshold > -1.5 ? opt.threshold : result.threshold;
 
     auto path = [&](const std::string& kind) {
       return opt.out_dir + "/" + name + "_" + kind + ".csv";
     };
+    if (!export_atomic(path("links"), [&](std::ostream& os) {
+          eval::export_links_csv(os, ctx, result, lambda);
+        })) {
+      std::cerr << "error: cannot write " << path("links") << '\n';
+      return 1;
+    }
+    export_atomic(path("ratings"), [&](std::ostream& os) {
+      eval::export_ratings_csv(os, ctx, result);
+    });
+    export_atomic(path("measurements"), [&](std::ostream& os) {
+      eval::export_measurement_log_csv(os, ctx, result);
+    });
+
     std::size_t links = 0;
-    {
-      std::ofstream f(path("links"));
-      if (!f) {
-        std::cerr << "error: cannot write " << path("links") << '\n';
-        return 1;
-      }
-      eval::export_links_csv(f, ctx, result, lambda);
-    }
-    {
-      std::ofstream f(path("ratings"));
-      eval::export_ratings_csv(f, ctx, result);
-    }
-    {
-      std::ofstream f(path("measurements"));
-      eval::export_measurement_log_csv(f, ctx, result);
-    }
     const int n = static_cast<int>(ctx.size());
     for (int i = 0; i < n; ++i)
       for (int j = i + 1; j < n; ++j)
         if (result.ratings(static_cast<std::size_t>(i),
                            static_cast<std::size_t>(j)) >= lambda)
           ++links;
-    summary.add_row({name, util::Table::fmt(ctx.size()),
-                     util::Table::fmt(result.estimated_rank),
-                     util::Table::fmt(result.targeted_traceroutes),
-                     util::Table::fmt(lambda, 2), util::Table::fmt(links)});
+
+    MetroSummary ms_row;
+    ms_row.name = name;
+    ms_row.ases = ctx.size();
+    ms_row.rank = result.estimated_rank;
+    ms_row.traces = result.targeted_traceroutes;
+    ms_row.lambda = lambda;
+    ms_row.links = links;
     const core::DegradationReport& d = result.degradation;
-    degraded.add_row({name, util::Table::fmt(d.fill_fraction, 3),
-                      util::Table::fmt(d.probes_faulted),
-                      util::Table::fmt(d.retries), util::Table::fmt(d.requeues),
-                      util::Table::fmt(d.quarantined_vps),
-                      util::Table::fmt(d.dead_vps)});
+    ms_row.fill_fraction = d.fill_fraction;
+    ms_row.probes_faulted = d.probes_faulted;
+    ms_row.retries = d.retries;
+    ms_row.requeues = d.requeues;
+    ms_row.quarantined = d.quarantined_vps;
+    ms_row.dead = d.dead_vps;
+    rs.completed.push_back(ms_row);
+
+    // Metro-completion boundary: persist the finished metro before moving
+    // on, with no in-progress phase state.
+    rs.next_metro = mi + 1;
+    rs.phase_blob.clear();
+    writer.write(rs);
+
+    if (control.stop_requested()) {
+      stopped_early = true;
+      break;
+    }
+  }
+
+  util::Table summary({"metro", "ASes", "rank", "traces", "lambda", "links out"});
+  util::Table degraded({"metro", "row fill", "faulted", "retries", "requeues",
+                        "quarantined", "dead VPs"});
+  for (const MetroSummary& m : rs.completed) {
+    summary.add_row({m.name, util::Table::fmt(m.ases),
+                     util::Table::fmt(m.rank), util::Table::fmt(m.traces),
+                     util::Table::fmt(m.lambda, 2), util::Table::fmt(m.links)});
+    degraded.add_row({m.name, util::Table::fmt(m.fill_fraction, 3),
+                      util::Table::fmt(m.probes_faulted),
+                      util::Table::fmt(m.retries), util::Table::fmt(m.requeues),
+                      util::Table::fmt(m.quarantined),
+                      util::Table::fmt(m.dead)});
   }
   summary.print(std::cout);
   if (opt.faults.enabled()) {
@@ -212,6 +546,24 @@ int main(int argc, char** argv) {
               << (opt.resilience ? "on" : "off") << "):\n";
     degraded.print(std::cout);
   }
+
+  if (stopped_early) {
+    const bool by_deadline = control.budget.expired();
+    util::Table crash({"cause", "phases truncated", "budget used (ms)",
+                       "checkpoints", "metros done"});
+    crash.add_row({g_cancel.cancelled() ? "signal" : "deadline",
+                   util::Table::fmt(last_degradation.phases_truncated),
+                   util::Table::fmt(control.budget.consumed_ms()),
+                   util::Table::fmt(writer.written()),
+                   util::Table::fmt(rs.completed.size())});
+    std::cout << "run stopped early ("
+              << (by_deadline ? "deadline expired" : "cancelled by signal")
+              << "); best-so-far results exported:\n";
+    crash.print(std::cout);
+    if (writer.enabled())
+      std::cout << "resume with: --resume " << opt.checkpoint_path << '\n';
+  }
+
   if (!opt.quiet)
     std::cout << "CSV outputs written under " << opt.out_dir << "/\n";
   if (!opt.telemetry_path.empty()) {

@@ -10,6 +10,8 @@ Runs, in order:
   numeric-safety  tools/check_numeric.py (R12-R14 + conversion-warning replay)
   lifetime        tools/check_lifetime.py (R15-R17 + dangling-warning replay
                   + clang-tidy lifetime checks)
+  crash-recovery  tools/check_crash_recovery.py (checkpoint envelope +
+                  crash-injection ctest suites; needs a build tree)
 
 and prints one pass/fail/skip line per check plus a summary table.  Each
 check degrades the same way it does in CI: compiler-backed passes skip with
@@ -44,6 +46,7 @@ CHECKS: list[tuple[str, list[str], str | None]] = [
     ("thread-safety", ["tools/check_annotations.py"], "--require-clang"),
     ("numeric-safety", ["tools/check_numeric.py"], "--require-compile"),
     ("lifetime", ["tools/check_lifetime.py"], "--require-clang"),
+    ("crash-recovery", ["tools/check_crash_recovery.py"], "--require-build"),
 ]
 
 
