@@ -20,6 +20,7 @@
 #include "linalg/eigen_sym.hpp"
 #include "util/checkpoint.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -113,6 +114,60 @@ void BM_AlsFitCheckpointed(benchmark::State& state) {
                           static_cast<std::int64_t>(entries.size()));
 }
 BENCHMARK(BM_AlsFitCheckpointed)->Args({300, 16});
+
+// Event-tracing cost, measured as a ratio INSIDE one benchmark (same
+// rationale as BM_AlsFitCheckpointed): each iteration times the same ALS
+// fit twice -- once with the flight recorder disarmed and once armed, so
+// every MAC_SPAN in the fit (als.fit + 5 als.iteration + 10 als.solve_side
+// span pairs) records ring-buffer events -- and reports the fractional
+// slowdown as the `trace_overhead` counter.  The CI trace-overhead gate
+// bounds the median at 5% (tools/regression_gates.json); the committed
+// BENCH_trace.json baseline records the shipped value.  Recorder start/stop
+// (arming, buffer clear, first-event ring allocation) happens outside the
+// timed windows except the allocation, which is a real per-run cost and is
+// deliberately charged to the traced side.
+void BM_AlsFitTraced(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int rank = static_cast<int>(state.range(1));
+  util::Rng rng(1);
+  std::vector<core::RatingEntry> entries;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (rng.uniform() < 0.2)
+        entries.push_back({i, j, rng.bernoulli(0.5) ? 1.0 : -1.0});
+  core::FeatureMatrix feats;
+  core::AlsConfig cfg;
+  cfg.rank = rank;
+  cfg.iterations = 5;
+  auto& rec = util::trace::Recorder::instance();
+  using clock = std::chrono::steady_clock;
+  double off_s = 0.0;
+  double on_s = 0.0;
+  for (auto _ : state) {
+    const clock::time_point t0 = clock::now();
+    {
+      core::AlsCompleter c(n, feats, cfg);
+      c.fit(entries);
+      benchmark::DoNotOptimize(c.predict(0, 1));
+    }
+    off_s += std::chrono::duration<double>(clock::now() - t0).count();
+    rec.start(1u << 16);  // arm + clear, untimed
+    const clock::time_point t1 = clock::now();
+    {
+      core::AlsCompleter c(n, feats, cfg);
+      c.fit(entries);
+      benchmark::DoNotOptimize(c.predict(0, 1));
+    }
+    on_s += std::chrono::duration<double>(clock::now() - t1).count();
+    rec.stop();
+  }
+  rec.reset_for_tests();  // drop the bench rings before the real exit path
+  state.counters["trace_overhead"] =
+      off_s > 0.0 ? on_s / off_s - 1.0 : 0.0;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(entries.size()));
+}
+BENCHMARK(BM_AlsFitTraced)->Args({300, 16});
 
 void BM_JacobiEigen(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -5,6 +5,7 @@
 #include "util/checkpoint.hpp"
 #include "util/curves.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace.hpp"
 
 namespace metas::core {
 
@@ -94,6 +95,9 @@ PipelineResult MetascriticPipeline::run(const PipelineRunOptions& opts) {
       opts.checkpoint(enc.take());
       ++checkpoints_written;
       MAC_COUNT("pipeline.checkpoints_written");
+      // Timeline mark: where each rank-boundary checkpoint landed relative
+      // to the surrounding ALS / scheduler spans.
+      MAC_TRACE_INSTANT("pipeline.checkpoint_written");
     };
   }
 

@@ -7,6 +7,7 @@
 #include "util/contracts.hpp"
 #include "util/numeric.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace.hpp"
 
 namespace metas::core {
 
@@ -149,6 +150,9 @@ void MeasurementScheduler::finish_campaign(int target) {
   degradation_.dead_vps = ms_->dead_vps();
   MAC_COUNT_N("scheduler.rows_given_up", degradation_.rows_given_up);
   MAC_GAUGE_SET("scheduler.fill_fraction", degradation_.fill_fraction);
+  // Counter *sample*: the gauge keeps only the last value, the trace keeps
+  // the fill trajectory across campaigns (a Perfetto counter track).
+  MAC_TRACE_COUNTER("scheduler.fill_fraction", degradation_.fill_fraction);
 }
 
 BatchResult MeasurementScheduler::run_batch(const EstimatedMatrix& e,

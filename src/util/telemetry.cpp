@@ -11,6 +11,7 @@
 #include "util/checkpoint.hpp"
 #include "util/contracts.hpp"
 #include "util/numeric.hpp"
+#include "util/trace.hpp"
 
 namespace metas::util::telemetry {
 
@@ -205,7 +206,14 @@ int Registry::span_begin(std::string_view name) {
   }
   // Read the clock after the tree bookkeeping so lookup cost is not billed
   // to the span.
-  t_span_stack.push_back({this, node, now_ns()});
+  const std::uint64_t start_ns = now_ns();
+  t_span_stack.push_back({this, node, start_ns});
+  // Event hook: spans on the global registry also feed the flight recorder
+  // (util/trace.hpp), reusing the timestamp just read -- no extra clock
+  // reads, so the tick-clock stream is identical with tracing on or off.
+  // Private test registries never emit events.
+  if (this == &Registry::instance())
+    trace::Recorder::instance().record_span_begin(node, start_ns);
   return node;
 }
 
@@ -218,6 +226,8 @@ void Registry::span_end(int node_id) {
              "span_end out of order: node=", node_id, " top=", frame.node);
   std::uint64_t end = now_ns();
   std::uint64_t elapsed = end >= frame.start_ns ? end - frame.start_ns : 0;
+  if (this == &Registry::instance())
+    trace::Recorder::instance().record_span_end(node_id, end);
   LockGuard lock(mu_);
   // The tree may have been reset between begin and end (tests); drop then.
   if (frame.node < 0 || mac::checked_cast<std::size_t>(frame.node) >= span_nodes_.size())
@@ -274,6 +284,21 @@ void Registry::reset_values_for_tests() {
 
 namespace {
 
+/// Self time: total_ns minus the children's total_ns, clamped at zero (a
+/// parent span still open at export time can transiently tally less than
+/// its already-closed children).  The trace view's per-path self time
+/// (tools/trace_diff.py) reports the same metric, so the aggregated and
+/// event-level views triage with one vocabulary.
+std::uint64_t span_self_ns(const std::vector<Registry::SpanSnapshot>& nodes,
+                           const std::vector<std::vector<int>>& children,
+                           int id) {
+  std::uint64_t kids = 0;
+  for (int k : children[mac::checked_cast<std::size_t>(id)])
+    kids += nodes[mac::checked_cast<std::size_t>(k)].total_ns;
+  const std::uint64_t total = nodes[mac::checked_cast<std::size_t>(id)].total_ns;
+  return total > kids ? total - kids : 0;
+}
+
 void write_span_json(std::ostream& os,
                      const std::vector<Registry::SpanSnapshot>& nodes,
                      const std::vector<std::vector<int>>& children, int id,
@@ -281,7 +306,8 @@ void write_span_json(std::ostream& os,
   const auto& n = nodes[mac::checked_cast<std::size_t>(id)];
   std::string pad(mac::checked_cast<std::size_t>(indent), ' ');
   os << pad << "{\"name\": \"" << json_escape(n.name)
-     << "\", \"count\": " << n.count << ", \"total_ns\": " << n.total_ns;
+     << "\", \"count\": " << n.count << ", \"total_ns\": " << n.total_ns
+     << ", \"self_ns\": " << span_self_ns(nodes, children, id);
   const auto& kids = children[mac::checked_cast<std::size_t>(id)];
   if (!kids.empty()) {
     os << ", \"children\": [\n";
@@ -324,6 +350,13 @@ void Registry::write_json(std::ostream& os) const {
       gauges.emplace_back(name, g->value());
     for (const auto& [name, h] : histogram_index_) histos.emplace_back(name, h);
   }
+  // Name-sorted export order is a structural guarantee here, not an
+  // accident of the index container: swapping the indexes for unordered
+  // maps must never change the snapshot bytes (the artifacts are diffed).
+  std::sort(counters.begin(), counters.end());
+  std::sort(gauges.begin(), gauges.end());
+  std::sort(histos.begin(), histos.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   auto spans_flat = spans();
   std::vector<std::vector<int>> children;
   auto roots = span_children(spans_flat, children);
@@ -378,6 +411,11 @@ void Registry::write_csv(std::ostream& os) const {
       gauges.emplace_back(name, g->value());
     for (const auto& [name, h] : histogram_index_) histos.emplace_back(name, h);
   }
+  // Same structural name-sort guarantee as write_json.
+  std::sort(counters.begin(), counters.end());
+  std::sort(gauges.begin(), gauges.end());
+  std::sort(histos.begin(), histos.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   os << "kind,name,field,value\n";
   for (const auto& [name, v] : counters)
     os << "counter," << name << ",value," << v << "\n";
@@ -398,9 +436,17 @@ void Registry::write_csv(std::ostream& os) const {
                    ? n.name
                    : paths[mac::checked_cast<std::size_t>(n.parent)] + "/" + n.name;
   }
+  std::vector<std::uint64_t> child_total(spans_flat.size(), 0);
+  for (const auto& n : spans_flat)
+    if (n.parent >= 0)
+      child_total[mac::checked_cast<std::size_t>(n.parent)] += n.total_ns;
   for (std::size_t i = 0; i < spans_flat.size(); ++i) {
+    const std::uint64_t total = spans_flat[i].total_ns;
+    const std::uint64_t self =
+        total > child_total[i] ? total - child_total[i] : 0;
     os << "span," << paths[i] << ",count," << spans_flat[i].count << "\n";
-    os << "span," << paths[i] << ",total_ns," << spans_flat[i].total_ns << "\n";
+    os << "span," << paths[i] << ",total_ns," << total << "\n";
+    os << "span," << paths[i] << ",self_ns," << self << "\n";
   }
 }
 

@@ -96,6 +96,17 @@ class CrashRecoveryTest : public ::testing::Test {
     return {"--seed", "42", "--out", path(out), "--quiet"};
   }
 
+  /// Asserts tools/trace_diff.py (stats mode) accepts the trace dump.
+  /// Skips silently when no python3 is on PATH -- the JSON-shape checks in
+  /// the caller still ran.
+  void expect_trace_diff_loads(const std::string& dump) {
+    if (std::system("python3 --version > /dev/null 2>&1") != 0) return;
+    const std::string cmd = "python3 " + std::string(METAS_TRACE_DIFF) +
+                            " '" + dump + "' > /dev/null 2>&1";
+    EXPECT_EQ(std::system(cmd.c_str()), 0)
+        << "trace_diff.py rejected " << dump;
+  }
+
   fs::path dir_;
 };
 
@@ -218,6 +229,73 @@ TEST_F(CrashRecoveryTest, AllGenerationsCorruptIsACleanError) {
   const RunResult r = run_cli(resume_args);
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.log.find("no usable checkpoint"), std::string::npos) << r.log;
+}
+
+TEST_F(CrashRecoveryTest, SigkillWithTracingLeavesFlightDump) {
+  // Flight recorder (DESIGN.md §13): the ring is dumped to
+  // <checkpoint>.trace.json right after each checkpoint lands and BEFORE
+  // the crash-injection hook fires, so even a SIGKILLed run keeps the
+  // timeline up to its last checkpoint.
+  auto crash_args = base_args("out");
+  crash_args.insert(crash_args.end(),
+                    {"--checkpoint", path("ck/snap"),
+                     "--trace", path("final.trace.json"),
+                     "--crash-after-checkpoints", "2"});
+  const RunResult crashed = run_cli(crash_args);
+  EXPECT_EQ(crashed.term_signal, SIGKILL) << crashed.log;
+  const std::string dump = path("ck/snap") + ".trace.json";
+  ASSERT_TRUE(fs::exists(dump)) << crashed.log;
+  const std::string json = read_file(dump);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos) << "no span "
+      "events made it into the flight dump";
+  // The dump must be a complete JSON document (atomic_write_file), never a
+  // torn prefix, even though the process died by signal moments later.
+  EXPECT_EQ(json.rfind("}\n"), json.size() - 2) << json.substr(
+      json.size() > 80 ? json.size() - 80 : 0);
+  expect_trace_diff_loads(dump);
+}
+
+TEST_F(CrashRecoveryTest, SigtermWithTracingLeavesLoadableFlightDump) {
+  // Cooperative cancellation keeps the recorder's timeline too: the
+  // stopped-early path refreshes <checkpoint>.trace.json before exporting
+  // best-so-far results, and tools/trace_diff.py must accept the dump
+  // (open spans and all).
+  const std::string log_path = path("cli.log");
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::freopen(log_path.c_str(), "a", stdout);
+    ::freopen(log_path.c_str(), "a", stderr);
+    std::string exe = METAS_CLI_PATH;
+    std::string out = path("out");
+    std::string snap = path("ck/snap");
+    std::string trace = path("final.trace.json");
+    char* argv[] = {exe.data(), const_cast<char*>("--seed"),
+                    const_cast<char*>("42"), const_cast<char*>("--out"),
+                    out.data(), const_cast<char*>("--checkpoint"),
+                    snap.data(), const_cast<char*>("--trace"),
+                    trace.data(), nullptr};
+    ::execv(exe.c_str(), argv);
+    std::_Exit(127);
+  }
+  ::usleep(300 * 1000);
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // Whether the signal landed mid-run (flight dump refreshed on the
+  // stopped-early path) or the run won the race, the final --trace file is
+  // always written on the way out and must load.
+  ASSERT_TRUE(fs::exists(path("final.trace.json")));
+  expect_trace_diff_loads(path("final.trace.json"));
+  std::ifstream in(log_path);
+  const std::string log{std::istreambuf_iterator<char>(in), {}};
+  if (log.find("stopped early") != std::string::npos) {
+    const std::string dump = path("ck/snap") + ".trace.json";
+    ASSERT_TRUE(fs::exists(dump)) << log;
+    expect_trace_diff_loads(dump);
+  }
 }
 
 TEST_F(CrashRecoveryTest, SigtermStopsGracefullyWithResumableCheckpoint) {

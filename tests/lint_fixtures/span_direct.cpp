@@ -1,0 +1,55 @@
+// R19 (span-direct) fixture for tests/lint_selftest.py.  Never compiled;
+// the linter treats it as if it lived under src/ (--pretend-dir src).
+// Lines tagged `// expect-lint: <rule>` must be flagged; untagged lines
+// must not.
+//
+// R19 bans direct span/trace-recorder calls outside the telemetry and
+// trace layers themselves: every instrumentation site must go through
+// MAC_SPAN / MAC_TRACE_INSTANT / MAC_TRACE_COUNTER so the
+// -DMETASCRITIC_TELEMETRY=OFF kill switch compiles all of them to
+// typechecked no-ops.  A direct ScopedSpan or Recorder call survives the
+// switch and charges disabled builds for instrumentation.
+#include <string_view>
+
+namespace fixture {
+
+void hits() {
+  metas::util::telemetry::ScopedSpan span("als.fit");        // expect-lint: span-direct
+  auto& reg = metas::util::telemetry::Registry::instance();
+  int node = reg.span_begin("als.iteration");                // expect-lint: span-direct
+  reg.span_end(node);                                        // expect-lint: span-direct
+  auto& rec = metas::util::trace::Recorder::instance();      // expect-lint: span-direct
+  rec.record_instant(0);                                     // expect-lint: span-direct
+  rec.record_counter(0, 1.0);                                // expect-lint: span-direct
+  rec.record_span_begin(node, 0);                            // expect-lint: span-direct
+  rec.record_span_end(node, 0);                              // expect-lint: span-direct
+}
+
+// A bare allow() without a justification is itself a finding.
+void bare_allow() {
+  metas::util::telemetry::ScopedSpan span("als.fit");  // lint: allow(span-direct) // expect-lint: span-direct
+}
+
+void justified_allow() {
+  // A justified opt-out is honoured (e.g. a span whose lifetime cannot be
+  // lexical and must be driven by explicit begin/end calls).
+  metas::util::telemetry::ScopedSpan span("als.fit");  // lint: allow(span-direct) -- non-lexical span lifetime driven by an external state machine
+}
+
+void misses() {
+  // The macros are the sanctioned path.
+  MAC_SPAN("als.fit");
+  MAC_TRACE_INSTANT("pipeline.checkpoint_written");
+  MAC_TRACE_COUNTER("scheduler.queue_depth", 3);
+  // Registry::instance() for *metrics* stays legal: DegradationReport
+  // accounting is product behaviour, not instrumentation.
+  auto& ctr = metas::util::telemetry::Registry::instance().counter("x");
+  ctr.add(1);
+  // Identifiers merely containing the banned names are fine.
+  int span_begin_count = 0;
+  (void)span_begin_count;
+  std::string_view recorder_name = "Recorder::instance-ish";
+  (void)recorder_name;
+}
+
+}  // namespace fixture

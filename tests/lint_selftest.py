@@ -127,7 +127,7 @@ def main() -> int:
     #     their dedicated fixtures -- the guard rail ahead of the
     #     work-stealing parallelism work must demonstrably fire.
     for rule in ("ref-capture", "view-member", "pointer-key",
-                 "raw-file-write"):
+                 "raw-file-write", "span-direct"):
         if not any(f[2] == rule for f in actual):
             failures.append(f"no {rule} finding on the fixtures")
 
@@ -139,7 +139,7 @@ def main() -> int:
     if proc.returncode != 0:
         failures.append(f"--list-rules exit code: got {proc.returncode}, want 0")
     listed = set(re.findall(r"\bR\d+\b", proc.stdout))
-    for number in [f"R{i}" for i in range(1, 19)]:
+    for number in [f"R{i}" for i in range(1, 20)]:
         if number not in listed:
             failures.append(f"--list-rules omits {number}")
 

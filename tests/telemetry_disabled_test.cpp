@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "util/telemetry.hpp"
+#include "util/trace.hpp"
 
 #if METASCRITIC_TELEMETRY_ENABLED
 #error "telemetry_disabled_test must be compiled with telemetry off"
@@ -29,7 +30,22 @@ TEST(TelemetryDisabled, MacrosDoNotEvaluateArguments) {
   MAC_GAUGE_SET("disabled.gauge", probe());
   MAC_HISTOGRAM("disabled.histo", probe());
   MAC_SPAN("disabled.span");
+  MAC_TRACE_INSTANT("disabled.instant");
+  MAC_TRACE_COUNTER("disabled.trace_counter", probe());
   EXPECT_EQ(evaluations, 0);
+}
+
+TEST(TelemetryDisabled, TraceMacrosRecordNothing) {
+  // The flight-recorder macros share the kill switch: even with the
+  // recorder armed, compiled-out sites must leave no events behind.
+  util::trace::Recorder& rec = util::trace::Recorder::instance();
+  rec.reset_for_tests();
+  rec.start(64);
+  MAC_TRACE_INSTANT("disabled.trace_instant");
+  MAC_TRACE_COUNTER("disabled.trace_counter", 1.0);
+  rec.stop();
+  EXPECT_EQ(rec.event_count(), 0u);
+  rec.reset_for_tests();
 }
 
 TEST(TelemetryDisabled, MacrosRegisterNothing) {

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Self-test for tools/trace_diff.py against the golden fixtures in
+tests/trace_fixtures/.
+
+base.json is a clean one-thread trace (span `a` wrapping two `b` children
+plus an instant and a counter event, which span statistics must ignore);
+slower.json is the same shape with `a/b` 25% slower plus a second thread
+carrying flight-recorder damage: an orphan E (ring wrapped past its B), an
+open B (span still running when the ring was dumped) and a non-zero
+dropped_events header.  Checks stats-mode aggregation (count/total/self),
+diff-mode deltas, the --threshold exit-code gate, --min-total-us
+suppression, --json round-tripping, and that damaged dumps are reported
+but never fatal.
+
+Registered in ctest as `trace_diff_selftest` and run by tools/run_checks.py.
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "trace_diff.py"
+BASE = REPO / "tests" / "trace_fixtures" / "base.json"
+SLOWER = REPO / "tests" / "trace_fixtures" / "slower.json"
+
+
+def run(*args: str) -> tuple[int, str, str]:
+    proc = subprocess.run(
+        [sys.executable, str(TOOL), *args],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    def check(cond: bool, msg: str) -> None:
+        if not cond:
+            failures.append(msg)
+
+    # 1. Stats mode: per-path count/total/self aggregation, instants and
+    #    counters excluded, exit 0.
+    rc, out, _ = run(str(BASE), "--json")
+    check(rc == 0, f"stats mode exit code: got {rc}, want 0")
+    stats = json.loads(out)
+    spans = stats["spans"]
+    check(set(spans) == {"a", "a/b"},
+          f"stats paths: got {sorted(spans)}, want ['a', 'a/b']")
+    a = spans.get("a", {})
+    ab = spans.get("a/b", {})
+    check(a.get("count") == 1 and abs(a.get("total_us", 0) - 1000.0) < 1e-6,
+          f"span a: got {a}, want count 1 total 1000us")
+    check(abs(a.get("self_us", 0) - 400.0) < 1e-6,
+          f"span a self time: got {a.get('self_us')}, want 400us "
+          "(1000 total minus 600 in children)")
+    check(ab.get("count") == 2 and abs(ab.get("total_us", 0) - 600.0) < 1e-6
+          and abs(ab.get("self_us", 0) - 600.0) < 1e-6,
+          f"span a/b: got {ab}, want count 2 total 600us self 600us")
+    check(stats["dropped_events"] == 0 and stats["unmatched_begin"] == 0
+          and stats["unmatched_end"] == 0,
+          f"clean trace reported damage: {stats}")
+
+    # 2. Diff mode without a threshold is report-only: exit 0 even though
+    #    a/b regressed 25%.
+    rc, out, _ = run(str(BASE), str(SLOWER))
+    check(rc == 0, f"report-only diff exit code: got {rc}, want 0\n{out}")
+
+    # 3. --threshold 0.10 gates: a/b (+25%) trips it, a (+5%) does not,
+    #    and the cand-only path c has no base to compare against.
+    rc, out, err = run(str(BASE), str(SLOWER), "--threshold", "0.10",
+                       "--json")
+    check(rc == 1, f"thresholded diff exit code: got {rc}, want 1\n{err}")
+    diff = json.loads(out)
+    check(diff["over_budget"] == ["a/b"],
+          f"over_budget: got {diff['over_budget']}, want ['a/b']")
+    rows = {r["path"]: r for r in diff["rows"]}
+    check(set(rows) == {"a", "a/b", "c"},
+          f"diff paths: got {sorted(rows)}, want ['a', 'a/b', 'c']")
+    check(abs(rows["a/b"]["ratio"] - 0.25) < 1e-6,
+          f"a/b ratio: got {rows['a/b'].get('ratio')}, want 0.25")
+    check(abs(rows["a/b"]["delta_total_us"] - 150.0) < 1e-6,
+          f"a/b delta_total_us: got {rows['a/b']['delta_total_us']}, "
+          "want 150")
+    check(abs(rows["a"]["delta_self_us"] - (-100.0)) < 1e-6,
+          f"a delta_self_us: got {rows['a']['delta_self_us']}, want -100 "
+          "(total +50 but children +150)")
+    check("ratio" not in rows["c"] and rows["c"]["base_count"] == 0,
+          f"cand-only path c mis-shaped: {rows['c']}")
+
+    # 4. Flight-recorder damage on the candidate is reported, not fatal.
+    meta = diff["candidate_meta"]
+    check(meta["dropped_events"] == 3, f"dropped_events: {meta}")
+    check(meta["unmatched_begin"] == 1 and meta["unmatched_end"] == 1,
+          f"unmatched B/E: got {meta}, want 1/1 (open span + orphan end)")
+
+    # 5. --min-total-us above every base total suppresses the gate.
+    rc, _, _ = run(str(BASE), str(SLOWER), "--threshold", "0.10",
+                   "--min-total-us", "10000")
+    check(rc == 0, f"min-total-us suppression exit code: got {rc}, want 0")
+
+    # 6. Malformed input exits 2.
+    rc, _, _ = run(str(REPO / "tools" / "trace_diff.py"))
+    check(rc == 2, f"non-JSON input exit code: got {rc}, want 2")
+
+    if failures:
+        for f in failures:
+            print(f"trace_diff_selftest: FAIL: {f}", file=sys.stderr)
+        print(f"trace_diff_selftest: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("trace_diff_selftest: OK (stats, diff, threshold gate, damage "
+          "tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

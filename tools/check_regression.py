@@ -101,10 +101,21 @@ def median_times(path: str, prefix: str) -> dict[str, float]:
 
 
 def median_counters(path: str, prefix: str, counter: str) -> dict[str, float]:
-    """name -> median value of a user counter over plain repetitions."""
+    """name -> median value of a user counter over plain repetitions.
+
+    Like median_times, accepts both raw google-benchmark JSON and a committed
+    BENCH_*.json baseline (dict-shaped "benchmarks" with a per-benchmark
+    "counters" map of precomputed medians), so counter-mode gates can also be
+    validated against the baseline file itself (the ctest selftests do this).
+    """
     bench = load_bench_json(path).get("benchmarks", [])
+    if isinstance(bench, dict):  # make_bench_baseline.py format
+        return {name: float(entry["counters"][counter])
+                for name, entry in bench.items()
+                if name.startswith(prefix)
+                and counter in entry.get("counters", {})}
     samples: dict[str, list[float]] = {}
-    for b in bench if isinstance(bench, list) else []:
+    for b in bench:
         if b.get("run_type") == "aggregate":
             continue
         name = b.get("run_name", b.get("name", ""))

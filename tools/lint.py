@@ -77,6 +77,12 @@ Enforces the handful of rules the compiler cannot:
       write-temp + fsync + rename helpers in src/util/checkpoint.{hpp,cpp}
       (the one exempt file); a site that provably cannot corrupt durable
       state may opt out with a justification
+  R19 no direct span/trace-recorder calls (ScopedSpan, span_begin/span_end,
+      Recorder::instance, record_*) in src/ outside the telemetry and trace
+      layers themselves -- every instrumentation site goes through MAC_SPAN /
+      MAC_TRACE_INSTANT / MAC_TRACE_COUNTER so the -DMETASCRITIC_TELEMETRY=OFF
+      kill switch stays airtight (a direct call would survive it and charge
+      disabled builds for instrumentation)
 
 Usage:
   tools/lint.py [--clang-tidy [BUILD_DIR]] [--rule RULE] [--list-rules]
@@ -145,6 +151,7 @@ RULE_NUMBERS = {
     "view-member": "R16",
     "pointer-key": "R17",
     "raw-file-write": "R18",
+    "span-direct": "R19",
 }
 
 # One-line summaries for --list-rules, keyed like RULE_NUMBERS.
@@ -169,13 +176,14 @@ RULE_DOCS = {
     "view-member": "no view/reference/observer members in src/ without ownership note",
     "pointer-key": "no pointer-keyed containers or pointer hash/order in src/",
     "raw-file-write": "no direct file writes in src/: use util/checkpoint.hpp atomic helpers",
+    "span-direct": "no direct span/trace-recorder calls in src/: use MAC_SPAN / MAC_TRACE_*",
 }
 
 # Rules whose allow() opt-out must carry a justification ("-- reason" or
 # ": reason" after the marker).
 JUSTIFY_RULES = {"unordered-iter", "float-equal", "fp-reduction-order",
                  "unchecked-narrowing", "ref-capture", "view-member",
-                 "pointer-key", "raw-file-write"}
+                 "pointer-key", "raw-file-write", "span-direct"}
 
 # (rule-id, regex, message).  Applied per line with comments/strings stripped.
 LINE_RULES = [
@@ -402,6 +410,23 @@ LINE_RULES += [
 
 LINE_RULES += [
     (
+        "span-direct",
+        re.compile(
+            r"\bScopedSpan\b|\bspan_(?:begin|end)\s*\(|"
+            r"\bRecorder::instance\s*\(|"
+            r"\brecord_(?:span_begin|span_end|instant|counter)\s*\("
+        ),
+        "direct span/trace-recorder call in src/: go through MAC_SPAN / "
+        "MAC_TRACE_INSTANT / MAC_TRACE_COUNTER (util/telemetry.hpp, "
+        "util/trace.hpp) so the -DMETASCRITIC_TELEMETRY=OFF kill switch "
+        "compiles every instrumentation site to a typechecked no-op -- or "
+        "opt out with `// lint: allow(span-direct) -- <why this site must "
+        "bypass the macros>`",
+    ),
+]
+
+LINE_RULES += [
+    (
         "float-equal",
         FLOAT_EQ_RE,
         "floating-point ==/!= against a literal: use mac::approx_eq/"
@@ -442,6 +467,7 @@ RULE_ONLY_DIRS = {
     "view-member": {"src"},
     "pointer-key": {"src"},
     "raw-file-write": {"src"},
+    "span-direct": {"src"},
 }
 
 # Per-file carve-outs (paths relative to the repo root).  The telemetry
@@ -453,7 +479,10 @@ RULE_EXEMPT_FILES = {
     "wall-clock": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
     "chrono-direct": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
     "raw-sync": {"src/util/sync.hpp"},
-    "static-mutable": {"src/util/telemetry.hpp", "src/util/telemetry.cpp"},
+    "static-mutable": {"src/util/telemetry.hpp", "src/util/telemetry.cpp",
+                       # The trace recorder singleton + per-thread ring cache
+                       # are the event-level half of the telemetry carve-out.
+                       "src/util/trace.cpp"},
     # numeric.hpp *implements* the sanctioned cast/compare idioms, so its
     # internal static_casts and exact FP compares are the carve-out.
     "float-equal": {"src/util/numeric.hpp"},
@@ -462,6 +491,10 @@ RULE_EXEMPT_FILES = {
     # checkpoint.cpp *implements* the sanctioned atomic write path (POSIX
     # open/write/fsync/rename), so it is where raw file I/O may live.
     "raw-file-write": {"src/util/checkpoint.cpp"},
+    # The telemetry/trace layers *implement* the macro entry points, so the
+    # direct span/recorder calls live there and nowhere else.
+    "span-direct": {"src/util/telemetry.hpp", "src/util/telemetry.cpp",
+                    "src/util/trace.hpp", "src/util/trace.cpp"},
 }
 
 HEADER_USING_RE = re.compile(r"^\s*using\s+namespace\s+[\w:]+\s*;")

@@ -8,9 +8,10 @@ Usage:
 BENCHMARK.json is bench/perf_micro's `--benchmark_format=json` output;
 TELEMETRY.json is the snapshot perf_micro writes when METAS_TELEMETRY_OUT is
 set (optional -- pure perf baselines such as BENCH_als.json omit it).  The
-baseline keeps, per benchmark, the median cpu_time and the items-per-second
-throughput, plus (when a telemetry snapshot is given) the telemetry counters
-accumulated across the run -- enough for future PRs to diff against without
+baseline keeps, per benchmark, the median cpu_time, the items-per-second
+throughput and the median of every user counter the benchmark reports
+(e.g. BM_AlsFitTraced's `trace_overhead` ratio), plus (when a telemetry
+snapshot is given) the telemetry counters accumulated across the run -- enough for future PRs to diff against without
 storing the full (machine-dependent) benchmark dump.  --prefix restricts the
 baseline to benchmarks whose name starts with the given string, so one
 perf_micro run can be split into per-gate baselines.
@@ -47,7 +48,19 @@ def main(argv: list[str]) -> int:
         with open(args.telemetry, encoding="utf-8") as f:
             telemetry = json.load(f)
 
+    # Everything google-benchmark emits per row that is NOT a user counter;
+    # remaining numeric keys are counters the benchmark registered itself
+    # (state.counters[...]), e.g. checkpoint_overhead or trace_overhead.
+    builtin_keys = {
+        "name", "run_name", "run_type", "repetitions", "repetition_index",
+        "threads", "iterations", "real_time", "cpu_time", "time_unit",
+        "items_per_second", "bytes_per_second", "family_index",
+        "per_family_instance_index", "aggregate_name", "aggregate_unit",
+        "label", "error_occurred", "error_message",
+    }
+
     samples: dict[str, dict[str, list[float]]] = {}
+    counters: dict[str, dict[str, list[float]]] = {}
     for b in bench.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
@@ -58,6 +71,12 @@ def main(argv: list[str]) -> int:
         entry["cpu_time"].append(float(b["cpu_time"]))
         if "items_per_second" in b:
             entry["items_per_second"].append(float(b["items_per_second"]))
+        for key, value in b.items():
+            if key in builtin_keys or not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                continue
+            counters.setdefault(name, {}).setdefault(key, []).append(
+                float(value))
 
     if not samples:
         print(f"make_bench_baseline: no benchmarks matching prefix "
@@ -76,6 +95,9 @@ def main(argv: list[str]) -> int:
                 **({"median_items_per_second":
                         statistics.median(v["items_per_second"])}
                    if v["items_per_second"] else {}),
+                **({"counters": {k: statistics.median(vals)
+                                 for k, vals in sorted(counters[name].items())}}
+                   if name in counters else {}),
             }
             for name, v in sorted(samples.items())
         },

@@ -7,6 +7,7 @@
 //                   [--threshold X|auto] [--out DIR] [--quiet]
 //                   [--fault-profile none|flaky|storm] [--no-resilience]
 //                   [--checkpoint PATH] [--resume PATH] [--deadline-ms N]
+//                   [--trace PATH] [--trace-buffer-events N]
 //
 // Writes per-metro <out>/<metro>_links.csv, <metro>_ratings.csv, and
 // <metro>_measurements.csv, and prints a summary table. With a non-trivial
@@ -23,6 +24,15 @@
 // SIGTERM and --deadline-ms stop cooperatively: the current work unit
 // finishes, a final checkpoint is written, and best-so-far results plus a
 // degradation table are emitted instead of a dead process.
+//
+// Tracing (DESIGN.md §13): --trace PATH arms the per-thread ring-buffer
+// flight recorder and writes a Chrome trace-event / Perfetto-compatible
+// JSON timeline (span begin/end, instants, counter samples) at the end of
+// the run; --trace-buffer-events N bounds the per-thread ring (oldest
+// events drop first, counted in the trace header).  While tracing is armed
+// every successful checkpoint write also dumps the ring next to the
+// checkpoint (<checkpoint>.trace.json), so a killed or cancelled run
+// leaves a timeline of its final moments.
 #include <csignal>
 #include <filesystem>
 #include <iostream>
@@ -36,6 +46,7 @@
 #include "util/checkpoint.hpp"
 #include "util/table.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -69,6 +80,9 @@ struct CliOptions {
       metas::util::telemetry::Format::kJson;
   std::string checkpoint_path;  // empty = no checkpointing
   std::string resume_path;      // empty = fresh run
+  std::string trace_path;       // empty = no tracing
+  std::size_t trace_buffer_events =
+      metas::util::trace::kDefaultBufferEvents;
   std::uint64_t deadline_ms = 0;  // 0 = no deadline
   int keep_checkpoints = 3;
   // Test hook for the crash-injection suite: SIGKILL this process right
@@ -131,7 +145,8 @@ void usage() {
       "                       [--fault-profile none|flaky|storm] [--no-resilience]\n"
       "                       [--telemetry PATH] [--telemetry-format json|csv]\n"
       "                       [--checkpoint PATH] [--resume PATH]\n"
-      "                       [--deadline-ms N] [--keep-checkpoints K]\n";
+      "                       [--deadline-ms N] [--keep-checkpoints K]\n"
+      "                       [--trace PATH] [--trace-buffer-events N]\n";
 }
 
 bool parse_args(int argc, char** argv, CliOptions& opt) {
@@ -189,6 +204,15 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.resume_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.trace_path = v;
+    } else if (arg == "--trace-buffer-events") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.trace_buffer_events = std::strtoull(v, nullptr, 10);
+      if (opt.trace_buffer_events == 0) return false;
     } else if (arg == "--deadline-ms") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -326,6 +350,13 @@ class CheckpointWriter {
       return;
     }
     ++written_;
+    // Flight-recorder dump: while tracing is armed, park the ring's last-N
+    // events next to the checkpoint -- deliberately BEFORE the crash hook
+    // below, so even a SIGKILLed run leaves a timeline of its final
+    // moments for tools/trace_diff.py.
+    if (metas::util::trace::Recorder::instance().enabled())
+      metas::util::trace::Recorder::instance().write_file(
+          opt_->checkpoint_path + ".trace.json");
     if (opt_->crash_after_checkpoints > 0 &&
         written_ >= opt_->crash_after_checkpoints) {
       // Crash-injection hook: die hard (no atexit, no flush) exactly at a
@@ -359,6 +390,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   install_signal_handlers();
+  if (!opt.trace_path.empty())
+    util::trace::Recorder::instance().start(opt.trace_buffer_events);
 
   util::RunControl control;
   control.token = &g_cancel;
@@ -562,6 +595,11 @@ int main(int argc, char** argv) {
     crash.print(std::cout);
     if (writer.enabled())
       std::cout << "resume with: --resume " << opt.checkpoint_path << '\n';
+    // A signal/deadline stop can land after the last checkpoint-time dump;
+    // refresh the flight recording so it covers the final moments.
+    if (writer.enabled() && util::trace::Recorder::instance().enabled())
+      util::trace::Recorder::instance().write_file(opt.checkpoint_path +
+                                                   ".trace.json");
   }
 
   if (!opt.quiet)
@@ -578,6 +616,23 @@ int main(int argc, char** argv) {
       if (!util::telemetry::compiled())
         std::cout << " (instrumentation compiled out: core counters only)";
       std::cout << "\n";
+    }
+  }
+  if (!opt.trace_path.empty()) {
+    util::trace::Recorder& rec = util::trace::Recorder::instance();
+    rec.stop();  // quiescent: the run is over, drain is race-free
+    if (!rec.write_file(opt.trace_path)) {
+      std::cerr << "error: cannot write trace to '" << opt.trace_path << "'\n";
+      return 1;
+    }
+    if (!opt.quiet) {
+      std::cout << "trace written to " << opt.trace_path << " ("
+                << rec.event_count() << " events";
+      if (rec.dropped_events() > 0)
+        std::cout << ", " << rec.dropped_events() << " dropped";
+      std::cout << "); load in chrome://tracing or ui.perfetto.dev\n";
+      if (!util::telemetry::compiled())
+        std::cout << "  (instrumentation compiled out: trace is empty)\n";
     }
   }
   return 0;

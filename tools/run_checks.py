@@ -3,8 +3,10 @@
 
 Runs, in order:
 
-  lint            tools/lint.py (rules R1-R17 over the whole tree)
+  lint            tools/lint.py (rules R1-R19 over the whole tree)
   lint-selftest   tests/lint_selftest.py (golden lint fixtures)
+  trace-diff      tests/trace_diff_selftest.py (golden trace fixtures for
+                  tools/trace_diff.py)
   thread-safety   tools/check_annotations.py (MAC_* annotation coverage +
                   clang -Wthread-safety replay when available)
   numeric-safety  tools/check_numeric.py (R12-R14 + conversion-warning replay)
@@ -43,6 +45,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 CHECKS: list[tuple[str, list[str], str | None]] = [
     ("lint", ["tools/lint.py"], None),
     ("lint-selftest", ["tests/lint_selftest.py"], None),
+    ("trace-diff", ["tests/trace_diff_selftest.py"], None),
     ("thread-safety", ["tools/check_annotations.py"], "--require-clang"),
     ("numeric-safety", ["tools/check_numeric.py"], "--require-compile"),
     ("lifetime", ["tools/check_lifetime.py"], "--require-clang"),

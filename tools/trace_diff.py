@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Per-span-path statistics and A/B diffs over Chrome trace-event JSON
+written by the flight recorder (src/util/trace.cpp, DESIGN.md §13).
+
+Usage:
+  tools/trace_diff.py TRACE.json                      # stats mode
+  tools/trace_diff.py BASE.json CANDIDATE.json        # diff mode
+  tools/trace_diff.py BASE.json CAND.json --threshold 0.10 --min-total-us 100
+  tools/trace_diff.py ... --json
+
+Stats mode prints, per span *path* (slash-joined stack of span names, e.g.
+``pipeline.run/pipeline.rank_estimation/als.fit``), the begin/end pair
+count, total wall time and *self* time (total minus the time spent in child
+spans).  Diff mode prints the candidate-minus-base delta of each of those
+per common path, plus paths only one side has.
+
+Diff mode gates: with --threshold F, the exit status is 1 when any common
+path's total time grew by more than the fraction F (candidate/base - 1.0 >
+F).  --min-total-us (default 50) ignores paths whose *base* total is below
+the floor, so a 2us span doubling does not fail a build.  Without
+--threshold the tool always exits 0 (report-only).
+
+Flight dumps from cancelled or killed runs are expected input: spans that
+were open when the ring was dumped have a B with no E, and rings that
+wrapped may hold an E with no B.  Both are tolerated -- unmatched events
+are counted and reported (``unmatched_begin`` / ``unmatched_end``), never
+fatal.  The header's ``dropped_events`` is surfaced too, since a wrapped
+ring means early spans are missing from the statistics.
+
+Exit status: 0 in budget (or report-only), 1 over threshold, 2 on
+malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_trace(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_diff: cannot read {path}: {e}", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        print(f"trace_diff: {path} is not a Chrome trace-event JSON object "
+              "(no traceEvents key)", file=sys.stderr)
+        raise SystemExit(2)
+    return data
+
+
+def span_stats(trace: dict) -> tuple[dict[str, dict[str, float]], dict]:
+    """Aggregate B/E pairs into per-span-path count/total/self statistics.
+
+    Returns (stats, meta). stats maps slash-joined span paths to
+    {"count", "total_us", "self_us"}; meta carries unmatched_begin,
+    unmatched_end and the header's dropped_events.
+    """
+    # Events are emitted oldest-first per thread, threads concatenated, so
+    # splitting by tid (preserving order) recovers each thread's timeline.
+    by_tid: dict[int, list[dict]] = {}
+    for ev in trace.get("traceEvents", []):
+        if ev.get("ph") in ("B", "E"):
+            by_tid.setdefault(int(ev.get("tid", 0)), []).append(ev)
+
+    stats: dict[str, dict[str, float]] = {}
+    unmatched_begin = 0
+    unmatched_end = 0
+    for events in by_tid.values():
+        # Stack frames: [name, begin_ts_us, child_total_us]
+        stack: list[list] = []
+        for ev in events:
+            if ev["ph"] == "B":
+                stack.append([str(ev.get("name", "<unknown>")),
+                              float(ev["ts"]), 0.0])
+                continue
+            if not stack:
+                # Ring wrapped past this span's B, or the dump raced the
+                # span's entry: count it, keep going.
+                unmatched_end += 1
+                continue
+            name, begin_ts, child_total = stack.pop()
+            if str(ev.get("name", name)) != name:
+                # Crossed pair (should not happen with scoped spans); treat
+                # both sides as unmatched rather than charging a bogus
+                # duration to the wrong path.
+                unmatched_begin += 1
+                unmatched_end += 1
+                continue
+            dur = float(ev["ts"]) - begin_ts
+            path = "/".join(f[0] for f in stack) + ("/" if stack else "") + name
+            s = stats.setdefault(path,
+                                 {"count": 0, "total_us": 0.0, "self_us": 0.0})
+            s["count"] += 1
+            s["total_us"] += dur
+            s["self_us"] += dur - child_total
+            if stack:
+                stack[-1][2] += dur
+        # Spans still open when the ring was dumped (flight recorder).
+        unmatched_begin += len(stack)
+
+    meta = {
+        "unmatched_begin": unmatched_begin,
+        "unmatched_end": unmatched_end,
+        "dropped_events": int(
+            trace.get("otherData", {}).get("dropped_events", 0)),
+    }
+    return stats, meta
+
+
+def print_stats(path: str, stats: dict, meta: dict) -> None:
+    print(f"{path}: {len(stats)} span paths, "
+          f"dropped_events={meta['dropped_events']}, "
+          f"unmatched B/E={meta['unmatched_begin']}/{meta['unmatched_end']}")
+    width = max((len(p) for p in stats), default=4)
+    print(f"  {'path':<{width}}  {'count':>7}  {'total_us':>12}  "
+          f"{'self_us':>12}")
+    for p in sorted(stats):
+        s = stats[p]
+        print(f"  {p:<{width}}  {s['count']:>7d}  {s['total_us']:>12.3f}  "
+              f"{s['self_us']:>12.3f}")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("base", help="trace JSON (or the only trace, in "
+                                     "stats mode)")
+    parser.add_argument("candidate", nargs="?",
+                        help="trace JSON to diff against base")
+    parser.add_argument("--threshold", type=float,
+                        help="fail (exit 1) when any common path's total "
+                             "time grew by more than this fraction")
+    parser.add_argument("--min-total-us", type=float, default=50.0,
+                        help="ignore paths whose base total is below this "
+                             "many microseconds (default: %(default)s)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    base_stats, base_meta = span_stats(load_trace(args.base))
+
+    if args.candidate is None:
+        if args.as_json:
+            json.dump({"file": args.base, "spans": base_stats,
+                       **base_meta}, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            print_stats(args.base, base_stats, base_meta)
+        return 0
+
+    cand_stats, cand_meta = span_stats(load_trace(args.candidate))
+    paths = sorted(set(base_stats) | set(cand_stats))
+    rows = []
+    over_budget: list[str] = []
+    for p in paths:
+        b = base_stats.get(p)
+        c = cand_stats.get(p)
+        row = {
+            "path": p,
+            "base_count": b["count"] if b else 0,
+            "cand_count": c["count"] if c else 0,
+            "base_total_us": b["total_us"] if b else 0.0,
+            "cand_total_us": c["total_us"] if c else 0.0,
+            "base_self_us": b["self_us"] if b else 0.0,
+            "cand_self_us": c["self_us"] if c else 0.0,
+        }
+        row["delta_total_us"] = row["cand_total_us"] - row["base_total_us"]
+        row["delta_self_us"] = row["cand_self_us"] - row["base_self_us"]
+        if b and b["total_us"] >= args.min_total_us:
+            row["ratio"] = (row["cand_total_us"] / row["base_total_us"] - 1.0
+                            if row["base_total_us"] > 0.0 else 0.0)
+            if args.threshold is not None and row["ratio"] > args.threshold:
+                over_budget.append(p)
+        rows.append(row)
+
+    if args.as_json:
+        json.dump({"base": args.base, "candidate": args.candidate,
+                   "threshold": args.threshold,
+                   "min_total_us": args.min_total_us,
+                   "rows": rows, "over_budget": over_budget,
+                   "base_meta": base_meta, "candidate_meta": cand_meta},
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        width = max((len(p) for p in paths), default=4)
+        print(f"  {'path':<{width}}  {'count':>11}  {'total_us':>23}  "
+              f"{'dself_us':>12}  {'ratio':>8}")
+        for row in rows:
+            ratio = (f"{row['ratio']:+8.1%}" if "ratio" in row else
+                     f"{'--':>8}")
+            marker = "  OVER" if row["path"] in over_budget else ""
+            print(f"  {row['path']:<{width}}  "
+                  f"{row['base_count']:>4d}->{row['cand_count']:<4d}  "
+                  f"{row['base_total_us']:>10.1f}->{row['cand_total_us']:<10.1f}  "
+                  f"{row['delta_self_us']:>+12.3f}  {ratio}{marker}")
+        for label, meta in (("base", base_meta), ("candidate", cand_meta)):
+            if meta["dropped_events"] or meta["unmatched_begin"] \
+                    or meta["unmatched_end"]:
+                print(f"  note: {label} dropped_events="
+                      f"{meta['dropped_events']}, unmatched B/E="
+                      f"{meta['unmatched_begin']}/{meta['unmatched_end']}")
+
+    if over_budget:
+        print(f"trace_diff: {len(over_budget)} path(s) over the "
+              f"{args.threshold:.0%} threshold: {', '.join(over_budget)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:  # e.g. `trace_diff.py t.json | head`
+        sys.exit(0)
